@@ -1,0 +1,51 @@
+// Extension ablation: communication compression. PDSL exchanges four dense
+// vectors per edge per round; this sweep measures what TopK sparsification
+// and low-bit quantization of every payload cost in accuracy against what
+// they save in bytes — the efficiency axis motivated by the paper's related
+// work (Soft-DSGD [24] and the communication-bottleneck discussion).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "compress/compressor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdsl;
+  const CliArgs args(argc, argv, {"scale", "rounds", "eps", "seed"});
+  const std::string scale = args.get_string("scale", "quick");
+  auto sp = bench::scale_params(scale, "mnist_like");
+  sp.rounds =
+      static_cast<std::size_t>(args.get_int("rounds", static_cast<std::int64_t>(sp.rounds)));
+  const double eps = args.get_double("eps", 0.3);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  bench::SweepSpec spec;
+  spec.id = "ablation_compression";
+  spec.dataset = "mnist_like";
+  spec.topology = "full";
+
+  std::printf("==== ablation: lossy communication compression (PDSL) ====\n");
+  std::printf("scale=%s eps=%.3g rounds=%zu\n\n", scale.c_str(), eps, sp.rounds);
+  std::printf("%-12s %10s %10s %12s %12s\n", "channel", "loss", "accuracy", "MB sent",
+              "vs dense");
+
+  CsvWriter csv("bench_results/ablation_compression.csv",
+                {"channel", "final_loss", "test_accuracy", "bytes", "dense_bytes"});
+
+  double dense_bytes = 0.0;
+  for (const std::string channel :
+       {"none", "quant:8", "quant:4", "topk:0.25", "topk:0.1", "topk:0.01"}) {
+    auto cfg = bench::make_config(spec, sp, sp.agents.front(), eps, seed);
+    cfg.algorithm = "pdsl";
+    cfg.compression = channel;
+    const auto res = core::run_experiment(cfg);
+    const double mb = static_cast<double>(res.bytes) / 1e6;
+    if (channel == "none") dense_bytes = mb;
+    std::printf("%-12s %10.4f %10.3f %12.2f %11.1f%%\n", channel.c_str(), res.final_loss,
+                res.final_accuracy, mb, 100.0 * mb / dense_bytes);
+    csv.row(channel, res.final_loss, res.final_accuracy, res.bytes, dense_bytes * 1e6);
+    csv.flush();
+  }
+  return 0;
+}

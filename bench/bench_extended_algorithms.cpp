@@ -1,0 +1,56 @@
+// Extension sweep: the paper's five algorithms plus the extensions this
+// library adds (ASYNC-DP-GOSSIP, DP-QGM, PDSL-uniform, non-private D-PSGD as
+// the utility ceiling) on one heterogeneous DP workload, with multi-seed
+// error bars.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "core/replicate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdsl;
+  const CliArgs args(argc, argv, {"scale", "rounds", "eps", "seeds"});
+  const std::string scale = args.get_string("scale", "quick");
+  auto sp = bench::scale_params(scale, "mnist_like");
+  sp.rounds =
+      static_cast<std::size_t>(args.get_int("rounds", static_cast<std::int64_t>(sp.rounds)));
+  const double eps = args.get_double("eps", 0.1);
+  const auto seed_ints = args.get_int_list("seeds", {1, 2, 3});
+  std::vector<std::uint64_t> seeds(seed_ints.begin(), seed_ints.end());
+
+  bench::SweepSpec spec;
+  spec.id = "extended_algorithms";
+  spec.dataset = "mnist_like";
+  spec.topology = "full";
+
+  std::printf("==== extension: full algorithm roster (mean +- std over %zu seeds) ====\n",
+              seeds.size());
+  std::printf("scale=%s eps=%.3g rounds=%zu M=%lld\n\n", scale.c_str(), eps, sp.rounds,
+              static_cast<long long>(sp.agents.front()));
+  std::printf("%-16s %10s %12s %14s %12s\n", "algorithm", "loss", "loss_std", "accuracy",
+              "acc_std");
+
+  CsvWriter csv("bench_results/extended_algorithms.csv",
+                {"algorithm", "loss_mean", "loss_std", "acc_mean", "acc_std", "acc_min",
+                 "acc_max"});
+
+  for (const std::string algo :
+       {"dpsgd", "dp_dpsgd", "muffliato", "dp_cga", "dp_netfleet", "async_dp_gossip",
+        "dp_qgm", "pdsl_uniform", "pdsl"}) {
+    auto cfg = bench::make_config(spec, sp, static_cast<std::size_t>(sp.agents.front()), eps,
+                                  seeds.front());
+    cfg.algorithm = algo;
+    if (algo == "dpsgd") cfg.sigma_mode = "none";  // non-private ceiling
+    const auto rep = core::run_replicated(cfg, seeds);
+    std::printf("%-16s %10.4f %12.4f %14.3f %12.3f\n", bench::display_name(algo).c_str(),
+                rep.final_loss.mean, rep.final_loss.stddev, rep.final_accuracy.mean,
+                rep.final_accuracy.stddev);
+    csv.row(bench::display_name(algo), rep.final_loss.mean, rep.final_loss.stddev,
+            rep.final_accuracy.mean, rep.final_accuracy.stddev, rep.final_accuracy.min,
+            rep.final_accuracy.max);
+    csv.flush();
+  }
+  return 0;
+}

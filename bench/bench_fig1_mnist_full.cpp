@@ -1,0 +1,15 @@
+// Fig. 1: average loss vs communication round on the MNIST-like dataset over
+// fully connected graphs, M in {10,15,20}, epsilon in {0.08, 0.1, 0.3}.
+// Default --scale quick runs a reduced grid; --scale paper runs the full one.
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  pdsl::bench::SweepSpec spec;
+  spec.id = "fig1";
+  spec.title = "MNIST-like, fully connected graphs: avg loss vs round";
+  spec.dataset = "mnist_like";
+  spec.topology = "full";
+  spec.epsilons = {0.08, 0.1, 0.3};
+  return pdsl::bench::run_figure_bench(argc, argv, spec);
+}

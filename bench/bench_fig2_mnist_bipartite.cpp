@@ -1,0 +1,13 @@
+// Fig. 2: average loss vs round, MNIST-like dataset over bipartite graphs.
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  pdsl::bench::SweepSpec spec;
+  spec.id = "fig2";
+  spec.title = "MNIST-like, bipartite graphs: avg loss vs round";
+  spec.dataset = "mnist_like";
+  spec.topology = "bipartite";
+  spec.epsilons = {0.08, 0.1, 0.3};
+  return pdsl::bench::run_figure_bench(argc, argv, spec);
+}

@@ -1,0 +1,13 @@
+// Fig. 3: average loss vs round, MNIST-like dataset over ring graphs.
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  pdsl::bench::SweepSpec spec;
+  spec.id = "fig3";
+  spec.title = "MNIST-like, ring graphs: avg loss vs round";
+  spec.dataset = "mnist_like";
+  spec.topology = "ring";
+  spec.epsilons = {0.08, 0.1, 0.3};
+  return pdsl::bench::run_figure_bench(argc, argv, spec);
+}

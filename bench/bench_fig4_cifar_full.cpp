@@ -1,0 +1,14 @@
+// Fig. 4: average loss vs round, CIFAR-like dataset over fully connected
+// graphs, epsilon in {0.5, 0.7, 1.0}.
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  pdsl::bench::SweepSpec spec;
+  spec.id = "fig4";
+  spec.title = "CIFAR-like, fully connected graphs: avg loss vs round";
+  spec.dataset = "cifar_like";
+  spec.topology = "full";
+  spec.epsilons = {0.5, 0.7, 1.0};
+  return pdsl::bench::run_figure_bench(argc, argv, spec);
+}

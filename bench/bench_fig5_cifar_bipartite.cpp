@@ -1,0 +1,13 @@
+// Fig. 5: average loss vs round, CIFAR-like dataset over bipartite graphs.
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  pdsl::bench::SweepSpec spec;
+  spec.id = "fig5";
+  spec.title = "CIFAR-like, bipartite graphs: avg loss vs round";
+  spec.dataset = "cifar_like";
+  spec.topology = "bipartite";
+  spec.epsilons = {0.5, 0.7, 1.0};
+  return pdsl::bench::run_figure_bench(argc, argv, spec);
+}

@@ -1,0 +1,13 @@
+// Fig. 6: average loss vs round, CIFAR-like dataset over ring graphs.
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  pdsl::bench::SweepSpec spec;
+  spec.id = "fig6";
+  spec.title = "CIFAR-like, ring graphs: avg loss vs round";
+  spec.dataset = "cifar_like";
+  spec.topology = "ring";
+  spec.epsilons = {0.5, 0.7, 1.0};
+  return pdsl::bench::run_figure_bench(argc, argv, spec);
+}

@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark) for the hot kernels underneath the
+// experiments: matmul, conv forward/backward, full model gradients, clipping
+// + Gaussian mechanism, Monte Carlo Shapley, the min-norm QP and gossip
+// mixing. These are throughput references, not paper artifacts.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "dp/mechanism.hpp"
+#include "graph/mixing.hpp"
+#include "nn/model_zoo.hpp"
+#include "optim/qp.hpp"
+#include "shapley/game.hpp"
+#include "shapley/shapley.hpp"
+#include "tensor/ops.hpp"
+
+using namespace pdsl;
+
+static void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a(Shape{n, n}), b(Shape{n, n});
+  rng.fill_normal(a.vec(), 0.0, 1.0);
+  rng.fill_normal(b.vec(), 0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_MnistCnnGradient(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::Model m = nn::make_mnist_cnn(14, 1, 10);
+  m.init(rng);
+  Tensor x(Shape{batch, 1, 14, 14});
+  rng.fill_normal(x.vec(), 0.0, 1.0);
+  std::vector<int> y(batch);
+  for (std::size_t i = 0; i < batch; ++i) y[i] = static_cast<int>(i % 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.loss_and_backward(x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MnistCnnGradient)->Arg(8)->Arg(32);
+
+static void BM_MlpGradient(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  nn::Model m = nn::make_mlp(100, 32, 10);
+  m.init(rng);
+  Tensor x(Shape{batch, 1, 10, 10});
+  rng.fill_normal(x.vec(), 0.0, 1.0);
+  std::vector<int> y(batch);
+  for (std::size_t i = 0; i < batch; ++i) y[i] = static_cast<int>(i % 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.loss_and_backward(x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MlpGradient)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_Privatize(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<float> g(d);
+  rng.fill_normal(g, 0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::privatize(g, 1.0, 0.1, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_Privatize)->Arg(1000)->Arg(10000)->Arg(100000);
+
+static void BM_MonteCarloShapley(benchmark::State& state) {
+  const auto players = static_cast<std::size_t>(state.range(0));
+  const auto perms = static_cast<std::size_t>(state.range(1));
+  Rng rng(5);
+  for (auto _ : state) {
+    shapley::CachedGame game(players, [](const std::vector<std::size_t>& c) {
+      double v = 0.0;
+      for (std::size_t p : c) v += static_cast<double>(p + 1);
+      return v / 100.0;
+    });
+    benchmark::DoNotOptimize(shapley::monte_carlo_shapley(game, perms, rng));
+  }
+}
+BENCHMARK(BM_MonteCarloShapley)->Args({6, 8})->Args({10, 8})->Args({20, 10});
+
+static void BM_ExactShapley(benchmark::State& state) {
+  const auto players = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    shapley::CachedGame game(players, [](const std::vector<std::size_t>& c) {
+      double v = 0.0;
+      for (std::size_t p : c) v += static_cast<double>(p + 1);
+      return v / 100.0;
+    });
+    benchmark::DoNotOptimize(shapley::exact_shapley(game));
+  }
+}
+BENCHMARK(BM_ExactShapley)->Arg(4)->Arg(8)->Arg(12);
+
+static void BM_MinNormQp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<std::vector<float>> grads(n, std::vector<float>(512));
+  for (auto& g : grads) rng.fill_normal(g, 0.0, 1.0);
+  optim::MinNormSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(grads));
+  }
+}
+BENCHMARK(BM_MinNormQp)->Arg(5)->Arg(10)->Arg(20);
+
+static void BM_GossipMix(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto topo = graph::Topology::make(graph::TopologyKind::kRing, m);
+  const auto w = graph::MixingMatrix::metropolis(topo);
+  std::vector<double> x(m, 1.0);
+  x[0] = static_cast<double>(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x = w.apply(x));
+  }
+}
+BENCHMARK(BM_GossipMix)->Arg(10)->Arg(50)->Arg(200);
+
+BENCHMARK_MAIN();

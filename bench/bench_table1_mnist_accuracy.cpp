@@ -1,0 +1,13 @@
+// Table I: test accuracy on the MNIST-like dataset across
+// {fully connected, bipartite, ring} x M x epsilon for all five algorithms.
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  pdsl::bench::SweepSpec spec;
+  spec.id = "table1";
+  spec.title = "MNIST-like test accuracy (paper Table I)";
+  spec.dataset = "mnist_like";
+  spec.epsilons = {0.08, 0.1, 0.3};
+  return pdsl::bench::run_table_bench(argc, argv, spec, {"full", "bipartite", "ring"});
+}

@@ -1,0 +1,13 @@
+// Table II: test accuracy on the CIFAR-like dataset across
+// {fully connected, bipartite, ring} x M x epsilon for all five algorithms.
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  pdsl::bench::SweepSpec spec;
+  spec.id = "table2";
+  spec.title = "CIFAR-like test accuracy (paper Table II)";
+  spec.dataset = "cifar_like";
+  spec.epsilons = {0.5, 0.7, 1.0};
+  return pdsl::bench::run_table_bench(argc, argv, spec, {"full", "bipartite", "ring"});
+}

@@ -1,0 +1,67 @@
+#pragma once
+// Shared harness for the per-figure/per-table bench binaries. Each binary
+// declares which paper artifact it regenerates (dataset, topology, epsilon
+// grid, agent counts); the harness sweeps the five algorithms of Sec. VI-B,
+// prints the same series/rows the paper reports, and writes CSVs.
+//
+// Scales:
+//  - "quick" (default): reduced sizes so the whole suite runs on one core in
+//    minutes. Shapes (who wins, how curves order) are preserved.
+//  - "paper": the paper's M in {10,15,20}, full round counts, CNN models and
+//    paper image sizes. Hours of CPU; run selectively.
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+
+namespace pdsl::bench {
+
+struct SweepSpec {
+  std::string id;       ///< e.g. "fig1"
+  std::string title;    ///< human-readable description of the paper artifact
+  std::string dataset;  ///< mnist_like | cifar_like
+  std::string topology; ///< full | bipartite | ring
+  std::vector<double> epsilons;      ///< paper's privacy budgets for this dataset
+  double gamma = 0.0;                ///< 0 = dataset default (paper Sec. VI-A)
+  double alpha = 0.0;                ///< 0 = dataset default
+};
+
+struct ScaleParams {
+  std::vector<std::int64_t> agents;
+  std::size_t rounds = 0;
+  std::size_t train_samples = 0;
+  std::size_t test_samples = 0;
+  std::size_t validation_samples = 0;
+  std::size_t image = 0;
+  std::size_t batch = 0;
+  std::string model;
+  std::size_t shapley_permutations = 0;
+  std::size_t validation_batch = 0;
+  std::size_t test_subsample = 0;
+  std::size_t eval_every = 0;
+  std::size_t print_every = 0;
+  double noise_scale = 1.0;  ///< see ExperimentConfig::noise_scale
+};
+
+/// Resolve "quick"/"paper" into concrete sizes for a dataset.
+ScaleParams scale_params(const std::string& scale, const std::string& dataset);
+
+/// Base config for one cell of a sweep.
+core::ExperimentConfig make_config(const SweepSpec& spec, const ScaleParams& sp,
+                                   std::size_t agents, double epsilon, std::uint64_t seed);
+
+/// Loss-curve sweep (the paper's Figs. 1-6): for each (M, eps), run all five
+/// algorithms and print average loss vs round side by side. Returns exit code.
+int run_figure_bench(int argc, const char* const* argv, const SweepSpec& spec);
+
+/// Accuracy-table sweep (the paper's Tables I-II): the given topologies x
+/// (M, eps) grid, final test accuracy per algorithm.
+int run_table_bench(int argc, const char* const* argv, SweepSpec spec,
+                    const std::vector<std::string>& topologies);
+
+/// Pretty label used in printed headers ("PDSL", "DP-CGA", ...).
+std::string display_name(const std::string& algo_key);
+
+}  // namespace pdsl::bench

@@ -1,0 +1,80 @@
+// The paper's opening motivation, measured: centralized federated learning
+// (FedAvg) funnels every round through one server — a bandwidth bottleneck
+// and a single point of failure — while decentralized learning (PDSL)
+// spreads the same traffic across peer links. This example trains both on
+// identical heterogeneous data and compares accuracy, traffic, and the
+// estimated round time under a WAN link model where the server has one
+// network interface but the P2P mesh transfers in parallel.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "sim/comm_cost.hpp"
+
+using namespace pdsl;
+
+namespace {
+
+core::ExperimentConfig base_config(const std::string& algorithm) {
+  core::ExperimentConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.dataset = "mnist_like";
+  cfg.model = "mlp";
+  cfg.topology = "full";
+  cfg.agents = 8;
+  cfg.rounds = 20;
+  cfg.train_samples = 900;
+  cfg.test_samples = 200;
+  cfg.validation_samples = 120;
+  cfg.image = 10;
+  cfg.mu = 0.25;
+  cfg.hp.gamma = 0.05;
+  cfg.hp.alpha = 0.5;
+  cfg.hp.clip = 1.0;
+  cfg.hp.batch = 16;
+  cfg.hp.local_steps = 2;  // FedAvg local epochs
+  cfg.hp.shapley_permutations = 6;
+  cfg.hp.validation_batch = 32;
+  cfg.epsilon = 0.3;
+  cfg.sigma_mode = "dpsgd";
+  cfg.noise_scale = 0.06;
+  cfg.metrics.eval_every = 20;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("centralized (DP-FedAvg) vs decentralized (PDSL), M=8, Dir(0.25), eps=0.3\n\n");
+
+  const auto fed = core::run_experiment(base_config("dp_fedavg"));
+  const auto pdsl_res = core::run_experiment(base_config("pdsl"));
+
+  // Traffic: FedAvg's is counted at the server (2 model transfers per agent
+  // per round); PDSL's through the peer mesh.
+  const std::size_t fed_messages = 2 * 8 * 20;
+  const std::size_t fed_bytes = fed_messages * fed.model_dim * sizeof(float);
+
+  // WAN link model. The server serializes all transfers through one
+  // interface (parallel_links = 1); the mesh uses every agent's NIC.
+  const auto server_link = sim::wan_network(1);
+  const auto mesh_links = sim::wan_network(8);
+  const double fed_time = server_link.transfer_time(fed_messages, fed_bytes);
+  const double pdsl_time = mesh_links.transfer_time(pdsl_res.messages, pdsl_res.bytes);
+
+  std::printf("%-22s %10s %10s %12s %12s %14s\n", "algorithm", "accuracy", "loss",
+              "messages", "MB moved", "WAN time (s)");
+  std::printf("%-22s %10.3f %10.4f %12zu %12.1f %14.1f\n", fed.algorithm.c_str(),
+              fed.final_accuracy, fed.final_loss, fed_messages,
+              static_cast<double>(fed_bytes) / 1e6, fed_time);
+  std::printf("%-22s %10.3f %10.4f %12zu %12.1f %14.1f\n", pdsl_res.algorithm.c_str(),
+              pdsl_res.final_accuracy, pdsl_res.final_loss, pdsl_res.messages,
+              static_cast<double>(pdsl_res.bytes) / 1e6, pdsl_time);
+
+  std::printf(
+      "\nPDSL moves more total bytes (cross-gradients + double gossip) but spreads them\n"
+      "across %d peer links, while every FedAvg byte serializes through the server's\n"
+      "single interface — and the server is a single point of failure besides.\n",
+      8);
+  return 0;
+}

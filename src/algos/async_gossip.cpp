@@ -1,0 +1,52 @@
+#include "algos/async_gossip.hpp"
+
+#include "common/vec_math.hpp"
+#include "dp/mechanism.hpp"
+
+namespace pdsl::algos {
+
+AsyncDpGossip::AsyncDpGossip(const Env& env)
+    : Algorithm(env), clock_rng_(splitmix64(env.seed ^ 0xA57C)) {}
+
+void AsyncDpGossip::wake(std::size_t i, std::size_t t) {
+  ++events_;
+  // Local privatized step at whatever (possibly stale) model i currently has.
+  workers_[i].draw_batch();
+  const auto g = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
+                               agent_rngs_[i]);
+  axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
+
+  // Randomized pairwise gossip with one uniform neighbor: both endpoints
+  // move to the average. Models cross the network privatized so the exchange
+  // leaks no more than the synchronous algorithms' model broadcasts; the
+  // model has only ever been updated with privatized gradients, so the
+  // additional noise here is a conservative hedge against direct inspection.
+  const auto nbrs = neighbors(i);
+  if (nbrs.empty()) return;
+  const std::size_t j = nbrs[static_cast<std::size_t>(
+      clock_rng_.uniform_int(0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+  const std::string tag = "pair@" + std::to_string(t) + "." + std::to_string(events_);
+  if (!net_.send(i, j, tag, models_[i])) return;  // dropped: skip this exchange
+  if (!net_.send(j, i, tag, models_[j])) return;
+  const auto from_j = net_.receive(i, j, tag);
+  const auto from_i = net_.receive(j, i, tag);
+  if (!from_j || !from_i) return;
+  std::vector<float> avg = *from_j;
+  axpy(avg, *from_i, 1.0f);
+  scale_inplace(avg, 0.5f);
+  models_[i] = avg;
+  models_[j] = std::move(avg);
+}
+
+void AsyncDpGossip::run_round(std::size_t t) {
+  // M wake events per round, uniformly random agent each time — a discrete
+  // simulation of independent Poisson clocks.
+  const std::size_t m = num_agents();
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto i = static_cast<std::size_t>(
+        clock_rng_.uniform_int(0, static_cast<std::int64_t>(m) - 1));
+    wake(i, t);
+  }
+}
+
+}  // namespace pdsl::algos

@@ -1,0 +1,135 @@
+#include "algos/common.hpp"
+
+#include <stdexcept>
+
+#include "common/stopwatch.hpp"
+#include "common/vec_math.hpp"
+#include "sim/evaluate.hpp"
+
+namespace pdsl::algos {
+
+namespace {
+void validate_env(const Env& env) {
+  if (env.topo == nullptr || env.mixing == nullptr || env.train == nullptr ||
+      env.model_template == nullptr || env.partition == nullptr) {
+    throw std::invalid_argument("Algorithm: incomplete Env");
+  }
+  if (env.topo->size() != env.mixing->size()) {
+    throw std::invalid_argument("Algorithm: topology/mixing size mismatch");
+  }
+  if (env.partition->size() != env.topo->size()) {
+    throw std::invalid_argument("Algorithm: partition size != agent count");
+  }
+  if (env.hp.gamma <= 0.0) throw std::invalid_argument("Algorithm: gamma must be positive");
+  if (env.hp.alpha < 0.0 || env.hp.alpha >= 1.0) {
+    throw std::invalid_argument("Algorithm: alpha must be in [0,1)");
+  }
+}
+}  // namespace
+
+Algorithm::Algorithm(const Env& env)
+    : env_(env),
+      net_(*env.topo, sim::Network::Options{env.drop_prob, splitmix64(env.seed ^ 0xAEAE),
+                                            true, env.compressor}) {
+  validate_env(env);
+  const std::size_t m = env.topo->size();
+  Rng root(env.seed);
+
+  // One shared initialization: the analysis assumes all columns of X^[0]
+  // are identical (Appendix B), so every agent starts from the same point.
+  nn::Model init_model = *env.model_template;
+  Rng init_rng = root.split(0x1217);
+  init_model.init(init_rng);
+  const std::vector<float> x0 = init_model.flat_params();
+
+  workers_.reserve(m);
+  models_.reserve(m);
+  agent_rngs_.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    workers_.emplace_back(init_model, *env.train, (*env.partition)[i], env.hp.batch,
+                          root.split(0xD0 + i));
+    models_.push_back(x0);
+    agent_rngs_.push_back(root.split(0xA900 + i));
+  }
+}
+
+std::vector<float> Algorithm::average_model() const { return sim::average_model(models_); }
+
+void Algorithm::set_models(std::vector<std::vector<float>> models) {
+  if (models.size() != models_.size()) {
+    throw std::invalid_argument("set_models: fleet size mismatch");
+  }
+  for (const auto& m : models) {
+    if (m.size() != models_[0].size()) {
+      throw std::invalid_argument("set_models: model dimension mismatch");
+    }
+  }
+  models_ = std::move(models);
+}
+
+std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::vector<float>>& in,
+                                                       const std::string& tag) {
+  const std::size_t m = num_agents();
+  if (in.size() != m) throw std::invalid_argument("mix_vectors: arity mismatch");
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j : neighbors(i)) {
+      net_.send(i, j, tag, in[i]);
+    }
+  }
+  std::vector<std::vector<float>> out(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<float> acc(in[i].size(), 0.0f);
+    axpy(acc, in[i], static_cast<float>(w(i, i)));
+    for (std::size_t j : neighbors(i)) {
+      auto msg = net_.receive(i, j, tag);
+      // A dropped message contributes the receiver's own value instead — the
+      // standard "self-substitution" fallback for unreliable gossip.
+      const std::vector<float>& v = msg ? *msg : in[i];
+      axpy(acc, v, static_cast<float>(w(i, j)));
+    }
+    out[i] = std::move(acc);
+  }
+  return out;
+}
+
+void Algorithm::draw_all_batches() {
+  for (auto& wkr : workers_) wkr.draw_batch();
+}
+
+std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t rounds,
+                                                const data::Dataset& test,
+                                                const MetricsOptions& opts) {
+  std::vector<sim::RoundMetrics> series;
+  series.reserve(rounds);
+  Stopwatch watch;
+  nn::Model eval_ws = *alg.env().model_template;
+  double last_acc = 0.0;
+  for (std::size_t t = 1; t <= rounds; ++t) {
+    alg.run_round(t);
+
+    sim::RoundMetrics m;
+    m.round = t;
+    double loss_acc = 0.0;
+    for (std::size_t i = 0; i < alg.num_agents(); ++i) {
+      loss_acc += alg.worker(i).local_eval_loss(alg.models()[i]);
+    }
+    m.avg_loss = loss_acc / static_cast<double>(alg.num_agents());
+    m.consensus = sim::consensus_distance(alg.models());
+
+    if (t % opts.eval_every == 0 || t == rounds) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < alg.num_agents(); ++i) {
+        acc += sim::evaluate(eval_ws, alg.models()[i], test, opts.test_subsample).accuracy;
+      }
+      last_acc = acc / static_cast<double>(alg.num_agents());
+    }
+    m.test_accuracy = last_acc;
+    m.messages = alg.network().messages_sent();
+    m.bytes = alg.network().bytes_sent();
+    m.elapsed_s = watch.elapsed_seconds();
+    series.push_back(m);
+  }
+  return series;
+}
+
+}  // namespace pdsl::algos

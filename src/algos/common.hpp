@@ -1,0 +1,120 @@
+#pragma once
+// Shared machinery for decentralized learning algorithms (S8/S9): the
+// hyper-parameter bundle, the experiment environment handed to every
+// algorithm, and the Algorithm base class (per-agent workers + models +
+// message-passing network + synchronized metric hooks).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/compressor.hpp"
+#include "data/dataset.hpp"
+#include "graph/mixing.hpp"
+#include "graph/topology.hpp"
+#include "nn/model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/worker.hpp"
+
+namespace pdsl::algos {
+
+struct HyperParams {
+  double gamma = 0.01;   ///< learning rate (paper's gamma)
+  double alpha = 0.5;    ///< momentum coefficient (paper's alpha)
+  double clip = 1.0;     ///< gradient clipping threshold C
+  double sigma = 0.0;    ///< Gaussian noise stddev; 0 disables DP
+  std::size_t batch = 32;
+
+  // PDSL
+  std::size_t shapley_permutations = 8;  ///< R in Algorithm 2
+  bool exact_shapley = false;            ///< use Eq. 18 enumeration instead
+  /// Estimator: "mc" (Algorithm 2) | "exact" | "tmc" (truncated MC) |
+  /// "stratified" (Castro et al. [37]). exact_shapley=true overrides to exact.
+  std::string shapley_method = "mc";
+  double tmc_tolerance = 0.01;           ///< truncation tolerance for "tmc"
+  std::size_t validation_batch = 64;     ///< per-round subsample of Q for v(.)
+
+  // MUFFLIATO
+  std::size_t gossip_steps = 2;  ///< gossip iterations after noise injection
+
+  // DP-NET-FLEET
+  std::size_t local_steps = 3;  ///< local updates between communication rounds
+};
+
+/// Borrowed views of everything one experiment run shares across algorithms.
+/// All pointers must outlive the Algorithm.
+struct Env {
+  const graph::Topology* topo = nullptr;
+  const graph::MixingMatrix* mixing = nullptr;
+  const data::Dataset* train = nullptr;
+  const data::Dataset* validation = nullptr;  ///< Q; required by PDSL only
+  const nn::Model* model_template = nullptr;
+  const std::vector<std::vector<std::size_t>>* partition = nullptr;
+  HyperParams hp;
+  std::uint64_t seed = 1;
+  double drop_prob = 0.0;  ///< link-loss fault injection
+  const compress::Compressor* compressor = nullptr;  ///< optional lossy channel
+};
+
+class Algorithm {
+ public:
+  explicit Algorithm(const Env& env);
+  virtual ~Algorithm() = default;
+  Algorithm(const Algorithm&) = delete;
+  Algorithm& operator=(const Algorithm&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Execute one synchronous communication round (1-indexed t).
+  virtual void run_round(std::size_t t) = 0;
+
+  [[nodiscard]] std::size_t num_agents() const { return models_.size(); }
+  [[nodiscard]] const std::vector<std::vector<float>>& models() const { return models_; }
+
+  /// Overwrite every agent's model (warm start / checkpoint restore).
+  /// Momentum-like per-algorithm state is NOT restored; it restarts at its
+  /// initial value, the standard warm-start tradeoff.
+  void set_models(std::vector<std::vector<float>> models);
+  [[nodiscard]] std::vector<float> average_model() const;
+  [[nodiscard]] sim::Network& network() { return net_; }
+  [[nodiscard]] sim::LocalWorker& worker(std::size_t i) { return workers_[i]; }
+  [[nodiscard]] const Env& env() const { return env_; }
+
+ protected:
+  [[nodiscard]] double w(std::size_t i, std::size_t j) const { return (*env_.mixing)(i, j); }
+  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i) const {
+    return env_.topo->neighbors(i);
+  }
+  [[nodiscard]] std::vector<std::size_t> closed_neighborhood(std::size_t i) const {
+    return env_.topo->closed_neighborhood(i);
+  }
+
+  /// Gossip-average a per-agent family of vectors with W:
+  /// out_i = sum_j w_ij in_j, exchanged through the network under `tag`.
+  std::vector<std::vector<float>> mix_vectors(const std::vector<std::vector<float>>& in,
+                                              const std::string& tag);
+
+  /// Draw this round's mini-batch on every worker.
+  void draw_all_batches();
+
+  Env env_;
+  sim::Network net_;
+  std::vector<sim::LocalWorker> workers_;
+  std::vector<std::vector<float>> models_;  ///< x_i, flat
+  std::vector<Rng> agent_rngs_;             ///< per-agent noise streams
+};
+
+struct MetricsOptions {
+  std::size_t test_subsample = 256;  ///< samples of the test set per evaluation
+  std::size_t eval_every = 1;        ///< test-accuracy cadence (loss is every round)
+};
+
+/// Drive `alg` for `rounds` rounds, recording the per-round series the
+/// paper's figures plot and the final accuracy its tables report.
+std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t rounds,
+                                                const data::Dataset& test,
+                                                const MetricsOptions& opts = {});
+
+}  // namespace pdsl::algos

@@ -1,0 +1,30 @@
+#pragma once
+// DP-CGA baseline: Cross-Gradient Aggregation (Esfandiari et al. [12]) with
+// Gaussian-mechanism perturbation of the exchanged cross-gradients, exactly
+// as the paper's Sec. VI-B constructs it. Each agent collects the derivatives
+// of its model w.r.t. every neighbor's dataset (computed by the neighbors and
+// sent back, privatized), projects the bundle to one direction via the
+// min-norm-point quadratic program, and applies it with momentum on top of
+// the gossip-averaged model.
+
+#include "algos/common.hpp"
+#include "optim/qp.hpp"
+
+namespace pdsl::algos {
+
+class DpCga final : public Algorithm {
+ public:
+  explicit DpCga(const Env& env);
+  [[nodiscard]] std::string name() const override { return "DP-CGA"; }
+  void run_round(std::size_t t) override;
+
+  /// Last round's QP iterations (observability hook for tests/benches).
+  [[nodiscard]] std::size_t last_qp_iterations() const { return last_qp_iters_; }
+
+ private:
+  optim::MinNormSolver solver_;
+  std::vector<std::vector<float>> momentum_;
+  std::size_t last_qp_iters_ = 0;
+};
+
+}  // namespace pdsl::algos

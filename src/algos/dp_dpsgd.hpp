@@ -1,0 +1,17 @@
+#pragma once
+// DP-DPSGD baseline, the synchronous form of A(DP)^2SGD (Xu et al. [18]):
+// each agent clips + perturbs its local stochastic gradient before applying
+// it on top of the gossip-averaged model. Heterogeneity-oblivious.
+
+#include "algos/common.hpp"
+
+namespace pdsl::algos {
+
+class DpDpsgd final : public Algorithm {
+ public:
+  explicit DpDpsgd(const Env& env) : Algorithm(env) {}
+  [[nodiscard]] std::string name() const override { return "DP-DPSGD"; }
+  void run_round(std::size_t t) override;
+};
+
+}  // namespace pdsl::algos

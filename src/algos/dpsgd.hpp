@@ -1,0 +1,29 @@
+#pragma once
+// Non-private references: D-PSGD (Lian et al. [20]) and its momentum variant
+// DMSGD (Yu et al. [23]). These anchor the "no DP" end of the ablations and
+// sanity-check the substrate (they must learn well on IID data).
+
+#include "algos/common.hpp"
+
+namespace pdsl::algos {
+
+/// D-PSGD round: x_i <- sum_j w_ij x_j - gamma * g_i(x_i).
+class DPSGD final : public Algorithm {
+ public:
+  explicit DPSGD(const Env& env) : Algorithm(env) {}
+  [[nodiscard]] std::string name() const override { return "DPSGD"; }
+  void run_round(std::size_t t) override;
+};
+
+/// DMSGD round: u_i <- alpha u_i + g_i; x_i <- sum_j w_ij x_j - gamma u_i.
+class DMSGD final : public Algorithm {
+ public:
+  explicit DMSGD(const Env& env);
+  [[nodiscard]] std::string name() const override { return "DMSGD"; }
+  void run_round(std::size_t t) override;
+
+ private:
+  std::vector<std::vector<float>> momentum_;
+};
+
+}  // namespace pdsl::algos

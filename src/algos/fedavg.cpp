@@ -1,0 +1,45 @@
+#include "algos/fedavg.hpp"
+
+#include "common/vec_math.hpp"
+#include "dp/mechanism.hpp"
+
+namespace pdsl::algos {
+
+FedAvg::FedAvg(const Env& env) : Algorithm(env) {
+  double total = 0.0;
+  shard_weights_.resize(num_agents());
+  for (std::size_t i = 0; i < num_agents(); ++i) {
+    shard_weights_[i] = static_cast<double>(workers_[i].local_size());
+    total += shard_weights_[i];
+  }
+  for (auto& w : shard_weights_) w /= total;
+}
+
+void FedAvg::run_round(std::size_t /*t*/) {
+  const std::size_t m = num_agents();
+  const auto steps = std::max<std::size_t>(1, env_.hp.local_steps);
+
+  // Local phase: K privatized SGD steps per agent from the shared model.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t k = 0; k < steps; ++k) {
+      workers_[i].draw_batch();
+      const auto g = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
+                                   env_.hp.sigma, agent_rngs_[i]);
+      axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
+    }
+  }
+
+  // Server phase: shard-weighted average, redistributed to everyone.
+  std::vector<const std::vector<float>*> ptrs;
+  ptrs.reserve(m);
+  for (const auto& x : models_) ptrs.push_back(&x);
+  const auto global = weighted_sum(ptrs, shard_weights_);
+  const std::size_t payload = global.size() * sizeof(float);
+  for (std::size_t i = 0; i < m; ++i) {
+    models_[i] = global;
+    server_messages_ += 2;           // upload + download
+    server_bytes_ += 2 * payload;
+  }
+}
+
+}  // namespace pdsl::algos

@@ -1,0 +1,31 @@
+#pragma once
+// FedAvg (McMahan et al. [2]) — the *centralized* federated reference the
+// paper's introduction contrasts decentralized learning against. A virtual
+// server averages the agents' models (weighted by shard size) after K local
+// epochs of privatized SGD. It deliberately bypasses the peer-to-peer
+// network simulator: the star topology's server is exactly the bottleneck
+// decentralized learning removes, so its traffic is tallied separately
+// (server_messages/server_bytes) rather than through sim::Network.
+
+#include "algos/common.hpp"
+
+namespace pdsl::algos {
+
+class FedAvg final : public Algorithm {
+ public:
+  explicit FedAvg(const Env& env);
+  [[nodiscard]] std::string name() const override {
+    return env_.hp.sigma > 0.0 ? "DP-FEDAVG" : "FEDAVG";
+  }
+  void run_round(std::size_t t) override;
+
+  [[nodiscard]] std::size_t server_messages() const { return server_messages_; }
+  [[nodiscard]] std::size_t server_bytes() const { return server_bytes_; }
+
+ private:
+  std::vector<double> shard_weights_;  ///< |D_i| / |D|
+  std::size_t server_messages_ = 0;
+  std::size_t server_bytes_ = 0;
+};
+
+}  // namespace pdsl::algos

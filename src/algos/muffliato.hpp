@@ -1,0 +1,18 @@
+#pragma once
+// MUFFLIATO baseline (Cyffers et al. [19]): each agent takes a local
+// (clipped) gradient step, injects Gaussian noise into the value it is about
+// to share, then runs several gossip-averaging sweeps of the noisy models —
+// the gossip phase is what amplifies privacy in the original analysis.
+
+#include "algos/common.hpp"
+
+namespace pdsl::algos {
+
+class Muffliato final : public Algorithm {
+ public:
+  explicit Muffliato(const Env& env) : Algorithm(env) {}
+  [[nodiscard]] std::string name() const override { return "MUFFLIATO"; }
+  void run_round(std::size_t t) override;
+};
+
+}  // namespace pdsl::algos

@@ -1,0 +1,26 @@
+#pragma once
+// Quasi-Global Momentum (Lin et al. [25]) with the Gaussian mechanism — an
+// additional heterogeneity-aware baseline from the paper's related work.
+// Instead of momentum over local gradients, QGM builds momentum from the
+// *model displacement*, which approximates the global update direction:
+//   m_i <- beta * m_i + (x_i^{t-1} - x_i^t) / gamma   (after mixing+step)
+//   d_i  = ghat_i + mu_qgm * m_i
+//   x_i <- sum_j w_ij x_j - gamma * d_i
+// The exchanged quantity is the model (a function of privatized gradients).
+
+#include "algos/common.hpp"
+
+namespace pdsl::algos {
+
+class DpQgm final : public Algorithm {
+ public:
+  explicit DpQgm(const Env& env);
+  [[nodiscard]] std::string name() const override { return "DP-QGM"; }
+  void run_round(std::size_t t) override;
+
+ private:
+  std::vector<std::vector<float>> momentum_;    ///< m_i
+  std::vector<std::vector<float>> prev_model_;  ///< x_i^{t-1}
+};
+
+}  // namespace pdsl::algos

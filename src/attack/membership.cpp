@@ -1,0 +1,88 @@
+#include "attack/membership.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pdsl::attack {
+
+namespace {
+
+std::vector<double> losses_of(nn::Model& ws, const data::Dataset& ds, std::size_t max_samples) {
+  const std::size_t n = max_samples == 0 ? ds.size() : std::min(max_samples, ds.size());
+  std::vector<double> out;
+  out.reserve(n);
+  constexpr std::size_t kBatch = 128;
+  for (std::size_t off = 0; off < n; off += kBatch) {
+    const std::size_t take = std::min(kBatch, n - off);
+    std::vector<std::size_t> idx(take);
+    for (std::size_t k = 0; k < take; ++k) idx[k] = off + k;
+    const auto losses = ws.per_sample_losses(ds.batch_features(idx), ds.batch_labels(idx));
+    out.insert(out.end(), losses.begin(), losses.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+MembershipResult membership_from_losses(const std::vector<double>& member_losses,
+                                        const std::vector<double>& nonmember_losses) {
+  if (member_losses.empty() || nonmember_losses.empty()) {
+    throw std::invalid_argument("membership_from_losses: empty loss samples");
+  }
+  MembershipResult res;
+  res.members = member_losses.size();
+  res.nonmembers = nonmember_losses.size();
+  res.mean_member_loss =
+      std::accumulate(member_losses.begin(), member_losses.end(), 0.0) /
+      static_cast<double>(member_losses.size());
+  res.mean_nonmember_loss =
+      std::accumulate(nonmember_losses.begin(), nonmember_losses.end(), 0.0) /
+      static_cast<double>(nonmember_losses.size());
+
+  // AUC by merge over sorted losses (members "positive", lower loss = more
+  // member-like): AUC = P(member < nonmember) + 0.5 P(tie).
+  std::vector<double> m = member_losses;
+  std::vector<double> u = nonmember_losses;
+  std::sort(m.begin(), m.end());
+  std::sort(u.begin(), u.end());
+  double wins = 0.0;
+  {
+    // For each member loss, count nonmembers strictly greater (+ half ties).
+    for (double lm : m) {
+      const auto lower = std::lower_bound(u.begin(), u.end(), lm);
+      const auto upper = std::upper_bound(u.begin(), u.end(), lm);
+      const double greater = static_cast<double>(u.end() - upper);
+      const double ties = static_cast<double>(upper - lower);
+      wins += greater + 0.5 * ties;
+    }
+  }
+  res.auc = wins / (static_cast<double>(m.size()) * static_cast<double>(u.size()));
+
+  // Best-threshold advantage = Kolmogorov-Smirnov distance between the two
+  // empirical loss CDFs.
+  double advantage = 0.0;
+  std::size_t im = 0, iu = 0;
+  while (im < m.size() || iu < u.size()) {
+    const double t = (iu >= u.size() || (im < m.size() && m[im] <= u[iu])) ? m[im] : u[iu];
+    while (im < m.size() && m[im] <= t) ++im;
+    while (iu < u.size() && u[iu] <= t) ++iu;
+    const double tpr = static_cast<double>(im) / static_cast<double>(m.size());
+    const double fpr = static_cast<double>(iu) / static_cast<double>(u.size());
+    advantage = std::max(advantage, tpr - fpr);
+  }
+  res.advantage = advantage;
+  return res;
+}
+
+MembershipResult membership_inference(nn::Model& workspace, const std::vector<float>& params,
+                                      const data::Dataset& members,
+                                      const data::Dataset& nonmembers,
+                                      std::size_t max_samples) {
+  workspace.set_flat_params(params);
+  const auto member_losses = losses_of(workspace, members, max_samples);
+  const auto nonmember_losses = losses_of(workspace, nonmembers, max_samples);
+  return membership_from_losses(member_losses, nonmember_losses);
+}
+
+}  // namespace pdsl::attack

@@ -1,0 +1,36 @@
+#pragma once
+// Loss-threshold membership inference (Shokri et al. [15], simplified
+// Yeom-style attack): members of the training set tend to have lower loss
+// under the trained model than non-members. We report the attack AUC
+// (Mann-Whitney over per-sample losses) and the best threshold advantage
+// (max TPR - FPR); both equal 0.5 / 0.0 for a model that leaks nothing.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace pdsl::attack {
+
+struct MembershipResult {
+  double auc = 0.5;        ///< P(member loss < non-member loss), ties at 1/2
+  double advantage = 0.0;  ///< max_threshold (TPR - FPR), in [0, 1]
+  double mean_member_loss = 0.0;
+  double mean_nonmember_loss = 0.0;
+  std::size_t members = 0;
+  std::size_t nonmembers = 0;
+};
+
+/// Evaluate membership inference against `params` loaded into `workspace`.
+/// `members` must be drawn from the data the model trained on, `nonmembers`
+/// from held-out data of the same distribution.
+MembershipResult membership_inference(nn::Model& workspace, const std::vector<float>& params,
+                                      const data::Dataset& members,
+                                      const data::Dataset& nonmembers,
+                                      std::size_t max_samples = 0);
+
+/// AUC + advantage from raw loss samples (exposed for tests).
+MembershipResult membership_from_losses(const std::vector<double>& member_losses,
+                                        const std::vector<double>& nonmember_losses);
+
+}  // namespace pdsl::attack

@@ -1,0 +1,51 @@
+#pragma once
+// CSV emission for experiment results. Every bench writes its series/rows
+// both to stdout (human-readable) and to a CSV file so figures can be
+// regenerated with any plotting tool.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pdsl {
+
+/// Append-only CSV writer with a fixed header. Throws std::runtime_error if
+/// the file cannot be opened or a row has the wrong arity.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Write one row; each cell is formatted with operator<<.
+  template <typename... Cells>
+  void row(Cells&&... cells) {
+    if (sizeof...(cells) != columns_) {
+      throw_arity(sizeof...(cells));
+    }
+    std::ostringstream oss;
+    bool first = true;
+    ((oss << (first ? "" : ",") << cells, first = false), ...);
+    write_line(oss.str());
+  }
+
+  void flush();
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void write_line(const std::string& line);
+  [[noreturn]] void throw_arity(std::size_t got) const;
+
+  std::ofstream out_;
+  std::string path_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Parse a CSV line into cells (no quoting support; our writers never quote).
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Read an entire CSV file (including header) produced by CsvWriter.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+}  // namespace pdsl

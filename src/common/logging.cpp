@@ -1,0 +1,33 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+
+namespace pdsl {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << "[" << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace pdsl

@@ -1,0 +1,39 @@
+#pragma once
+// Minimal leveled logger. Deliberately tiny: experiments write structured
+// results via csv.hpp; the logger is for human-readable progress only.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace pdsl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  detail::log_line(level, oss.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) { log(LogLevel::kDebug, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_info(Args&&... args) { log(LogLevel::kInfo, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_warn(Args&&... args) { log(LogLevel::kWarn, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_error(Args&&... args) { log(LogLevel::kError, std::forward<Args>(args)...); }
+
+}  // namespace pdsl

@@ -1,0 +1,69 @@
+#pragma once
+// Flat-vector math used by the decentralized algorithms. Model parameters
+// circulate between agents as flat std::vector<float>; these helpers keep the
+// algorithm code close to the paper's equations.
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace pdsl {
+
+inline void check_same_size(const std::vector<float>& a, const std::vector<float>& b,
+                            const char* what) {
+  if (a.size() != b.size()) throw std::invalid_argument(std::string(what) + ": size mismatch");
+}
+
+/// dst += scale * src
+inline void axpy(std::vector<float>& dst, const std::vector<float>& src, float scale) {
+  check_same_size(dst, src, "axpy");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += scale * src[i];
+}
+
+/// dst *= scale
+inline void scale_inplace(std::vector<float>& dst, float scale) {
+  for (auto& v : dst) v *= scale;
+}
+
+inline double dot(const std::vector<float>& a, const std::vector<float>& b) {
+  check_same_size(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+inline double l2_norm(const std::vector<float>& a) { return std::sqrt(dot(a, a)); }
+
+inline double l2_distance(const std::vector<float>& a, const std::vector<float>& b) {
+  check_same_size(a, b, "l2_distance");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+/// Weighted sum of vectors: out = sum_k weights[k] * vs[k].
+inline std::vector<float> weighted_sum(const std::vector<const std::vector<float>*>& vs,
+                                       const std::vector<double>& weights) {
+  if (vs.empty() || vs.size() != weights.size()) {
+    throw std::invalid_argument("weighted_sum: arity mismatch");
+  }
+  std::vector<float> out(vs[0]->size(), 0.0f);
+  for (std::size_t k = 0; k < vs.size(); ++k) {
+    check_same_size(out, *vs[k], "weighted_sum");
+    const auto w = static_cast<float>(weights[k]);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += w * (*vs[k])[i];
+  }
+  return out;
+}
+
+/// Arithmetic mean of vectors.
+inline std::vector<float> mean_of(const std::vector<const std::vector<float>*>& vs) {
+  std::vector<double> w(vs.size(), vs.empty() ? 0.0 : 1.0 / static_cast<double>(vs.size()));
+  return weighted_sum(vs, w);
+}
+
+}  // namespace pdsl

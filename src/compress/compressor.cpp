@@ -1,0 +1,90 @@
+#include "compress/compressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pdsl::compress {
+
+TopKCompressor::TopKCompressor(double fraction) : fraction_(fraction) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("TopKCompressor: fraction in (0,1]");
+  }
+}
+
+std::size_t TopKCompressor::keep_count(std::size_t dim) const {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(fraction_ * dim)));
+}
+
+std::vector<float> TopKCompressor::apply(const std::vector<float>& payload) const {
+  const std::size_t k = keep_count(payload.size());
+  if (k >= payload.size()) return payload;
+  // nth_element on magnitudes to find the cut.
+  std::vector<float> mags(payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) mags[i] = std::abs(payload[i]);
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1), mags.end(),
+                   std::greater<float>());
+  const float cut = mags[k - 1];
+  std::vector<float> out(payload.size(), 0.0f);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < payload.size() && kept < k; ++i) {
+    if (std::abs(payload[i]) >= cut) {
+      out[i] = payload[i];
+      ++kept;
+    }
+  }
+  return out;
+}
+
+std::size_t TopKCompressor::wire_bytes(const std::vector<float>& payload) const {
+  return keep_count(payload.size()) * (sizeof(std::uint32_t) + sizeof(float));
+}
+
+std::string TopKCompressor::name() const {
+  return "topk:" + std::to_string(fraction_);
+}
+
+QuantizeCompressor::QuantizeCompressor(unsigned bits) : bits_(bits) {
+  if (bits == 0 || bits > 16) throw std::invalid_argument("QuantizeCompressor: bits in [1,16]");
+}
+
+std::vector<float> QuantizeCompressor::apply(const std::vector<float>& payload) const {
+  if (payload.empty()) return payload;
+  float mx = 0.0f;
+  for (float v : payload) mx = std::max(mx, std::abs(v));
+  if (mx == 0.0f) return payload;
+  const double levels = static_cast<double>((1u << (bits_ - 1)) - 1) + 0.5;
+  const double step = static_cast<double>(mx) / levels;
+  std::vector<float> out(payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    const double q = std::round(payload[i] / step);
+    out[i] = static_cast<float>(q * step);
+  }
+  return out;
+}
+
+std::size_t QuantizeCompressor::wire_bytes(const std::vector<float>& payload) const {
+  return (payload.size() * bits_ + 7) / 8 + sizeof(float);  // + scale
+}
+
+std::string QuantizeCompressor::name() const { return "quant:" + std::to_string(bits_); }
+
+std::unique_ptr<Compressor> make_compressor(const std::string& spec) {
+  if (spec.empty() || spec == "none" || spec == "identity") {
+    return std::make_unique<IdentityCompressor>();
+  }
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (kind == "topk") {
+    if (arg.empty()) throw std::invalid_argument("make_compressor: topk needs a fraction");
+    return std::make_unique<TopKCompressor>(std::stod(arg));
+  }
+  if (kind == "quant") {
+    if (arg.empty()) throw std::invalid_argument("make_compressor: quant needs a bit count");
+    return std::make_unique<QuantizeCompressor>(static_cast<unsigned>(std::stoul(arg)));
+  }
+  throw std::invalid_argument("make_compressor: unknown spec '" + spec + "'");
+}
+
+}  // namespace pdsl::compress

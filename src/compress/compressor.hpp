@@ -1,0 +1,73 @@
+#pragma once
+// Lossy communication compression — an extension beyond the paper (its
+// related work motivates communication efficiency; Soft-DSGD [24] targets
+// unreliable/lightweight links). A Compressor is a channel transform applied
+// by the network simulator to every payload: the receiver sees
+// apply(payload) and the byte counter advances by wire_bytes(payload)
+// instead of the dense size. Provided schemes:
+//   - TopK sparsification: keep the k largest-magnitude coordinates;
+//   - uniform quantization: b-bit stochastic-free midrise quantizer;
+//   - identity (dense baseline).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdsl::compress {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// The lossy round-trip the receiver observes.
+  [[nodiscard]] virtual std::vector<float> apply(const std::vector<float>& payload) const = 0;
+
+  /// Bytes this payload would occupy on the wire under the scheme.
+  [[nodiscard]] virtual std::size_t wire_bytes(const std::vector<float>& payload) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Keep the `fraction` (0,1] largest-magnitude coordinates; zero the rest.
+/// Wire format: (index:u32, value:f32) pairs.
+class TopKCompressor final : public Compressor {
+ public:
+  explicit TopKCompressor(double fraction);
+  [[nodiscard]] std::vector<float> apply(const std::vector<float>& payload) const override;
+  [[nodiscard]] std::size_t wire_bytes(const std::vector<float>& payload) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t keep_count(std::size_t dim) const;
+
+ private:
+  double fraction_;
+};
+
+/// Uniform symmetric quantization to `bits` per coordinate (plus one f32
+/// scale per message). Deterministic midrise rounding.
+class QuantizeCompressor final : public Compressor {
+ public:
+  explicit QuantizeCompressor(unsigned bits);
+  [[nodiscard]] std::vector<float> apply(const std::vector<float>& payload) const override;
+  [[nodiscard]] std::size_t wire_bytes(const std::vector<float>& payload) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  unsigned bits_;
+};
+
+class IdentityCompressor final : public Compressor {
+ public:
+  [[nodiscard]] std::vector<float> apply(const std::vector<float>& payload) const override {
+    return payload;
+  }
+  [[nodiscard]] std::size_t wire_bytes(const std::vector<float>& payload) const override {
+    return payload.size() * sizeof(float);
+  }
+  [[nodiscard]] std::string name() const override { return "identity"; }
+};
+
+/// Factory: "none"/"identity", "topk:<fraction>", "quant:<bits>".
+std::unique_ptr<Compressor> make_compressor(const std::string& spec);
+
+}  // namespace pdsl::compress

@@ -1,0 +1,146 @@
+#include "core/config_io.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace pdsl::core {
+
+json::Value config_to_json(const ExperimentConfig& cfg) {
+  json::Object o;
+  o["algorithm"] = cfg.algorithm;
+  o["dataset"] = cfg.dataset;
+  o["model"] = cfg.model;
+  o["topology"] = cfg.topology;
+  o["agents"] = cfg.agents;
+  o["rounds"] = cfg.rounds;
+  o["train_samples"] = cfg.train_samples;
+  o["test_samples"] = cfg.test_samples;
+  o["validation_samples"] = cfg.validation_samples;
+  o["image"] = cfg.image;
+  o["hidden"] = cfg.hidden;
+  o["mu"] = cfg.mu;
+  o["iid"] = cfg.iid;
+  o["partition"] = cfg.partition;
+  o["shards_per_agent"] = cfg.shards_per_agent;
+  o["corrupt_agents"] = cfg.corrupt_agents;
+  o["byzantine_agents"] = cfg.byzantine_agents;
+  o["gamma"] = cfg.hp.gamma;
+  o["alpha"] = cfg.hp.alpha;
+  o["clip"] = cfg.hp.clip;
+  o["sigma"] = cfg.hp.sigma;
+  o["batch"] = cfg.hp.batch;
+  o["shapley_permutations"] = cfg.hp.shapley_permutations;
+  o["shapley_method"] = cfg.hp.shapley_method;
+  o["validation_batch"] = cfg.hp.validation_batch;
+  o["gossip_steps"] = cfg.hp.gossip_steps;
+  o["local_steps"] = cfg.hp.local_steps;
+  o["sigma_mode"] = cfg.sigma_mode;
+  o["noise_scale"] = cfg.noise_scale;
+  o["epsilon"] = cfg.epsilon;
+  o["delta"] = cfg.delta;
+  o["phi_hat_min"] = cfg.phi_hat_min;
+  o["seed"] = cfg.seed;
+  o["drop_prob"] = cfg.drop_prob;
+  o["compression"] = cfg.compression;
+  o["test_subsample"] = cfg.metrics.test_subsample;
+  o["eval_every"] = cfg.metrics.eval_every;
+  return json::Value(std::move(o));
+}
+
+ExperimentConfig config_from_json(const json::Value& v) {
+  const auto& obj = v.as_object();
+  static const std::set<std::string> known = {
+      "algorithm",  "dataset",   "model",     "topology",      "agents",
+      "rounds",     "train_samples", "test_samples", "validation_samples",
+      "image",      "hidden",    "mu",        "iid",           "partition",
+      "shards_per_agent", "corrupt_agents", "byzantine_agents", "gamma", "alpha", "clip",
+      "sigma",      "batch",     "shapley_permutations", "shapley_method",
+      "validation_batch", "gossip_steps", "local_steps", "sigma_mode",
+      "noise_scale", "epsilon",  "delta",     "phi_hat_min",   "seed",
+      "drop_prob",  "compression", "test_subsample", "eval_every"};
+  for (const auto& [key, value] : obj) {
+    if (known.find(key) == known.end()) {
+      throw std::invalid_argument("config_from_json: unknown key '" + key + "'");
+    }
+  }
+
+  ExperimentConfig cfg;
+  auto str = [&](const char* k, std::string& dst) {
+    if (v.contains(k)) dst = v.at(k).as_string();
+  };
+  auto num = [&](const char* k, double& dst) {
+    if (v.contains(k)) dst = v.at(k).as_number();
+  };
+  auto idx = [&](const char* k, std::size_t& dst) {
+    if (v.contains(k)) dst = static_cast<std::size_t>(v.at(k).as_int());
+  };
+  str("algorithm", cfg.algorithm);
+  str("dataset", cfg.dataset);
+  str("model", cfg.model);
+  str("topology", cfg.topology);
+  idx("agents", cfg.agents);
+  idx("rounds", cfg.rounds);
+  idx("train_samples", cfg.train_samples);
+  idx("test_samples", cfg.test_samples);
+  idx("validation_samples", cfg.validation_samples);
+  idx("image", cfg.image);
+  idx("hidden", cfg.hidden);
+  num("mu", cfg.mu);
+  if (v.contains("iid")) cfg.iid = v.at("iid").as_bool();
+  str("partition", cfg.partition);
+  idx("shards_per_agent", cfg.shards_per_agent);
+  idx("corrupt_agents", cfg.corrupt_agents);
+  idx("byzantine_agents", cfg.byzantine_agents);
+  num("gamma", cfg.hp.gamma);
+  num("alpha", cfg.hp.alpha);
+  num("clip", cfg.hp.clip);
+  num("sigma", cfg.hp.sigma);
+  idx("batch", cfg.hp.batch);
+  idx("shapley_permutations", cfg.hp.shapley_permutations);
+  str("shapley_method", cfg.hp.shapley_method);
+  idx("validation_batch", cfg.hp.validation_batch);
+  idx("gossip_steps", cfg.hp.gossip_steps);
+  idx("local_steps", cfg.hp.local_steps);
+  str("sigma_mode", cfg.sigma_mode);
+  num("noise_scale", cfg.noise_scale);
+  num("epsilon", cfg.epsilon);
+  num("delta", cfg.delta);
+  num("phi_hat_min", cfg.phi_hat_min);
+  if (v.contains("seed")) cfg.seed = static_cast<std::uint64_t>(v.at("seed").as_int());
+  num("drop_prob", cfg.drop_prob);
+  str("compression", cfg.compression);
+  idx("test_subsample", cfg.metrics.test_subsample);
+  idx("eval_every", cfg.metrics.eval_every);
+  return cfg;
+}
+
+ExperimentConfig load_config(const std::string& path) {
+  return config_from_json(json::parse_file(path));
+}
+
+json::Value result_to_json(const ExperimentResult& res) {
+  json::Object o;
+  o["algorithm"] = res.algorithm;
+  o["final_loss"] = res.final_loss;
+  o["final_accuracy"] = res.final_accuracy;
+  o["sigma"] = res.sigma;
+  o["heterogeneity"] = res.heterogeneity;
+  o["rho"] = res.spectral.rho;
+  o["spectral_gap"] = res.spectral.spectral_gap;
+  o["model_dim"] = res.model_dim;
+  o["messages"] = res.messages;
+  o["bytes"] = res.bytes;
+  json::Array series;
+  for (const auto& m : res.series) {
+    json::Object row;
+    row["round"] = m.round;
+    row["avg_loss"] = m.avg_loss;
+    row["test_accuracy"] = m.test_accuracy;
+    row["consensus"] = m.consensus;
+    series.push_back(json::Value(std::move(row)));
+  }
+  o["series"] = json::Value(std::move(series));
+  return json::Value(std::move(o));
+}
+
+}  // namespace pdsl::core

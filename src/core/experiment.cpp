@@ -1,0 +1,189 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "algos/dp_cga.hpp"
+#include "algos/dp_dpsgd.hpp"
+#include "algos/dp_netfleet.hpp"
+#include "algos/async_gossip.hpp"
+#include "algos/dpsgd.hpp"
+#include "algos/fedavg.hpp"
+#include "algos/muffliato.hpp"
+#include "algos/qgm.hpp"
+#include "compress/compressor.hpp"
+#include "core/pdsl.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "dp/calibration.hpp"
+#include "dp/mechanism.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace pdsl::core {
+
+namespace {
+
+data::Dataset build_dataset(const ExperimentConfig& cfg) {
+  const std::size_t total = cfg.train_samples + cfg.test_samples + cfg.validation_samples;
+  if (cfg.dataset == "mnist_like") {
+    return data::make_synthetic_images(data::mnist_like_spec(total, cfg.image, cfg.seed));
+  }
+  if (cfg.dataset == "cifar_like") {
+    return data::make_synthetic_images(data::cifar_like_spec(total, cfg.image, cfg.seed));
+  }
+  if (cfg.dataset == "gaussian") {
+    return data::make_gaussian_mixture(total, 10, cfg.image * cfg.image, 1.5, 1.0, cfg.seed);
+  }
+  throw std::invalid_argument("run_experiment: unknown dataset '" + cfg.dataset + "'");
+}
+
+std::size_t dataset_channels(const ExperimentConfig& cfg) {
+  return cfg.dataset == "cifar_like" ? 3 : 1;
+}
+
+}  // namespace
+
+double calibrate_sigma(const ExperimentConfig& cfg, const graph::MixingMatrix& w) {
+  if (cfg.sigma_mode == "none") return 0.0;
+  if (cfg.sigma_mode == "fixed") return cfg.hp.sigma;
+  if (cfg.sigma_mode == "dpsgd") {
+    // Mini-batch mean of per-example-bounded gradients: replacing one example
+    // moves the mean by at most 2C/B.
+    const double sensitivity = 2.0 * cfg.hp.clip / static_cast<double>(cfg.hp.batch);
+    return dp::gaussian_sigma(sensitivity, cfg.epsilon, cfg.delta);
+  }
+  if (cfg.sigma_mode == "theorem1") {
+    dp::Theorem1Params p;
+    p.epsilon = cfg.epsilon;
+    p.delta = cfg.delta;
+    p.clip = cfg.hp.clip;
+    p.phi_hat_min = cfg.phi_hat_min;
+    return dp::theorem1_sigma(w, p);
+  }
+  throw std::invalid_argument("run_experiment: unknown sigma_mode '" + cfg.sigma_mode + "'");
+}
+
+std::unique_ptr<algos::Algorithm> make_algorithm(const std::string& name,
+                                                 const algos::Env& env,
+                                                 std::size_t byzantine_agents) {
+  Pdsl::Options popts;
+  popts.byzantine_agents = byzantine_agents;
+  if (name == "pdsl") return std::make_unique<Pdsl>(env, popts);
+  if (name == "pdsl_uniform") {
+    popts.uniform_weights = true;
+    return std::make_unique<Pdsl>(env, popts);
+  }
+  if (name == "pdsl_relu") {
+    popts.relu_normalization = true;
+    return std::make_unique<Pdsl>(env, popts);
+  }
+  if (name == "pdsl_robust") {
+    // Both robustness extensions together: loss characteristic + ReLU norm.
+    popts.relu_normalization = true;
+    popts.loss_characteristic = true;
+    return std::make_unique<Pdsl>(env, popts);
+  }
+  if (name == "dp_dpsgd") return std::make_unique<algos::DpDpsgd>(env);
+  if (name == "muffliato") return std::make_unique<algos::Muffliato>(env);
+  if (name == "dp_cga") return std::make_unique<algos::DpCga>(env);
+  if (name == "dp_netfleet") return std::make_unique<algos::DpNetFleet>(env);
+  if (name == "async_dp_gossip") return std::make_unique<algos::AsyncDpGossip>(env);
+  if (name == "dp_qgm") return std::make_unique<algos::DpQgm>(env);
+  if (name == "fedavg" || name == "dp_fedavg") return std::make_unique<algos::FedAvg>(env);
+  if (name == "dpsgd") return std::make_unique<algos::DPSGD>(env);
+  if (name == "dmsgd") return std::make_unique<algos::DMSGD>(env);
+  throw std::invalid_argument("make_algorithm: unknown algorithm '" + name + "'");
+}
+
+const std::vector<std::string>& paper_algorithms() {
+  static const std::vector<std::string> algos = {"dp_dpsgd", "dp_cga", "muffliato",
+                                                 "dp_netfleet", "pdsl"};
+  return algos;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  Rng rng(cfg.seed);
+
+  // Data: one synthetic pool split into train / validation (Q) / test.
+  const data::Dataset pool = build_dataset(cfg);
+  auto [train_and_val, test] = data::split_off(pool, cfg.test_samples, rng);
+  auto [train, validation] = data::split_off(train_and_val, cfg.validation_samples, rng);
+
+  // Heterogeneous partition of the training data.
+  Rng part_rng = rng.split(0x9A27);
+  std::vector<std::vector<std::size_t>> partition;
+  if (cfg.iid || cfg.partition == "iid") {
+    partition = data::iid_partition(train, cfg.agents, part_rng);
+  } else if (cfg.partition == "shards") {
+    partition = data::shard_partition(train, cfg.agents, cfg.shards_per_agent, part_rng);
+  } else if (cfg.partition == "dirichlet") {
+    data::PartitionOptions popts;
+    popts.mu = cfg.mu;
+    popts.min_per_agent = std::max<std::size_t>(2, cfg.hp.batch / 4);
+    partition = data::dirichlet_partition(train, cfg.agents, popts, part_rng);
+  } else {
+    throw std::invalid_argument("run_experiment: unknown partition '" + cfg.partition + "'");
+  }
+  const auto dists = data::label_distributions(train, partition, train.num_classes());
+
+  // Optional poisoning: the first corrupt_agents agents see random labels.
+  if (cfg.corrupt_agents > 0) {
+    if (cfg.corrupt_agents >= cfg.agents) {
+      throw std::invalid_argument("run_experiment: corrupt_agents must be < agents");
+    }
+    Rng poison_rng = rng.split(0xBAD);
+    const auto classes = static_cast<std::int64_t>(train.num_classes());
+    for (std::size_t a = 0; a < cfg.corrupt_agents; ++a) {
+      for (std::size_t idx : partition[a]) {
+        train.set_label(idx, static_cast<int>(poison_rng.uniform_int(0, classes - 1)));
+      }
+    }
+  }
+
+  // Communication graph + mixing matrix.
+  Rng topo_rng = rng.split(0x70B0);
+  const auto topo =
+      graph::Topology::make(graph::topology_from_string(cfg.topology), cfg.agents, &topo_rng);
+  const auto mixing = graph::MixingMatrix::metropolis(topo);
+
+  // Model template.
+  const nn::Model model_template =
+      nn::make_model(cfg.model, cfg.image, dataset_channels(cfg), train.num_classes(),
+                     cfg.hidden);
+
+  // Noise calibration.
+  algos::HyperParams hp = cfg.hp;
+  hp.sigma = calibrate_sigma(cfg, mixing);
+  if (cfg.sigma_mode != "none") hp.sigma *= cfg.noise_scale;
+
+  algos::Env env;
+  env.topo = &topo;
+  env.mixing = &mixing;
+  env.train = &train;
+  env.validation = &validation;
+  env.model_template = &model_template;
+  env.partition = &partition;
+  env.hp = hp;
+  env.seed = cfg.seed;
+  env.drop_prob = cfg.drop_prob;
+  const auto compressor = compress::make_compressor(cfg.compression);
+  if (cfg.compression != "none" && !cfg.compression.empty()) env.compressor = compressor.get();
+
+  auto alg = make_algorithm(cfg.algorithm, env, cfg.byzantine_agents);
+  auto series = algos::run_with_metrics(*alg, cfg.rounds, test, cfg.metrics);
+
+  ExperimentResult res;
+  res.algorithm = alg->name();
+  res.final_loss = series.empty() ? 0.0 : series.back().avg_loss;
+  res.final_accuracy = series.empty() ? 0.0 : series.back().test_accuracy;
+  res.sigma = hp.sigma;
+  res.heterogeneity = data::heterogeneity_index(dists);
+  res.spectral = graph::analyze(mixing);
+  res.model_dim = model_template.num_params();
+  res.messages = alg->network().messages_sent();
+  res.bytes = alg->network().bytes_sent();
+  res.average_model = alg->average_model();
+  res.series = std::move(series);
+  return res;
+}
+
+}  // namespace pdsl::core

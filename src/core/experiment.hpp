@@ -1,0 +1,101 @@
+#pragma once
+// One-stop experiment driver: builds data, partition, topology, model and the
+// requested algorithm from a declarative config, runs it, and returns the
+// per-round series plus summary numbers. Every bench and example is a thin
+// wrapper over run_experiment().
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/common.hpp"
+#include "graph/spectral.hpp"
+#include "sim/metrics.hpp"
+
+namespace pdsl::core {
+
+struct ExperimentConfig {
+  std::string algorithm = "pdsl";  ///< pdsl | pdsl_uniform | dp_dpsgd | muffliato |
+                                   ///< dp_cga | dp_netfleet | dpsgd | dmsgd
+  std::string dataset = "mnist_like";  ///< mnist_like | cifar_like | gaussian
+  std::string model = "mlp";           ///< mlp | mnist_cnn | cifar_cnn | logistic
+  std::string topology = "full";       ///< full | ring | bipartite | star | torus | er
+
+  std::size_t agents = 10;
+  std::size_t rounds = 50;
+  std::size_t train_samples = 2000;
+  std::size_t test_samples = 400;
+  std::size_t validation_samples = 200;  ///< size of the global validation set Q
+  std::size_t image = 14;                ///< square image side (synthetic sets)
+  std::size_t hidden = 32;               ///< MLP hidden width
+  double mu = 0.25;                      ///< Dirichlet heterogeneity (paper: 0.25)
+  bool iid = false;                      ///< override: homogeneous split
+  /// "dirichlet" (paper) | "iid" | "shards" (pathological McMahan split).
+  std::string partition = "dirichlet";
+  std::size_t shards_per_agent = 2;      ///< only for partition = "shards"
+  /// Poison the first `corrupt_agents` agents with uniformly random labels
+  /// (extension experiment: Shapley weighting should suppress their
+  /// cross-gradient contributions; uniform averaging cannot).
+  std::size_t corrupt_agents = 0;
+  /// Byzantine gradient-poisoning agents (PDSL variants only): the first
+  /// `byzantine_agents` flip+amplify the cross-gradients they send.
+  std::size_t byzantine_agents = 0;
+
+  algos::HyperParams hp;
+
+  /// Privacy calibration:
+  ///  - "none": sigma = 0 (no DP);
+  ///  - "fixed": use hp.sigma verbatim;
+  ///  - "dpsgd": per-round Gaussian mechanism on the mini-batch mean gradient,
+  ///    sensitivity 2C/B -> sigma = sqrt(2 ln(1.25/delta)) * 2C / (B*epsilon);
+  ///  - "theorem1": the paper's Theorem-1 bound (very conservative).
+  std::string sigma_mode = "dpsgd";
+  /// Multiplier applied to the calibrated sigma (all modes except "none").
+  /// Reduced-scale benches use < 1: with tiny batches and few rounds the
+  /// per-round Gaussian-mechanism sigma would drown learning entirely, so we
+  /// rescale the noise while preserving its 1/epsilon ordering across
+  /// budgets and keeping all algorithms at identical sigma. Documented in
+  /// DESIGN.md ("Substitutions") and EXPERIMENTS.md.
+  double noise_scale = 1.0;
+  double epsilon = 0.1;
+  double delta = 1e-3;
+  double phi_hat_min = 0.1;  ///< Theorem-1 parameter
+
+  std::uint64_t seed = 1;
+  double drop_prob = 0.0;
+  /// Lossy channel compression spec: "none", "topk:<fraction>", "quant:<bits>"
+  /// (extension experiment; see src/compress/).
+  std::string compression = "none";
+  algos::MetricsOptions metrics;
+};
+
+struct ExperimentResult {
+  std::string algorithm;
+  std::vector<sim::RoundMetrics> series;
+  double final_loss = 0.0;
+  double final_accuracy = 0.0;
+  double sigma = 0.0;                ///< noise actually used
+  double heterogeneity = 0.0;        ///< mean pairwise TV distance of label dists
+  graph::SpectralInfo spectral;      ///< of the mixing matrix
+  std::size_t model_dim = 0;
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  std::vector<float> average_model;  ///< consensus model after the last round
+};
+
+/// Resolve the noise level for a config (exposed for the sigma ablation).
+double calibrate_sigma(const ExperimentConfig& cfg, const graph::MixingMatrix& w);
+
+/// Build the algorithm by name over a prepared Env (PDSL lives here; baselines
+/// come from pdsl_algos). `byzantine_agents` applies to the PDSL variants.
+std::unique_ptr<algos::Algorithm> make_algorithm(const std::string& name,
+                                                 const algos::Env& env,
+                                                 std::size_t byzantine_agents = 0);
+
+/// End-to-end: build everything from the config, run, summarize.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// The five algorithms of the paper's evaluation, in its plotting order.
+const std::vector<std::string>& paper_algorithms();
+
+}  // namespace pdsl::core

@@ -1,0 +1,179 @@
+#include "core/pdsl.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/vec_math.hpp"
+#include "dp/mechanism.hpp"
+#include "shapley/game.hpp"
+#include "shapley/shapley.hpp"
+#include "shapley/weighting.hpp"
+
+namespace pdsl::core {
+
+Pdsl::Pdsl(const algos::Env& env, Options options)
+    : Algorithm(env),
+      options_(options),
+      val_ws_(*env.model_template),
+      val_rng_(splitmix64(env.seed ^ 0x5A11DA7E)) {
+  if (env.validation == nullptr || env.validation->empty()) {
+    throw std::invalid_argument("Pdsl: a non-empty validation dataset Q is required");
+  }
+  momentum_.assign(num_agents(), std::vector<float>(models_[0].size(), 0.0f));
+  Rng shapley_root(splitmix64(env.seed ^ 0x5876BE7));
+  shapley_rngs_.reserve(num_agents());
+  for (std::size_t i = 0; i < num_agents(); ++i) shapley_rngs_.push_back(shapley_root.split(i));
+  last_phi_.assign(num_agents(), {});
+  last_pi_.assign(num_agents(), {});
+}
+
+sim::FixedBatch Pdsl::draw_validation_batch() {
+  const auto& q = *env_.validation;
+  const std::size_t want = std::min(env_.hp.validation_batch, q.size());
+  std::vector<std::size_t> idx(want);
+  if (want == q.size()) {
+    for (std::size_t k = 0; k < want; ++k) idx[k] = k;
+  } else {
+    // Same subsample for every agent this round: Q is globally shared.
+    for (auto& v : idx) {
+      v = static_cast<std::size_t>(
+          val_rng_.uniform_int(0, static_cast<std::int64_t>(q.size()) - 1));
+    }
+  }
+  return sim::FixedBatch::from(q, idx);
+}
+
+void Pdsl::run_round(std::size_t t) {
+  const std::size_t m = num_agents();
+  const std::string model_tag = "x@" + std::to_string(t);
+  const std::string xgrad_tag = "xg@" + std::to_string(t);
+  const std::string uhat_tag = "u@" + std::to_string(t);
+  const std::string xhat_tag = "xh@" + std::to_string(t);
+
+  // ---- Lines 2-5: local gradient, clip, perturb; broadcast model ----
+  draw_all_batches();
+  std::vector<std::vector<float>> own_grad(m);  // \hat g_{i,i}
+  for (std::size_t i = 0; i < m; ++i) {
+    own_grad[i] =
+        dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
+                      agent_rngs_[i]);
+    for (std::size_t j : neighbors(i)) net_.send(i, j, model_tag, models_[i]);
+  }
+
+  // ---- Lines 6-12: cross-gradients on received models, perturbed, returned ----
+  for (std::size_t i = 0; i < m; ++i) {
+    const bool byzantine = i < options_.byzantine_agents;
+    for (std::size_t j : neighbors(i)) {
+      auto xj = net_.receive(i, j, model_tag);
+      if (!xj) continue;  // dropped link; j falls back to its local gradient
+      auto g = dp::privatize(workers_[i].gradient(*xj), env_.hp.clip, env_.hp.sigma,
+                             agent_rngs_[i]);
+      if (byzantine) {
+        // Gradient-poisoning adversary: flip and amplify what it sends out.
+        scale_inplace(g, static_cast<float>(-options_.byzantine_scale));
+      }
+      net_.send(i, j, xgrad_tag, std::move(g));
+    }
+  }
+
+  // Shared validation batch for this round's characteristic function.
+  const sim::FixedBatch val = draw_validation_batch();
+
+  // ---- Lines 13-20: virtual models, Shapley weights, aggregation, momentum ----
+  std::vector<std::vector<float>> u_hat(m);
+  std::vector<std::vector<float>> x_hat(m);
+  last_evals_ = 0;
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto hood = closed_neighborhood(i);  // M_i, ascending, includes i
+    const std::size_t n = hood.size();
+
+    // Received perturbed gradients \hat g_{j,i}, aligned with `hood`.
+    std::vector<std::vector<float>> ghat(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t j = hood[k];
+      if (j == i) {
+        ghat[k] = own_grad[i];
+      } else if (auto g = net_.receive(i, j, xgrad_tag)) {
+        ghat[k] = std::move(*g);
+      } else {
+        ghat[k] = own_grad[i];  // self-substitution under message loss
+      }
+    }
+
+    // Eq. 15: one-step virtual models x_{i,j} = x_i - gamma * ghat_{j,i}.
+    std::vector<std::vector<float>> virtual_models(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      virtual_models[k] = models_[i];
+      axpy(virtual_models[k], ghat[k], static_cast<float>(-env_.hp.gamma));
+    }
+
+    // Eqs. 16-17: v(M') = validation accuracy of the coalition-average model
+    // (or negative validation loss under Options::loss_characteristic).
+    shapley::CachedGame game(n, [&](const std::vector<std::size_t>& coalition) {
+      std::vector<const std::vector<float>*> members;
+      members.reserve(coalition.size());
+      for (std::size_t k : coalition) members.push_back(&virtual_models[k]);
+      const auto avg = mean_of(members);
+      return options_.loss_characteristic ? -sim::loss_on(val_ws_, avg, val)
+                                          : sim::accuracy_on(val_ws_, avg, val);
+    });
+
+    // Line 15 / Algorithm 2 (or an alternative estimator when requested).
+    std::vector<double> phi;
+    const std::string& method =
+        env_.hp.exact_shapley ? std::string("exact") : env_.hp.shapley_method;
+    if (options_.uniform_weights) {
+      phi.assign(n, 1.0);
+    } else if (method == "exact" && n <= 20) {
+      phi = shapley::exact_shapley(game);
+    } else if (method == "tmc") {
+      shapley::TruncatedMcOptions topts;
+      topts.num_permutations = env_.hp.shapley_permutations;
+      topts.tolerance = env_.hp.tmc_tolerance;
+      phi = shapley::truncated_monte_carlo_shapley(game, topts, shapley_rngs_[i]);
+    } else if (method == "stratified") {
+      const std::size_t per_stratum =
+          std::max<std::size_t>(1, env_.hp.shapley_permutations / 2);
+      phi = shapley::stratified_shapley(game, per_stratum, shapley_rngs_[i]);
+    } else {  // "mc" and the exact fallback for oversized neighborhoods
+      phi = shapley::monte_carlo_shapley(game, env_.hp.shapley_permutations,
+                                         shapley_rngs_[i]);
+    }
+    last_evals_ += game.evaluations();
+
+    // Eq. 19 normalization (or the robust ReLU variant), Eq. 20 weights.
+    const std::vector<double> phi_hat =
+        options_.uniform_weights
+            ? phi
+            : (options_.relu_normalization ? shapley::relu_normalize(phi)
+                                           : shapley::minmax_normalize(phi));
+    std::vector<double> w_row(n);
+    for (std::size_t k = 0; k < n; ++k) w_row[k] = w(i, hood[k]);
+    const std::vector<double> pi = shapley::aggregation_weights(phi_hat, w_row);
+    for (double share : shapley::normalized_shares(phi_hat)) {
+      if (share > 0.0) observed_phi_hat_min_ = std::min(observed_phi_hat_min_, share);
+    }
+    last_phi_[i] = phi;
+    last_pi_[i] = pi;
+
+    // Eq. 21: weighted aggregate of the perturbed gradients.
+    std::vector<const std::vector<float>*> gptrs;
+    gptrs.reserve(n);
+    for (const auto& g : ghat) gptrs.push_back(&g);
+    const auto g_bar = weighted_sum(gptrs, pi);
+
+    // Eqs. 22-23 + Line 21 broadcast.
+    u_hat[i] = momentum_[i];
+    scale_inplace(u_hat[i], static_cast<float>(env_.hp.alpha));
+    axpy(u_hat[i], g_bar, 1.0f);
+    x_hat[i] = models_[i];
+    axpy(x_hat[i], u_hat[i], static_cast<float>(-env_.hp.gamma));
+  }
+
+  // ---- Lines 21-24: gossip-average momentum and model with W ----
+  momentum_ = mix_vectors(u_hat, uhat_tag);
+  models_ = mix_vectors(x_hat, xhat_tag);
+}
+
+}  // namespace pdsl::core

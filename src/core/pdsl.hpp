@@ -1,0 +1,90 @@
+#pragma once
+// PDSL — the paper's Algorithm 1. Per round, each agent:
+//   1. computes, clips and perturbs its local stochastic gradient (Eqs. 9-11);
+//   2. broadcasts its model; computes privatized cross-gradients for every
+//      neighbor's model on its own data and returns them (Eqs. 12-14);
+//   3. forms one-step virtual models from the returned gradients (Eq. 15),
+//      scores coalitions of them on the shared validation set Q (Eqs. 16-17)
+//      and computes Shapley values exactly (Eq. 18) or via the Monte Carlo
+//      sampler (Algorithm 2);
+//   4. normalizes them (Eq. 19), derives aggregation weights (Eq. 20),
+//      aggregates the perturbed gradients (Eq. 21), takes a momentum step
+//      (Eqs. 22-23) and gossip-averages momentum and model (Eqs. 24-25).
+
+#include "algos/common.hpp"
+#include "sim/evaluate.hpp"
+
+namespace pdsl::core {
+
+struct PdslOptions {
+  /// Ablation switch: replace the Shapley-derived phi_hat with all-ones
+  /// (plain W-weighted averaging of the perturbed gradients).
+  bool uniform_weights = false;
+
+  /// Byzantine fault injection: agents with id < byzantine_agents send
+  /// *negated and amplified* cross-gradients to their neighbors (a gradient
+  /// poisoning attack), while following the protocol otherwise. The Shapley
+  /// weighting is PDSL's built-in defense: such contributions score at the
+  /// bottom of every coalition and are zeroed by the min-max normalization.
+  std::size_t byzantine_agents = 0;
+  double byzantine_scale = 3.0;  ///< amplification of the flipped gradient
+
+  /// Extension: replace Eq. 19's min-max normalization with ReLU
+  /// normalization (shapley::relu_normalize), which zeroes *every*
+  /// negative-marginal contributor instead of only the single worst one.
+  /// Strictly more robust under multiple Byzantine/poisoned neighbors.
+  bool relu_normalization = false;
+
+  /// Extension: use negative validation *loss* as the characteristic
+  /// function instead of the paper's accuracy (Eq. 16). Accuracy is flat
+  /// around a random initialization (~chance for every coalition), so in the
+  /// first rounds Eq. 19 degenerates to uniform weights and a gradient
+  /// attacker gets full weight exactly when the model is most fragile; loss
+  /// separates coalitions immediately.
+  bool loss_characteristic = false;
+};
+
+class Pdsl final : public algos::Algorithm {
+ public:
+  using Options = PdslOptions;
+
+  explicit Pdsl(const algos::Env& env, Options options = {});
+
+  [[nodiscard]] std::string name() const override {
+    return options_.uniform_weights ? "PDSL-uniform" : "PDSL";
+  }
+  void run_round(std::size_t t) override;
+
+  /// ---- observability hooks (tests, ablation benches) ----
+
+  /// Raw Shapley values from the last round; [agent][k] aligned with
+  /// closed_neighborhood(agent).
+  [[nodiscard]] const std::vector<std::vector<double>>& last_shapley() const {
+    return last_phi_;
+  }
+  /// Aggregation weights pi from the last round (same alignment).
+  [[nodiscard]] const std::vector<std::vector<double>>& last_pi() const { return last_pi_; }
+  /// Distinct coalition evaluations performed last round (all agents).
+  [[nodiscard]] std::size_t last_characteristic_evals() const { return last_evals_; }
+  /// Smallest normalized Shapley share observed so far (empirical
+  /// counterpart of Theorem 1's phi_hat_min).
+  [[nodiscard]] double observed_phi_hat_min() const { return observed_phi_hat_min_; }
+
+ private:
+  /// Round-shared validation batch (same subsample of Q on every agent).
+  sim::FixedBatch draw_validation_batch();
+
+  Options options_;
+  std::vector<std::vector<float>> momentum_;  ///< u_i
+  nn::Model val_ws_;                          ///< workspace for coalition scoring
+  Rng val_rng_;                               ///< shared validation subsampling
+  std::vector<Rng> shapley_rngs_;             ///< per-agent MC permutation streams,
+                                              ///< separate from the DP noise streams so
+                                              ///< exact-vs-MC ablations share noise draws
+  std::vector<std::vector<double>> last_phi_;
+  std::vector<std::vector<double>> last_pi_;
+  std::size_t last_evals_ = 0;
+  double observed_phi_hat_min_ = 1.0;
+};
+
+}  // namespace pdsl::core

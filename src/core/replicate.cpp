@@ -1,0 +1,39 @@
+#include "core/replicate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pdsl::core {
+
+Aggregate Aggregate::of(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("Aggregate::of: empty sample");
+  Aggregate a;
+  a.mean = std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - a.mean) * (x - a.mean);
+  a.stddev = xs.size() > 1 ? std::sqrt(var / static_cast<double>(xs.size() - 1)) : 0.0;
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  a.min = *mn;
+  a.max = *mx;
+  return a;
+}
+
+ReplicatedResult run_replicated(ExperimentConfig cfg,
+                                const std::vector<std::uint64_t>& seeds) {
+  if (seeds.empty()) throw std::invalid_argument("run_replicated: no seeds");
+  ReplicatedResult out;
+  std::vector<double> losses, accs;
+  for (const auto seed : seeds) {
+    cfg.seed = seed;
+    out.runs.push_back(run_experiment(cfg));
+    losses.push_back(out.runs.back().final_loss);
+    accs.push_back(out.runs.back().final_accuracy);
+  }
+  out.final_loss = Aggregate::of(losses);
+  out.final_accuracy = Aggregate::of(accs);
+  return out;
+}
+
+}  // namespace pdsl::core

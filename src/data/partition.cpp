@@ -1,0 +1,144 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pdsl::data {
+
+std::vector<std::vector<std::size_t>> dirichlet_partition(const Dataset& ds,
+                                                          std::size_t num_agents,
+                                                          const PartitionOptions& opts,
+                                                          Rng& rng) {
+  if (num_agents == 0) throw std::invalid_argument("dirichlet_partition: zero agents");
+  if (ds.size() < num_agents * opts.min_per_agent) {
+    throw std::invalid_argument("dirichlet_partition: dataset too small for constraints");
+  }
+  const std::size_t classes = ds.num_classes();
+  std::vector<std::vector<std::size_t>> by_class(classes);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    by_class[static_cast<std::size_t>(ds.label(i))].push_back(i);
+  }
+
+  std::vector<std::vector<std::size_t>> parts(num_agents);
+  const std::vector<double> alpha(num_agents, opts.mu);
+  for (std::size_t c = 0; c < classes; ++c) {
+    auto& idx = by_class[c];
+    rng.shuffle(idx);
+    const std::vector<double> probs = rng.dirichlet(alpha);
+    // Cut the shuffled class indices into contiguous chunks proportional to
+    // the drawn probabilities (largest-remainder rounding).
+    const std::size_t n = idx.size();
+    std::vector<std::size_t> counts(num_agents, 0);
+    std::size_t assigned = 0;
+    std::vector<std::pair<double, std::size_t>> remainders;
+    for (std::size_t a = 0; a < num_agents; ++a) {
+      const double exact = probs[a] * static_cast<double>(n);
+      counts[a] = static_cast<std::size_t>(exact);
+      assigned += counts[a];
+      remainders.emplace_back(exact - std::floor(exact), a);
+    }
+    std::sort(remainders.rbegin(), remainders.rend());
+    for (std::size_t k = 0; assigned < n; ++k, ++assigned) {
+      ++counts[remainders[k % num_agents].second];
+    }
+    std::size_t off = 0;
+    for (std::size_t a = 0; a < num_agents; ++a) {
+      for (std::size_t k = 0; k < counts[a]; ++k) parts[a].push_back(idx[off++]);
+    }
+  }
+
+  // Rebalance: agents under min_per_agent steal random samples from the
+  // largest agent. Keeps the partition a partition while avoiding starved
+  // agents that could not even form a mini-batch.
+  for (std::size_t a = 0; a < num_agents; ++a) {
+    while (parts[a].size() < opts.min_per_agent) {
+      const auto richest = static_cast<std::size_t>(
+          std::max_element(parts.begin(), parts.end(),
+                           [](const auto& x, const auto& y) { return x.size() < y.size(); }) -
+          parts.begin());
+      if (parts[richest].size() <= opts.min_per_agent) break;  // nothing left to steal
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(parts[richest].size()) - 1));
+      parts[a].push_back(parts[richest][pick]);
+      parts[richest][pick] = parts[richest].back();
+      parts[richest].pop_back();
+    }
+  }
+  return parts;
+}
+
+std::vector<std::vector<std::size_t>> iid_partition(const Dataset& ds, std::size_t num_agents,
+                                                    Rng& rng) {
+  if (num_agents == 0) throw std::invalid_argument("iid_partition: zero agents");
+  auto perm = rng.permutation(ds.size());
+  std::vector<std::vector<std::size_t>> parts(num_agents);
+  for (std::size_t i = 0; i < perm.size(); ++i) parts[i % num_agents].push_back(perm[i]);
+  return parts;
+}
+
+std::vector<std::vector<std::size_t>> shard_partition(const Dataset& ds,
+                                                      std::size_t num_agents,
+                                                      std::size_t shards_per_agent, Rng& rng) {
+  if (num_agents == 0 || shards_per_agent == 0) {
+    throw std::invalid_argument("shard_partition: zero agents or shards");
+  }
+  const std::size_t num_shards = num_agents * shards_per_agent;
+  if (ds.size() < num_shards) {
+    throw std::invalid_argument("shard_partition: dataset smaller than shard count");
+  }
+  // Stable sort indices by label so each shard is (nearly) label-pure.
+  std::vector<std::size_t> order(ds.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return ds.label(a) < ds.label(b); });
+
+  auto shard_ids = rng.permutation(num_shards);
+  std::vector<std::vector<std::size_t>> parts(num_agents);
+  const std::size_t base = ds.size() / num_shards;
+  std::size_t extra = ds.size() % num_shards;  // spread the remainder
+  std::size_t off = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    const std::size_t owner = shard_ids[s] / shards_per_agent;
+    for (std::size_t k = 0; k < len; ++k) parts[owner].push_back(order[off + k]);
+    off += len;
+  }
+  return parts;
+}
+
+std::vector<std::vector<double>> label_distributions(
+    const Dataset& ds, const std::vector<std::vector<std::size_t>>& parts,
+    std::size_t num_classes) {
+  std::vector<std::vector<double>> out(parts.size(), std::vector<double>(num_classes, 0.0));
+  for (std::size_t a = 0; a < parts.size(); ++a) {
+    for (std::size_t i : parts[a]) {
+      out[a][static_cast<std::size_t>(ds.label(i))] += 1.0;
+    }
+    const double total = static_cast<double>(parts[a].size());
+    if (total > 0) {
+      for (auto& v : out[a]) v /= total;
+    }
+  }
+  return out;
+}
+
+double heterogeneity_index(const std::vector<std::vector<double>>& dists) {
+  const std::size_t m = dists.size();
+  if (m < 2) return 0.0;
+  double acc = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      double tv = 0.0;
+      for (std::size_t c = 0; c < dists[i].size(); ++c) {
+        tv += std::abs(dists[i][c] - dists[j][c]);
+      }
+      acc += 0.5 * tv;
+      ++pairs;
+    }
+  }
+  return acc / static_cast<double>(pairs);
+}
+
+}  // namespace pdsl::data

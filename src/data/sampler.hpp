@@ -1,0 +1,38 @@
+#pragma once
+// Mini-batch sampling over an agent's local index set. The paper samples
+// ξ_{i,t} uniformly from D_i each round (with replacement); an epoch-style
+// without-replacement sampler is also provided for the examples.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace pdsl::data {
+
+class BatchSampler {
+ public:
+  /// `indices`: the sample indices this agent owns within `ds`.
+  BatchSampler(const Dataset& ds, std::vector<std::size_t> indices, std::size_t batch_size,
+               Rng rng);
+
+  /// Uniform with-replacement draw of one mini-batch (the paper's sampling).
+  [[nodiscard]] std::pair<Tensor, std::vector<int>> sample();
+
+  /// Sequential epoch sampling; reshuffles when the epoch is exhausted.
+  [[nodiscard]] std::pair<Tensor, std::vector<int>> next_epoch_batch();
+
+  [[nodiscard]] std::size_t local_size() const { return indices_.size(); }
+  [[nodiscard]] std::size_t batch_size() const { return batch_; }
+
+ private:
+  const Dataset* ds_;
+  std::vector<std::size_t> indices_;
+  std::size_t batch_;
+  Rng rng_;
+  std::vector<std::size_t> epoch_order_;
+  std::size_t epoch_pos_ = 0;
+};
+
+}  // namespace pdsl::data

@@ -1,0 +1,60 @@
+#include "dp/rdp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pdsl::dp {
+
+std::vector<double> RdpAccountant::default_orders() {
+  std::vector<double> orders;
+  for (double a = 1.25; a < 2.0; a += 0.25) orders.push_back(a);
+  for (double a = 2.0; a <= 64.0; a += 1.0) orders.push_back(a);
+  for (double a = 128.0; a <= 1024.0; a *= 2.0) orders.push_back(a);
+  return orders;
+}
+
+RdpAccountant::RdpAccountant(std::vector<double> orders) : orders_(std::move(orders)) {
+  if (orders_.empty()) throw std::invalid_argument("RdpAccountant: no orders");
+  for (double a : orders_) {
+    if (a <= 1.0) throw std::invalid_argument("RdpAccountant: orders must exceed 1");
+  }
+  rdp_.assign(orders_.size(), 0.0);
+}
+
+void RdpAccountant::add_gaussian(double noise_multiplier, std::size_t count) {
+  if (noise_multiplier <= 0.0) {
+    throw std::invalid_argument("RdpAccountant: noise multiplier must be positive");
+  }
+  const double z2 = noise_multiplier * noise_multiplier;
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += static_cast<double>(count) * orders_[i] / (2.0 * z2);
+  }
+  invocations_ += count;
+}
+
+double RdpAccountant::epsilon(double delta) const {
+  if (delta <= 0.0 || delta >= 1.0) throw std::invalid_argument("RdpAccountant: delta in (0,1)");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    const double eps = rdp_[i] + std::log(1.0 / delta) / (orders_[i] - 1.0);
+    best = std::min(best, eps);
+  }
+  return best;
+}
+
+double RdpAccountant::best_order(double delta) const {
+  if (delta <= 0.0 || delta >= 1.0) throw std::invalid_argument("RdpAccountant: delta in (0,1)");
+  double best = std::numeric_limits<double>::infinity();
+  double order = orders_.front();
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    const double eps = rdp_[i] + std::log(1.0 / delta) / (orders_[i] - 1.0);
+    if (eps < best) {
+      best = eps;
+      order = orders_[i];
+    }
+  }
+  return order;
+}
+
+}  // namespace pdsl::dp

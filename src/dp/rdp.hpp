@@ -1,0 +1,40 @@
+#pragma once
+// Rényi differential privacy accountant for the Gaussian mechanism — the
+// moments-accountant-style composition that modern DP-SGD uses, provided as
+// an extension beyond the paper's per-round analysis. For noise multiplier
+// z = sigma / sensitivity, the Gaussian mechanism satisfies RDP of order
+// alpha with epsilon_RDP(alpha) = alpha / (2 z^2); RDP composes additively,
+// and converts to (epsilon, delta)-DP via
+//   epsilon = min_alpha [ eps_RDP(alpha) + log(1/delta) / (alpha - 1) ].
+
+#include <cstddef>
+#include <vector>
+
+namespace pdsl::dp {
+
+class RdpAccountant {
+ public:
+  /// Orders to track. Defaults cover the useful range for T <= ~10^5 rounds.
+  explicit RdpAccountant(std::vector<double> orders = default_orders());
+
+  /// Record `count` Gaussian-mechanism invocations with noise multiplier
+  /// z = sigma / l2_sensitivity (must be > 0).
+  void add_gaussian(double noise_multiplier, std::size_t count = 1);
+
+  /// Tightest (epsilon, delta)-DP conversion over the tracked orders.
+  [[nodiscard]] double epsilon(double delta) const;
+
+  /// The order achieving the minimum in epsilon(delta).
+  [[nodiscard]] double best_order(double delta) const;
+
+  [[nodiscard]] std::size_t num_invocations() const { return invocations_; }
+
+  static std::vector<double> default_orders();
+
+ private:
+  std::vector<double> orders_;
+  std::vector<double> rdp_;  ///< accumulated eps_RDP per order
+  std::size_t invocations_ = 0;
+};
+
+}  // namespace pdsl::dp

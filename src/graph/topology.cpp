@@ -1,0 +1,170 @@
+#include "graph/topology.hpp"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace pdsl::graph {
+
+TopologyKind topology_from_string(const std::string& name) {
+  if (name == "full" || name == "fully_connected" || name == "complete") {
+    return TopologyKind::kFullyConnected;
+  }
+  if (name == "ring") return TopologyKind::kRing;
+  if (name == "bipartite") return TopologyKind::kBipartite;
+  if (name == "star") return TopologyKind::kStar;
+  if (name == "torus") return TopologyKind::kTorus;
+  if (name == "er" || name == "erdos_renyi") return TopologyKind::kErdosRenyi;
+  throw std::invalid_argument("topology_from_string: unknown topology '" + name + "'");
+}
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kFullyConnected: return "fully_connected";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kBipartite: return "bipartite";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kTorus: return "torus";
+    case TopologyKind::kErdosRenyi: return "erdos_renyi";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::vector<bool>> empty_adj(std::size_t n) {
+  return std::vector<std::vector<bool>>(n, std::vector<bool>(n, false));
+}
+
+void add_edge(std::vector<std::vector<bool>>& adj, std::size_t i, std::size_t j) {
+  if (i == j) return;
+  adj[i][j] = adj[j][i] = true;
+}
+
+std::pair<std::size_t, std::size_t> torus_dims(std::size_t n) {
+  // Most square factorization a*b = n with a <= b.
+  for (std::size_t a = static_cast<std::size_t>(std::sqrt(static_cast<double>(n))); a >= 1; --a) {
+    if (n % a == 0) return {a, n / a};
+  }
+  return {1, n};
+}
+
+}  // namespace
+
+Topology Topology::make(TopologyKind kind, std::size_t n, Rng* rng, double er_prob) {
+  if (n < 2) throw std::invalid_argument("Topology::make: need at least 2 agents");
+  auto adj = empty_adj(n);
+  switch (kind) {
+    case TopologyKind::kFullyConnected:
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) add_edge(adj, i, j);
+      }
+      break;
+    case TopologyKind::kRing:
+      for (std::size_t i = 0; i < n; ++i) add_edge(adj, i, (i + 1) % n);
+      break;
+    case TopologyKind::kBipartite: {
+      const std::size_t half = n / 2;
+      if (half == 0 || half == n) throw std::invalid_argument("bipartite: need n >= 2");
+      for (std::size_t i = 0; i < half; ++i) {
+        for (std::size_t j = half; j < n; ++j) add_edge(adj, i, j);
+      }
+      break;
+    }
+    case TopologyKind::kStar:
+      for (std::size_t i = 1; i < n; ++i) add_edge(adj, 0, i);
+      break;
+    case TopologyKind::kTorus: {
+      const auto [a, b] = torus_dims(n);
+      if (a < 2) throw std::invalid_argument("torus: M must factor into a grid (a >= 2)");
+      for (std::size_t r = 0; r < a; ++r) {
+        for (std::size_t c = 0; c < b; ++c) {
+          const std::size_t u = r * b + c;
+          add_edge(adj, u, r * b + (c + 1) % b);
+          add_edge(adj, u, ((r + 1) % a) * b + c);
+        }
+      }
+      break;
+    }
+    case TopologyKind::kErdosRenyi: {
+      if (rng == nullptr) throw std::invalid_argument("erdos_renyi: rng required");
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        adj = empty_adj(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = i + 1; j < n; ++j) {
+            if (rng->bernoulli(er_prob)) add_edge(adj, i, j);
+          }
+        }
+        Topology candidate(adj);
+        if (candidate.is_connected()) return candidate;
+      }
+      throw std::runtime_error("erdos_renyi: failed to sample a connected graph");
+    }
+  }
+  Topology t(std::move(adj));
+  if (!t.is_connected()) throw std::logic_error("Topology::make produced a disconnected graph");
+  return t;
+}
+
+Topology Topology::from_adjacency(std::vector<std::vector<bool>> adj) {
+  const std::size_t n = adj.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (adj[i].size() != n) throw std::invalid_argument("from_adjacency: non-square");
+    if (adj[i][i]) throw std::invalid_argument("from_adjacency: self loop");
+    for (std::size_t j = 0; j < n; ++j) {
+      if (adj[i][j] != adj[j][i]) throw std::invalid_argument("from_adjacency: not symmetric");
+    }
+  }
+  return Topology(std::move(adj));
+}
+
+std::size_t Topology::degree(std::size_t i) const {
+  std::size_t d = 0;
+  for (bool e : adj_[i]) d += e ? 1 : 0;
+  return d;
+}
+
+std::vector<std::size_t> Topology::neighbors(std::size_t i) const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < adj_.size(); ++j) {
+    if (adj_[i][j]) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Topology::closed_neighborhood(std::size_t i) const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < adj_.size(); ++j) {
+    if (j == i || adj_[i][j]) out.push_back(j);
+  }
+  return out;
+}
+
+bool Topology::is_connected() const {
+  const std::size_t n = adj_.size();
+  std::vector<bool> seen(n, false);
+  std::queue<std::size_t> q;
+  q.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (adj_[u][v] && !seen[v]) {
+        seen[v] = true;
+        ++visited;
+        q.push(v);
+      }
+    }
+  }
+  return visited == n;
+}
+
+std::size_t Topology::num_edges() const {
+  std::size_t e = 0;
+  for (std::size_t i = 0; i < adj_.size(); ++i) e += degree(i);
+  return e / 2;
+}
+
+}  // namespace pdsl::graph

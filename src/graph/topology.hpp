@@ -1,0 +1,54 @@
+#pragma once
+// Communication topologies (S4). A Topology is an undirected graph over M
+// agents; the paper evaluates fully-connected, bipartite and ring graphs, and
+// we add a few extras (star, torus, Erdős–Rényi) for ablations.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pdsl::graph {
+
+enum class TopologyKind {
+  kFullyConnected,
+  kRing,
+  kBipartite,   ///< complete bipartite between two halves
+  kStar,
+  kTorus,       ///< 2-D grid with wraparound (requires M = a*b)
+  kErdosRenyi,  ///< random graph, regenerated until connected
+};
+
+TopologyKind topology_from_string(const std::string& name);
+std::string to_string(TopologyKind kind);
+
+class Topology {
+ public:
+  /// Build a named topology over `num_agents` nodes. `rng` is only used by
+  /// kErdosRenyi (edge probability `er_prob`).
+  static Topology make(TopologyKind kind, std::size_t num_agents, Rng* rng = nullptr,
+                       double er_prob = 0.4);
+
+  /// Build from an explicit symmetric adjacency (no self loops).
+  static Topology from_adjacency(std::vector<std::vector<bool>> adj);
+
+  [[nodiscard]] std::size_t size() const { return adj_.size(); }
+  [[nodiscard]] bool has_edge(std::size_t i, std::size_t j) const { return adj_[i][j]; }
+  [[nodiscard]] std::size_t degree(std::size_t i) const;
+
+  /// Neighbors of i *excluding* i itself.
+  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i) const;
+
+  /// Neighbors of i *including* i (the paper's M_i).
+  [[nodiscard]] std::vector<std::size_t> closed_neighborhood(std::size_t i) const;
+
+  [[nodiscard]] bool is_connected() const;
+  [[nodiscard]] std::size_t num_edges() const;
+
+ private:
+  explicit Topology(std::vector<std::vector<bool>> adj) : adj_(std::move(adj)) {}
+  std::vector<std::vector<bool>> adj_;
+};
+
+}  // namespace pdsl::graph

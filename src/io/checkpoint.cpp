@@ -1,0 +1,113 @@
+#include "io/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace pdsl::io {
+
+namespace {
+
+constexpr std::uint64_t kMagicSingle = 0x5044534C'4D4F4431ULL;  // "PDSLMOD1"
+constexpr std::uint64_t kMagicFleet = 0x5044534C'464C5431ULL;   // "PDSLFLT1"
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& in, const char* what) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error(std::string("checkpoint: truncated reading ") + what);
+  return v;
+}
+
+void write_floats(std::ofstream& out, const std::vector<float>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::ifstream& in, std::size_t n) {
+  std::vector<float> v(n);
+  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in) throw std::runtime_error("checkpoint: truncated reading parameters");
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const std::vector<float>& data) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  for (std::size_t i = 0; i < data.size() * sizeof(float); ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+void save_params(const std::string& path, const std::vector<float>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+  write_u64(out, kMagicSingle);
+  write_u64(out, params.size());
+  write_u64(out, fnv1a(params));
+  write_floats(out, params);
+  if (!out) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+std::vector<float> load_params(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_params: cannot open " + path);
+  if (read_u64(in, "magic") != kMagicSingle) {
+    throw std::runtime_error("load_params: bad magic in " + path);
+  }
+  const auto dim = read_u64(in, "dimension");
+  const auto checksum = read_u64(in, "checksum");
+  auto params = read_floats(in, dim);
+  if (fnv1a(params) != checksum) {
+    throw std::runtime_error("load_params: checksum mismatch in " + path);
+  }
+  return params;
+}
+
+void save_fleet(const std::string& path, const std::vector<std::vector<float>>& models) {
+  if (models.empty()) throw std::invalid_argument("save_fleet: empty fleet");
+  const std::size_t dim = models[0].size();
+  for (const auto& m : models) {
+    if (m.size() != dim) throw std::invalid_argument("save_fleet: ragged fleet");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_fleet: cannot open " + path);
+  write_u64(out, kMagicFleet);
+  write_u64(out, models.size());
+  write_u64(out, dim);
+  for (const auto& m : models) {
+    write_u64(out, fnv1a(m));
+    write_floats(out, m);
+  }
+  if (!out) throw std::runtime_error("save_fleet: write failed for " + path);
+}
+
+std::vector<std::vector<float>> load_fleet(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_fleet: cannot open " + path);
+  if (read_u64(in, "magic") != kMagicFleet) {
+    throw std::runtime_error("load_fleet: bad magic in " + path);
+  }
+  const auto count = read_u64(in, "count");
+  const auto dim = read_u64(in, "dimension");
+  std::vector<std::vector<float>> models;
+  models.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto checksum = read_u64(in, "checksum");
+    auto m = read_floats(in, dim);
+    if (fnv1a(m) != checksum) {
+      throw std::runtime_error("load_fleet: checksum mismatch in agent " + std::to_string(i));
+    }
+    models.push_back(std::move(m));
+  }
+  return models;
+}
+
+}  // namespace pdsl::io

@@ -1,0 +1,30 @@
+#pragma once
+// Checkpointing: persist and restore flat parameter vectors (single models
+// or a whole fleet of per-agent models mid-experiment). Binary format with a
+// magic header, dimension metadata and a FNV-1a content checksum so that a
+// truncated or corrupted file fails loudly instead of producing silently
+// wrong models.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdsl::io {
+
+/// Save one flat parameter vector.
+void save_params(const std::string& path, const std::vector<float>& params);
+
+/// Load one flat parameter vector; throws std::runtime_error on missing
+/// file, bad magic, size mismatch or checksum failure.
+[[nodiscard]] std::vector<float> load_params(const std::string& path);
+
+/// Save a fleet (per-agent models, all the same dimension).
+void save_fleet(const std::string& path, const std::vector<std::vector<float>>& models);
+
+/// Load a fleet saved with save_fleet.
+[[nodiscard]] std::vector<std::vector<float>> load_fleet(const std::string& path);
+
+/// FNV-1a over the raw bytes of a float vector (exposed for tests).
+[[nodiscard]] std::uint64_t fnv1a(const std::vector<float>& data);
+
+}  // namespace pdsl::io

@@ -1,0 +1,55 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pdsl::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  Tensor out = input;
+  mask_.assign(input.numel(), false);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (out[i] > 0.0f) {
+      mask_[i] = true;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (grad_output.numel() != mask_.size()) {
+    throw std::invalid_argument("ReLU::backward: grad does not match last forward");
+  }
+  Tensor grad_input = grad_output;
+  for (std::size_t i = 0; i < grad_input.numel(); ++i) {
+    if (!mask_[i]) grad_input[i] = 0.0f;
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(out[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(cached_output_)) {
+    throw std::invalid_argument("Tanh::backward: grad does not match last forward");
+  }
+  Tensor grad_input = grad_output;
+  for (std::size_t i = 0; i < grad_input.numel(); ++i) {
+    const float y = cached_output_[i];
+    grad_input[i] *= (1.0f - y * y);
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }
+
+}  // namespace pdsl::nn

@@ -1,0 +1,34 @@
+#pragma once
+// Stateless activation layers. ReLU is what the paper's CNNs use; Tanh is
+// provided for the smooth-objective convergence tests (Assumption 1 requires
+// L-smoothness, which ReLU networks only satisfy piecewise).
+
+#include "nn/layer.hpp"
+
+namespace pdsl::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override { return input; }
+
+ private:
+  std::vector<bool> mask_;
+};
+
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override { return input; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace pdsl::nn

@@ -1,0 +1,136 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pdsl::nn {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t pad)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      k_(kernel),
+      pad_(pad),
+      weight_(Shape{out_channels, in_channels, kernel, kernel}),
+      bias_(Shape{out_channels}) {
+  if (kernel == 0) throw std::invalid_argument("Conv2D: kernel must be positive");
+}
+
+void Conv2D::init(Rng& rng) {
+  const double fan_in = static_cast<double>(in_ch_ * k_ * k_);
+  rng.fill_normal(weight_.value.vec(), 0.0, std::sqrt(2.0 / fan_in));
+  bias_.value.zero();
+}
+
+Shape Conv2D::output_shape(const Shape& input) const {
+  if (input.size() != 4 || input[1] != in_ch_) {
+    throw std::invalid_argument("Conv2D: expected (N, " + std::to_string(in_ch_) +
+                                ", H, W), got " + shape_to_string(input));
+  }
+  const std::size_t h = input[2] + 2 * pad_;
+  const std::size_t w = input[3] + 2 * pad_;
+  if (h < k_ || w < k_) throw std::invalid_argument("Conv2D: input smaller than kernel");
+  return Shape{input[0], out_ch_, h - k_ + 1, w - k_ + 1};
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  const Shape out_shape = output_shape(input.shape());
+  cached_input_ = input;
+  Tensor out(out_shape);
+  const std::size_t n = input.dim(0), ih = input.dim(2), iw = input.dim(3);
+  const std::size_t oh = out_shape[2], ow = out_shape[3];
+  const float* x = input.data();
+  const float* w = weight_.value.data();
+  float* y = out.data();
+
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      float* ymap = y + ((b * out_ch_ + oc) * oh) * ow;
+      const float bias = bias_.value[oc];
+      for (std::size_t i = 0; i < oh * ow; ++i) ymap[i] = bias;
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        const float* xmap = x + ((b * in_ch_ + ic) * ih) * iw;
+        const float* wmap = w + ((oc * in_ch_ + ic) * k_) * k_;
+        for (std::size_t r = 0; r < oh; ++r) {
+          for (std::size_t c = 0; c < ow; ++c) {
+            float acc = 0.0f;
+            for (std::size_t kr = 0; kr < k_; ++kr) {
+              const std::ptrdiff_t xr = static_cast<std::ptrdiff_t>(r + kr) -
+                                        static_cast<std::ptrdiff_t>(pad_);
+              if (xr < 0 || xr >= static_cast<std::ptrdiff_t>(ih)) continue;
+              for (std::size_t kc = 0; kc < k_; ++kc) {
+                const std::ptrdiff_t xc = static_cast<std::ptrdiff_t>(c + kc) -
+                                          static_cast<std::ptrdiff_t>(pad_);
+                if (xc < 0 || xc >= static_cast<std::ptrdiff_t>(iw)) continue;
+                acc += xmap[xr * static_cast<std::ptrdiff_t>(iw) + xc] * wmap[kr * k_ + kc];
+              }
+            }
+            ymap[r * ow + c] += acc;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const Shape in_shape = cached_input_.shape();
+  const Shape out_shape = output_shape(in_shape);
+  if (grad_output.shape() != out_shape) {
+    throw std::invalid_argument("Conv2D::backward: bad grad shape");
+  }
+  const std::size_t n = in_shape[0], ih = in_shape[2], iw = in_shape[3];
+  const std::size_t oh = out_shape[2], ow = out_shape[3];
+  Tensor grad_input(in_shape);
+  const float* x = cached_input_.data();
+  const float* w = weight_.value.data();
+  const float* gy = grad_output.data();
+  float* gx = grad_input.data();
+  float* gw = weight_.grad.data();
+
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float* gymap = gy + ((b * out_ch_ + oc) * oh) * ow;
+      double bias_acc = 0.0;
+      for (std::size_t i = 0; i < oh * ow; ++i) bias_acc += gymap[i];
+      bias_.grad[oc] += static_cast<float>(bias_acc);
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        const float* xmap = x + ((b * in_ch_ + ic) * ih) * iw;
+        const float* wmap = w + ((oc * in_ch_ + ic) * k_) * k_;
+        float* gxmap = gx + ((b * in_ch_ + ic) * ih) * iw;
+        float* gwmap = gw + ((oc * in_ch_ + ic) * k_) * k_;
+        for (std::size_t r = 0; r < oh; ++r) {
+          for (std::size_t c = 0; c < ow; ++c) {
+            const float g = gymap[r * ow + c];
+            if (g == 0.0f) continue;
+            for (std::size_t kr = 0; kr < k_; ++kr) {
+              const std::ptrdiff_t xr = static_cast<std::ptrdiff_t>(r + kr) -
+                                        static_cast<std::ptrdiff_t>(pad_);
+              if (xr < 0 || xr >= static_cast<std::ptrdiff_t>(ih)) continue;
+              for (std::size_t kc = 0; kc < k_; ++kc) {
+                const std::ptrdiff_t xc = static_cast<std::ptrdiff_t>(c + kc) -
+                                          static_cast<std::ptrdiff_t>(pad_);
+                if (xc < 0 || xc >= static_cast<std::ptrdiff_t>(iw)) continue;
+                const std::size_t xi = static_cast<std::size_t>(xr) * iw +
+                                       static_cast<std::size_t>(xc);
+                gwmap[kr * k_ + kc] += g * xmap[xi];
+                gxmap[xi] += g * wmap[kr * k_ + kc];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Conv2D::clone() const {
+  auto copy = std::make_unique<Conv2D>(in_ch_, out_ch_, k_, pad_);
+  copy->weight_.value = weight_.value;
+  copy->bias_.value = bias_.value;
+  return copy;
+}
+
+}  // namespace pdsl::nn

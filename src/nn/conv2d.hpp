@@ -1,0 +1,34 @@
+#pragma once
+// 2-D convolution (stride 1, symmetric zero padding). Direct (non-im2col)
+// implementation: at reproduction scale the models are small and the direct
+// loops are cache-friendly enough; clarity wins.
+
+#include "nn/layer.hpp"
+
+namespace pdsl::nn {
+
+class Conv2D final : public Layer {
+ public:
+  /// kernel: square kernel size; pad: zero padding on each side.
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t pad = 0);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  void init(Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Conv2D"; }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+
+ private:
+  std::size_t in_ch_;
+  std::size_t out_ch_;
+  std::size_t k_;
+  std::size_t pad_;
+  Param weight_;  // (out_ch, in_ch, k, k)
+  Param bias_;    // (out_ch)
+  Tensor cached_input_;
+};
+
+}  // namespace pdsl::nn

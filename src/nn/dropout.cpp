@@ -1,0 +1,43 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace pdsl::nn {
+
+Dropout::Dropout(double rate, std::uint64_t seed)
+    : rate_(rate), seed_(seed), rng_(seed) {
+  if (rate < 0.0 || rate >= 1.0) throw std::invalid_argument("Dropout: rate in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || rate_ == 0.0) {
+    mask_.clear();
+    return input;
+  }
+  Tensor out = input;
+  mask_.assign(input.numel(), 0.0f);
+  const auto keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (rng_.bernoulli(1.0 - rate_)) {
+      mask_[i] = keep_scale;
+      out[i] *= keep_scale;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;  // eval-mode forward: identity
+  if (grad_output.numel() != mask_.size()) {
+    throw std::invalid_argument("Dropout::backward: grad does not match last forward");
+  }
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) grad[i] *= mask_[i];
+  return grad;
+}
+
+std::unique_ptr<Layer> Dropout::clone() const { return std::make_unique<Dropout>(rate_, seed_); }
+
+}  // namespace pdsl::nn

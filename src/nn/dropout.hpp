@@ -1,0 +1,32 @@
+#pragma once
+// Inverted dropout. Active only in training mode (Model::loss_and_backward
+// flips training on for the forward/backward pair); evaluation passes are
+// deterministic identity.
+
+#include "nn/layer.hpp"
+
+namespace pdsl::nn {
+
+class Dropout final : public Layer {
+ public:
+  /// `rate` in [0, 1): probability of zeroing an activation.
+  explicit Dropout(double rate, std::uint64_t seed = 0x0D0D);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void set_training(bool training) override { training_ = training; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override { return input; }
+
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  std::uint64_t seed_;
+  Rng rng_;
+  bool training_ = false;
+  std::vector<float> mask_;  ///< scale per element of the last training forward
+};
+
+}  // namespace pdsl::nn

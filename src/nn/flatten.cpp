@@ -1,0 +1,25 @@
+#include "nn/flatten.hpp"
+
+#include <stdexcept>
+
+namespace pdsl::nn {
+
+Shape Flatten::output_shape(const Shape& input) const {
+  if (input.empty()) throw std::invalid_argument("Flatten: empty shape");
+  std::size_t rest = 1;
+  for (std::size_t i = 1; i < input.size(); ++i) rest *= input[i];
+  return Shape{input[0], rest};
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  cached_in_shape_ = input.shape();
+  return input.reshaped(output_shape(input.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_in_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const { return std::make_unique<Flatten>(); }
+
+}  // namespace pdsl::nn

@@ -1,0 +1,20 @@
+#pragma once
+// Flatten (N, C, H, W) -> (N, C*H*W), the glue between conv stacks and FC heads.
+
+#include "nn/layer.hpp"
+
+namespace pdsl::nn {
+
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace pdsl::nn

@@ -1,0 +1,11 @@
+#include "nn/layer.hpp"
+
+namespace pdsl::nn {
+
+std::size_t param_count(const std::vector<Param*>& params) {
+  std::size_t n = 0;
+  for (const auto* p : params) n += p->value.numel();
+  return n;
+}
+
+}  // namespace pdsl::nn

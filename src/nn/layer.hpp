@@ -1,0 +1,57 @@
+#pragma once
+// Layer abstraction for the NN substrate (S2). Layers cache whatever they
+// need in forward() and consume it in backward(); a Model drives them in
+// sequence. Parameters are exposed as (value, grad) tensor pairs so that the
+// decentralized algorithms can flatten a model into a single vector — the
+// representation every algorithm in the paper works with.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pdsl::nn {
+
+/// A trainable parameter: value and the gradient accumulated by backward().
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Shape shape) : value(shape), grad(std::move(shape)) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute the layer output; caches activations needed by backward().
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Propagate the loss gradient; accumulates into parameter grads and
+  /// returns the gradient w.r.t. the layer input.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Initialize parameters (no-op for stateless layers).
+  virtual void init(Rng& /*rng*/) {}
+
+  /// Toggle training-mode behaviour (dropout etc.); default no-op.
+  virtual void set_training(bool /*training*/) {}
+
+  /// Deep copy, including current parameter values.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Shape of the output given an input shape (batch dim included).
+  [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;
+};
+
+/// Sum of parameter element counts.
+std::size_t param_count(const std::vector<Param*>& params);
+
+}  // namespace pdsl::nn

@@ -1,0 +1,91 @@
+#include "nn/layernorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pdsl::nn {
+
+LayerNorm::LayerNorm(std::size_t features, double epsilon)
+    : features_(features), eps_(epsilon), gain_(Shape{features}), bias_(Shape{features}) {
+  if (features == 0) throw std::invalid_argument("LayerNorm: zero features");
+  if (epsilon <= 0.0) throw std::invalid_argument("LayerNorm: epsilon must be positive");
+}
+
+void LayerNorm::init(Rng& /*rng*/) {
+  gain_.value.fill(1.0f);
+  bias_.value.zero();
+}
+
+Shape LayerNorm::output_shape(const Shape& input) const {
+  if (input.size() != 2 || input[1] != features_) {
+    throw std::invalid_argument("LayerNorm: expected (N, " + std::to_string(features_) +
+                                "), got " + shape_to_string(input));
+  }
+  return input;
+}
+
+Tensor LayerNorm::forward(const Tensor& input) {
+  (void)output_shape(input.shape());
+  const std::size_t n = input.dim(0), f = features_;
+  Tensor out(input.shape());
+  cached_norm_ = Tensor(input.shape());
+  inv_std_.assign(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* x = input.data() + r * f;
+    double mean = 0.0;
+    for (std::size_t c = 0; c < f; ++c) mean += x[c];
+    mean /= static_cast<double>(f);
+    double var = 0.0;
+    for (std::size_t c = 0; c < f; ++c) var += (x[c] - mean) * (x[c] - mean);
+    var /= static_cast<double>(f);
+    const double inv = 1.0 / std::sqrt(var + eps_);
+    inv_std_[r] = inv;
+    float* nrm = cached_norm_.data() + r * f;
+    float* y = out.data() + r * f;
+    for (std::size_t c = 0; c < f; ++c) {
+      nrm[c] = static_cast<float>((x[c] - mean) * inv);
+      y[c] = gain_.value[c] * nrm[c] + bias_.value[c];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(cached_norm_)) {
+    throw std::invalid_argument("LayerNorm::backward: grad does not match last forward");
+  }
+  const std::size_t n = grad_output.dim(0), f = features_;
+  Tensor grad_input(grad_output.shape());
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* gy = grad_output.data() + r * f;
+    const float* nrm = cached_norm_.data() + r * f;
+    float* gx = grad_input.data() + r * f;
+    // dL/dgamma_c += gy_c * nrm_c ; dL/dbeta_c += gy_c.
+    // dL/dnrm_c = gy_c * gamma_c; standard layernorm input gradient:
+    // gx = inv_std * (dnrm - mean(dnrm) - nrm * mean(dnrm * nrm)).
+    double mean_dn = 0.0, mean_dn_nrm = 0.0;
+    for (std::size_t c = 0; c < f; ++c) {
+      const double dn = static_cast<double>(gy[c]) * gain_.value[c];
+      mean_dn += dn;
+      mean_dn_nrm += dn * nrm[c];
+      gain_.grad[c] += gy[c] * nrm[c];
+      bias_.grad[c] += gy[c];
+    }
+    mean_dn /= static_cast<double>(f);
+    mean_dn_nrm /= static_cast<double>(f);
+    for (std::size_t c = 0; c < f; ++c) {
+      const double dn = static_cast<double>(gy[c]) * gain_.value[c];
+      gx[c] = static_cast<float>(inv_std_[r] * (dn - mean_dn - nrm[c] * mean_dn_nrm));
+    }
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> LayerNorm::clone() const {
+  auto copy = std::make_unique<LayerNorm>(features_, eps_);
+  copy->gain_.value = gain_.value;
+  copy->bias_.value = bias_.value;
+  return copy;
+}
+
+}  // namespace pdsl::nn

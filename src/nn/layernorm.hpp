@@ -1,0 +1,32 @@
+#pragma once
+// Layer normalization over the feature dimension of a 2-D (N, F) input, with
+// learnable gain/bias. Unlike batch norm it has no running statistics, so it
+// is exactly compatible with the flat-parameter view the decentralized
+// algorithms rely on (every learnable state travels with the model vector).
+
+#include "nn/layer.hpp"
+
+namespace pdsl::nn {
+
+class LayerNorm final : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, double epsilon = 1e-5);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&gain_, &bias_}; }
+  void init(Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "LayerNorm"; }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+
+ private:
+  std::size_t features_;
+  double eps_;
+  Param gain_;  // gamma
+  Param bias_;  // beta
+  Tensor cached_norm_;          ///< normalized input (pre gain/bias)
+  std::vector<double> inv_std_; ///< per-row 1/std
+};
+
+}  // namespace pdsl::nn

@@ -1,0 +1,65 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace pdsl::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}) {}
+
+void Linear::init(Rng& rng) {
+  // He initialization: appropriate for the ReLU networks used throughout.
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in_));
+  rng.fill_normal(weight_.value.vec(), 0.0, stddev);
+  bias_.value.zero();
+}
+
+Shape Linear::output_shape(const Shape& input) const {
+  if (input.size() != 2 || input[1] != in_) {
+    throw std::invalid_argument("Linear: expected (N, " + std::to_string(in_) + "), got " +
+                                shape_to_string(input));
+  }
+  return Shape{input[0], out_};
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  (void)output_shape(input.shape());  // validates
+  cached_input_ = input;
+  Tensor out = matmul_transpose_b(input, weight_.value);  // (N,in)*(out,in)^T
+  const std::size_t n = out.dim(0);
+  for (std::size_t r = 0; r < n; ++r) {
+    float* row = out.data() + r * out_;
+    for (std::size_t c = 0; c < out_; ++c) row[c] += bias_.value[c];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  if (grad_output.rank() != 2 || grad_output.dim(1) != out_) {
+    throw std::invalid_argument("Linear::backward: bad grad shape");
+  }
+  // dW += dY^T X ; db += column sums of dY ; dX = dY W
+  Tensor dw = matmul_transpose_a(grad_output, cached_input_);
+  weight_.grad += dw;
+  const std::size_t n = grad_output.dim(0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = grad_output.data() + r * out_;
+    for (std::size_t c = 0; c < out_; ++c) bias_.grad[c] += row[c];
+  }
+  return matmul(grad_output, weight_.value);
+}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  auto copy = std::make_unique<Linear>(in_, out_);
+  copy->weight_.value = weight_.value;
+  copy->bias_.value = bias_.value;
+  return copy;
+}
+
+}  // namespace pdsl::nn

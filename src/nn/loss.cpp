@@ -1,0 +1,51 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace pdsl::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.rank() != 2) throw std::invalid_argument("SoftmaxCrossEntropy: logits must be 2-D");
+  const std::size_t n = logits.dim(0), classes = logits.dim(1);
+  if (labels.size() != n) throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  probs_ = softmax_rows(logits);
+  labels_ = labels;
+  correct_.assign(n, false);
+  sample_losses_.assign(n, 0.0);
+  double loss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const int y = labels[r];
+    if (y < 0 || static_cast<std::size_t>(y) >= classes) {
+      throw std::out_of_range("SoftmaxCrossEntropy: label out of range");
+    }
+    const float p = probs_.at2(r, static_cast<std::size_t>(y));
+    sample_losses_[r] = -std::log(std::max(p, 1e-12f));
+    loss += sample_losses_[r];
+    correct_[r] = (argmax_row(probs_, r) == static_cast<std::size_t>(y));
+  }
+  return loss / static_cast<double>(n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  if (labels_.empty()) throw std::logic_error("SoftmaxCrossEntropy::backward before forward");
+  Tensor grad = probs_;
+  const std::size_t n = grad.dim(0);
+  const auto inv_n = static_cast<float>(1.0 / static_cast<double>(n));
+  for (std::size_t r = 0; r < n; ++r) {
+    grad.at2(r, static_cast<std::size_t>(labels_[r])) -= 1.0f;
+  }
+  grad *= inv_n;
+  return grad;
+}
+
+double SoftmaxCrossEntropy::accuracy() const {
+  if (correct_.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (bool c : correct_) hits += c ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(correct_.size());
+}
+
+}  // namespace pdsl::nn

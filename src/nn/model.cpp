@@ -1,0 +1,138 @@
+#include "nn/model.hpp"
+
+#include <stdexcept>
+
+namespace pdsl::nn {
+
+Model::Model(const Model& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+}
+
+Model& Model::operator=(const Model& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  return *this;
+}
+
+Model& Model::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+void Model::init(Rng& rng) {
+  for (auto& l : layers_) l->init(rng);
+}
+
+Tensor Model::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x);
+  return x;
+}
+
+void Model::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+}
+
+void Model::zero_grad() {
+  for (auto* p : all_params()) p->grad.zero();
+}
+
+void Model::set_training(bool training) {
+  for (auto& l : layers_) l->set_training(training);
+}
+
+std::vector<Param*> Model::all_params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_) {
+    for (auto* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<const Param*> Model::all_params() const {
+  std::vector<const Param*> out;
+  for (const auto& l : layers_) {
+    for (auto* p : const_cast<Layer&>(*l).params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t Model::num_params() const {
+  std::size_t n = 0;
+  for (const auto* p : all_params()) n += p->value.numel();
+  return n;
+}
+
+std::vector<float> Model::flat_params() const {
+  std::vector<float> flat;
+  flat.reserve(num_params());
+  for (const auto* p : all_params()) {
+    flat.insert(flat.end(), p->value.vec().begin(), p->value.vec().end());
+  }
+  return flat;
+}
+
+void Model::set_flat_params(const std::vector<float>& flat) {
+  if (flat.size() != num_params()) {
+    throw std::invalid_argument("Model::set_flat_params: expected " +
+                                std::to_string(num_params()) + " values, got " +
+                                std::to_string(flat.size()));
+  }
+  std::size_t off = 0;
+  for (auto* p : all_params()) {
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+              flat.begin() + static_cast<std::ptrdiff_t>(off + p->value.numel()),
+              p->value.vec().begin());
+    off += p->value.numel();
+  }
+}
+
+std::vector<float> Model::flat_grad() const {
+  std::vector<float> flat;
+  flat.reserve(num_params());
+  for (const auto* p : all_params()) {
+    flat.insert(flat.end(), p->grad.vec().begin(), p->grad.vec().end());
+  }
+  return flat;
+}
+
+double Model::loss_and_backward(const Tensor& batch_x, const std::vector<int>& batch_y) {
+  zero_grad();
+  set_training(true);
+  const Tensor logits = forward(batch_x);
+  const double value = loss_.forward(logits, batch_y);
+  backward(loss_.backward());
+  set_training(false);
+  return value;
+}
+
+double Model::loss(const Tensor& batch_x, const std::vector<int>& batch_y) {
+  const Tensor logits = forward(batch_x);
+  return loss_.forward(logits, batch_y);
+}
+
+double Model::accuracy(const Tensor& batch_x, const std::vector<int>& batch_y) {
+  const Tensor logits = forward(batch_x);
+  loss_.forward(logits, batch_y);
+  return loss_.accuracy();
+}
+
+std::vector<bool> Model::per_sample_correct(const Tensor& batch_x,
+                                            const std::vector<int>& batch_y) {
+  const Tensor logits = forward(batch_x);
+  loss_.forward(logits, batch_y);
+  return loss_.correct();
+}
+
+std::vector<double> Model::per_sample_losses(const Tensor& batch_x,
+                                             const std::vector<int>& batch_y) {
+  const Tensor logits = forward(batch_x);
+  loss_.forward(logits, batch_y);
+  return loss_.per_sample_losses();
+}
+
+}  // namespace pdsl::nn

@@ -1,0 +1,30 @@
+#pragma once
+// Model factories mirroring the paper's Sec. VI-A architectures, plus small
+// models for fast tests and reduced-scale benches.
+
+#include "nn/model.hpp"
+
+namespace pdsl::nn {
+
+/// Paper's MNIST CNN: two 3x3 convs, each followed by 2x2 max pooling, then
+/// one fully connected layer to `classes` logits. `image` is the square input
+/// side (paper: 28), `channels` the input channel count (paper: 1).
+Model make_mnist_cnn(std::size_t image = 28, std::size_t channels = 1, std::size_t classes = 10);
+
+/// Paper's CIFAR-10 CNN: two 5x5 convs + 2x2 pooling each, then two FC layers.
+Model make_cifar_cnn(std::size_t image = 32, std::size_t channels = 3, std::size_t classes = 10);
+
+/// One-hidden-layer ReLU MLP on flattened input; the default model at reduced
+/// bench scale (this host has a single core).
+Model make_mlp(std::size_t input_dim, std::size_t hidden, std::size_t classes = 10);
+
+/// Multinomial logistic regression (convex); used by convergence tests where
+/// Assumption 1 holds globally.
+Model make_logistic(std::size_t input_dim, std::size_t classes = 10);
+
+/// Build by name: "mnist_cnn", "cifar_cnn", "mlp", "logistic".
+/// `image`/`channels` describe the input; `hidden` only applies to "mlp".
+Model make_model(const std::string& name, std::size_t image, std::size_t channels,
+                 std::size_t classes = 10, std::size_t hidden = 64);
+
+}  // namespace pdsl::nn

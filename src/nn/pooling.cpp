@@ -1,0 +1,69 @@
+#include "nn/pooling.hpp"
+
+#include <stdexcept>
+
+namespace pdsl::nn {
+
+MaxPool2D::MaxPool2D(std::size_t window) : win_(window) {
+  if (window == 0) throw std::invalid_argument("MaxPool2D: window must be positive");
+}
+
+Shape MaxPool2D::output_shape(const Shape& input) const {
+  if (input.size() != 4) {
+    throw std::invalid_argument("MaxPool2D: expected 4-D input, got " + shape_to_string(input));
+  }
+  if (input[2] < win_ || input[3] < win_) {
+    throw std::invalid_argument("MaxPool2D: input smaller than window");
+  }
+  return Shape{input[0], input[1], input[2] / win_, input[3] / win_};
+}
+
+Tensor MaxPool2D::forward(const Tensor& input) {
+  const Shape out_shape = output_shape(input.shape());
+  cached_in_shape_ = input.shape();
+  Tensor out(out_shape);
+  argmax_.assign(out.numel(), 0);
+  const std::size_t n = input.dim(0), ch = input.dim(1), ih = input.dim(2), iw = input.dim(3);
+  const std::size_t oh = out_shape[2], ow = out_shape[3];
+  const float* x = input.data();
+  float* y = out.data();
+  std::size_t oi = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const std::size_t plane = (b * ch + c) * ih * iw;
+      for (std::size_t r = 0; r < oh; ++r) {
+        for (std::size_t col = 0; col < ow; ++col, ++oi) {
+          float best = -1e30f;
+          std::size_t best_idx = plane + (r * win_) * iw + col * win_;
+          for (std::size_t dr = 0; dr < win_; ++dr) {
+            for (std::size_t dc = 0; dc < win_; ++dc) {
+              const std::size_t idx = plane + (r * win_ + dr) * iw + (col * win_ + dc);
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[oi] = best;
+          argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (grad_output.numel() != argmax_.size()) {
+    throw std::invalid_argument("MaxPool2D::backward: grad does not match last forward");
+  }
+  Tensor grad_input(cached_in_shape_);
+  float* gx = grad_input.data();
+  const float* gy = grad_output.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) gx[argmax_[i]] += gy[i];
+  return grad_input;
+}
+
+std::unique_ptr<Layer> MaxPool2D::clone() const { return std::make_unique<MaxPool2D>(win_); }
+
+}  // namespace pdsl::nn

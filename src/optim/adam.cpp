@@ -1,0 +1,41 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pdsl::optim {
+
+AdamW::AdamW(std::size_t dim, Config cfg) : cfg_(cfg), m_(dim, 0.0), v_(dim, 0.0) {
+  if (dim == 0) throw std::invalid_argument("AdamW: zero dimension");
+  if (cfg.lr <= 0.0) throw std::invalid_argument("AdamW: lr must be positive");
+  if (cfg.beta1 < 0.0 || cfg.beta1 >= 1.0 || cfg.beta2 < 0.0 || cfg.beta2 >= 1.0) {
+    throw std::invalid_argument("AdamW: betas must be in [0,1)");
+  }
+  if (cfg.epsilon <= 0.0) throw std::invalid_argument("AdamW: epsilon must be positive");
+  if (cfg.weight_decay < 0.0) throw std::invalid_argument("AdamW: negative weight decay");
+}
+
+void AdamW::step(std::vector<float>& x, const std::vector<float>& g) {
+  if (x.size() != m_.size() || g.size() != m_.size()) {
+    throw std::invalid_argument("AdamW::step: dimension mismatch");
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    m_[i] = cfg_.beta1 * m_[i] + (1.0 - cfg_.beta1) * g[i];
+    v_[i] = cfg_.beta2 * v_[i] + (1.0 - cfg_.beta2) * static_cast<double>(g[i]) * g[i];
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    x[i] -= static_cast<float>(
+        cfg_.lr * (m_hat / (std::sqrt(v_hat) + cfg_.epsilon) + cfg_.weight_decay * x[i]));
+  }
+}
+
+void AdamW::reset() {
+  std::fill(m_.begin(), m_.end(), 0.0);
+  std::fill(v_.begin(), v_.end(), 0.0);
+  t_ = 0;
+}
+
+}  // namespace pdsl::optim

@@ -1,0 +1,39 @@
+#pragma once
+// AdamW stepper on flat parameter vectors — an adaptive local optimizer for
+// the examples and for local-update baselines. State (first/second moments,
+// step count) is held by the object.
+
+#include <cstddef>
+#include <vector>
+
+namespace pdsl::optim {
+
+struct AdamWConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;  ///< decoupled (AdamW-style)
+};
+
+class AdamW {
+ public:
+  using Config = AdamWConfig;
+
+  explicit AdamW(std::size_t dim, Config cfg = Config{});
+
+  /// One update: x <- x - lr * (m_hat / (sqrt(v_hat) + eps) + wd * x).
+  void step(std::vector<float>& x, const std::vector<float>& g);
+
+  [[nodiscard]] std::size_t steps_taken() const { return t_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  void reset();
+
+ private:
+  Config cfg_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace pdsl::optim

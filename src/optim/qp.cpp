@@ -1,0 +1,112 @@
+#include "optim/qp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/vec_math.hpp"
+
+namespace pdsl::optim {
+
+std::vector<double> project_to_simplex(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("project_to_simplex: empty vector");
+  // Held, Wolfe & Crowder / Duchi et al. sort-based projection.
+  std::vector<double> u = v;
+  std::sort(u.rbegin(), u.rend());
+  double css = 0.0;
+  double theta = 0.0;
+  std::size_t rho = 0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    css += u[i];
+    const double t = (css - 1.0) / static_cast<double>(i + 1);
+    if (u[i] - t > 0.0) {
+      rho = i + 1;
+      theta = t;
+    }
+  }
+  if (rho == 0) {
+    // All mass below threshold (can only happen through NaN/degenerate input).
+    return std::vector<double>(v.size(), 1.0 / static_cast<double>(v.size()));
+  }
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = std::max(0.0, v[i] - theta);
+  return out;
+}
+
+MinNormResult MinNormSolver::solve(const std::vector<std::vector<float>>& gradients,
+                                   const Options& opts) const {
+  const std::size_t n = gradients.size();
+  if (n == 0) throw std::invalid_argument("MinNormSolver: no gradients");
+  std::vector<std::vector<double>> gram(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      gram[i][j] = gram[j][i] = dot(gradients[i], gradients[j]);
+    }
+  }
+  return solve_gram(gram, opts);
+}
+
+MinNormResult MinNormSolver::solve_gram(const std::vector<std::vector<double>>& gram,
+                                        const Options& opts) const {
+  const std::size_t n = gram.size();
+  if (n == 0) throw std::invalid_argument("MinNormSolver: empty gram");
+  for (const auto& row : gram) {
+    if (row.size() != n) throw std::invalid_argument("MinNormSolver: non-square gram");
+  }
+
+  MinNormResult res;
+  res.lambda.assign(n, 1.0 / static_cast<double>(n));
+
+  // Objective f(l) = l^T G l; gradient 2 G l; Lipschitz constant <= 2*||G||.
+  double lips = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row += std::abs(gram[i][j]);
+    lips = std::max(lips, row);
+  }
+  const double step = opts.step > 0.0 ? opts.step : (lips > 0.0 ? 1.0 / (2.0 * lips) : 1.0);
+
+  auto objective = [&](const std::vector<double>& l) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) acc += l[i] * gram[i][j] * l[j];
+    }
+    return acc;
+  };
+
+  double prev = objective(res.lambda);
+  for (std::size_t it = 0; it < opts.max_iters; ++it) {
+    std::vector<double> grad(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) grad[i] += 2.0 * gram[i][j] * res.lambda[j];
+    }
+    std::vector<double> cand(n);
+    for (std::size_t i = 0; i < n; ++i) cand[i] = res.lambda[i] - step * grad[i];
+    cand = project_to_simplex(cand);
+    const double cur = objective(cand);
+    res.lambda = std::move(cand);
+    res.iterations = it + 1;
+    if (std::abs(prev - cur) < opts.tol) {
+      res.converged = true;
+      prev = cur;
+      break;
+    }
+    prev = cur;
+  }
+  res.norm_sq = prev;
+  return res;
+}
+
+std::vector<float> combine(const std::vector<std::vector<float>>& gradients,
+                           const std::vector<double>& lambda) {
+  if (gradients.size() != lambda.size() || gradients.empty()) {
+    throw std::invalid_argument("combine: arity mismatch");
+  }
+  std::vector<const std::vector<float>*> ptrs;
+  ptrs.reserve(gradients.size());
+  for (const auto& g : gradients) ptrs.push_back(&g);
+  return weighted_sum(ptrs, lambda);
+}
+
+}  // namespace pdsl::optim

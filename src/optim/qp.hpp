@@ -1,0 +1,48 @@
+#pragma once
+// Quadratic programming used by the DP-CGA baseline [12]: project the set of
+// (cross-)gradients to a single descent direction by finding the minimum-norm
+// point in their convex hull,
+//     min_{lambda in simplex} || sum_j lambda_j g_j ||^2 ,
+// solved by projected gradient descent on the simplex with an exact
+// (sort-based) Euclidean simplex projection. n is tiny (the neighborhood
+// size), so the O(n^2) Gram matrix is cheap; d never appears in the solve.
+
+#include <cstddef>
+#include <vector>
+
+namespace pdsl::optim {
+
+/// Euclidean projection of v onto the probability simplex {x >= 0, sum x = 1}.
+std::vector<double> project_to_simplex(const std::vector<double>& v);
+
+struct MinNormResult {
+  std::vector<double> lambda;  ///< convex-combination weights
+  double norm_sq = 0.0;        ///< value of the objective at lambda
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+struct MinNormOptions {
+  std::size_t max_iters = 500;
+  double tol = 1e-9;   ///< stop when the objective decrease is below tol
+  double step = 0.0;   ///< 0 = auto (1 / largest Gram diagonal sum)
+};
+
+class MinNormSolver {
+ public:
+  using Options = MinNormOptions;
+
+  /// `gradients`: n vectors of equal dimension d.
+  MinNormResult solve(const std::vector<std::vector<float>>& gradients,
+                      const Options& opts = {}) const;
+
+  /// Solve from a precomputed Gram matrix G[i][j] = <g_i, g_j>.
+  MinNormResult solve_gram(const std::vector<std::vector<double>>& gram,
+                           const Options& opts = {}) const;
+};
+
+/// Combine gradients with the produced weights: sum_j lambda_j g_j.
+std::vector<float> combine(const std::vector<std::vector<float>>& gradients,
+                           const std::vector<double>& lambda);
+
+}  // namespace pdsl::optim

@@ -1,0 +1,58 @@
+#include "optim/schedule.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pdsl::optim {
+
+namespace {
+void require_positive(double v, const char* what) {
+  if (v <= 0.0) throw std::invalid_argument(std::string(what) + " must be positive");
+}
+}  // namespace
+
+ConstantLr::ConstantLr(double lr) : lr_(lr) { require_positive(lr, "ConstantLr: lr"); }
+
+InverseSqrtLr::InverseSqrtLr(double base) : base_(base) {
+  require_positive(base, "InverseSqrtLr: base");
+}
+
+double InverseSqrtLr::at(std::size_t t) const {
+  return base_ / std::sqrt(static_cast<double>(t + 1));
+}
+
+StepDecayLr::StepDecayLr(double base, std::size_t period, double factor)
+    : base_(base), period_(period), factor_(factor) {
+  require_positive(base, "StepDecayLr: base");
+  require_positive(factor, "StepDecayLr: factor");
+  if (period == 0) throw std::invalid_argument("StepDecayLr: period must be positive");
+}
+
+double StepDecayLr::at(std::size_t t) const {
+  return base_ * std::pow(factor_, static_cast<double>(t / period_));
+}
+
+CosineLr::CosineLr(double base, double floor, std::size_t horizon)
+    : base_(base), floor_(floor), horizon_(horizon) {
+  require_positive(base, "CosineLr: base");
+  if (floor < 0.0 || floor > base) throw std::invalid_argument("CosineLr: bad floor");
+  if (horizon == 0) throw std::invalid_argument("CosineLr: horizon must be positive");
+}
+
+double CosineLr::at(std::size_t t) const {
+  const double progress =
+      std::min(1.0, static_cast<double>(t) / static_cast<double>(horizon_));
+  return floor_ + 0.5 * (base_ - floor_) * (1.0 + std::cos(std::numbers::pi * progress));
+}
+
+std::unique_ptr<LrSchedule> make_schedule(const std::string& name, double base,
+                                          std::size_t horizon) {
+  if (name == "constant") return std::make_unique<ConstantLr>(base);
+  if (name == "inv_sqrt") return std::make_unique<InverseSqrtLr>(base);
+  if (name == "step") return std::make_unique<StepDecayLr>(base, std::max<std::size_t>(1, horizon / 3), 0.5);
+  if (name == "cosine") return std::make_unique<CosineLr>(base, base * 0.01, horizon);
+  throw std::invalid_argument("make_schedule: unknown schedule '" + name + "'");
+}
+
+}  // namespace pdsl::optim

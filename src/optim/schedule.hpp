@@ -1,0 +1,65 @@
+#pragma once
+// Learning-rate schedules. Corollary 1 analyzes gamma = O(1/sqrt(T)); the
+// experiments use a constant rate. Both are provided, plus step decay and
+// cosine annealing for the extension examples.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace pdsl::optim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use at round t (0-indexed).
+  [[nodiscard]] virtual double at(std::size_t t) const = 0;
+};
+
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr);
+  [[nodiscard]] double at(std::size_t) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// gamma_t = base / sqrt(t + 1) — the Corollary-1 regime with T horizon folded
+/// into `base`.
+class InverseSqrtLr final : public LrSchedule {
+ public:
+  explicit InverseSqrtLr(double base);
+  [[nodiscard]] double at(std::size_t t) const override;
+
+ private:
+  double base_;
+};
+
+class StepDecayLr final : public LrSchedule {
+ public:
+  StepDecayLr(double base, std::size_t period, double factor);
+  [[nodiscard]] double at(std::size_t t) const override;
+
+ private:
+  double base_;
+  std::size_t period_;
+  double factor_;
+};
+
+class CosineLr final : public LrSchedule {
+ public:
+  CosineLr(double base, double floor, std::size_t horizon);
+  [[nodiscard]] double at(std::size_t t) const override;
+
+ private:
+  double base_;
+  double floor_;
+  std::size_t horizon_;
+};
+
+/// Factory: "constant", "inv_sqrt", "step", "cosine".
+std::unique_ptr<LrSchedule> make_schedule(const std::string& name, double base,
+                                          std::size_t horizon);
+
+}  // namespace pdsl::optim

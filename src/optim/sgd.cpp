@@ -1,0 +1,30 @@
+#include "optim/sgd.hpp"
+
+#include <stdexcept>
+
+#include "common/vec_math.hpp"
+
+namespace pdsl::optim {
+
+void sgd_step(std::vector<float>& x, const std::vector<float>& g, double lr) {
+  axpy(x, g, static_cast<float>(-lr));
+}
+
+void momentum_step(std::vector<float>& x, std::vector<float>& u, const std::vector<float>& g,
+                   double lr, double alpha) {
+  check_same_size(x, u, "momentum_step");
+  check_same_size(x, g, "momentum_step");
+  const auto a = static_cast<float>(alpha);
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = a * u[i] + g[i];
+  axpy(x, u, static_cast<float>(-lr));
+}
+
+void sgd_step_weight_decay(std::vector<float>& x, const std::vector<float>& g, double lr,
+                           double weight_decay) {
+  check_same_size(x, g, "sgd_step_weight_decay");
+  const auto neg_lr = static_cast<float>(-lr);
+  const auto wd = static_cast<float>(weight_decay);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += neg_lr * (g[i] + wd * x[i]);
+}
+
+}  // namespace pdsl::optim

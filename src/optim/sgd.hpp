@@ -1,0 +1,22 @@
+#pragma once
+// Flat-vector parameter steppers (S10). The decentralized algorithms mostly
+// inline their updates (they are the point of the paper), but local-update
+// baselines (DP-NET-FLEET's inner loop) and the examples use these.
+
+#include <vector>
+
+namespace pdsl::optim {
+
+/// Plain SGD step: x <- x - lr * g.
+void sgd_step(std::vector<float>& x, const std::vector<float>& g, double lr);
+
+/// Heavy-ball momentum: u <- alpha*u + g; x <- x - lr*u. `u` is caller-owned
+/// state sized like x (the paper's momentum buffer, Eqs. 22-23 in local form).
+void momentum_step(std::vector<float>& x, std::vector<float>& u, const std::vector<float>& g,
+                   double lr, double alpha);
+
+/// SGD with L2 weight decay: x <- x - lr*(g + wd*x).
+void sgd_step_weight_decay(std::vector<float>& x, const std::vector<float>& g, double lr,
+                           double weight_decay);
+
+}  // namespace pdsl::optim

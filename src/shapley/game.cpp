@@ -1,0 +1,37 @@
+#include "shapley/game.hpp"
+
+#include <stdexcept>
+
+namespace pdsl::shapley {
+
+CachedGame::CachedGame(std::size_t num_players, CharacteristicFn v)
+    : n_(num_players), v_(std::move(v)) {
+  if (n_ == 0) throw std::invalid_argument("CachedGame: need at least one player");
+  if (n_ > 63) throw std::invalid_argument("CachedGame: at most 63 players (bitmask coalitions)");
+  if (!v_) throw std::invalid_argument("CachedGame: null characteristic function");
+}
+
+double CachedGame::value(std::uint64_t mask) {
+  if (mask == 0) return 0.0;  // v(emptyset) = 0 by Definition 3
+  if (mask >= (1ULL << n_)) throw std::out_of_range("CachedGame::value: mask out of range");
+  const auto it = cache_.find(mask);
+  if (it != cache_.end()) return it->second;
+  const double val = v_(members(mask));
+  cache_.emplace(mask, val);
+  ++evals_;
+  return val;
+}
+
+std::vector<std::size_t> CachedGame::members(std::uint64_t mask) {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; mask != 0; ++j, mask >>= 1) {
+    if (mask & 1ULL) out.push_back(j);
+  }
+  return out;
+}
+
+std::uint64_t CachedGame::full_mask() const {
+  return n_ == 63 ? ~0ULL >> 1 : (1ULL << n_) - 1;
+}
+
+}  // namespace pdsl::shapley

@@ -1,0 +1,44 @@
+#pragma once
+// Cooperative game abstraction (S6, Definition 3). Players are indexed
+// 0..n-1; coalitions are bitmasks (n <= 64). The characteristic function is
+// expensive in PDSL (a validation-set evaluation per coalition, Eq. 16), so
+// CachedGame memoizes values — both the exact enumeration and Monte Carlo
+// estimation revisit coalitions heavily.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace pdsl::shapley {
+
+/// v(S): coalition passed as a sorted list of member indices. By Definition 3
+/// implementations must return 0 for the empty coalition; CachedGame
+/// short-circuits that case and never calls the function with an empty set.
+using CharacteristicFn = std::function<double(const std::vector<std::size_t>& coalition)>;
+
+class CachedGame {
+ public:
+  CachedGame(std::size_t num_players, CharacteristicFn v);
+
+  [[nodiscard]] std::size_t num_players() const { return n_; }
+
+  /// Value of the coalition encoded in `mask` (bit j = player j present).
+  double value(std::uint64_t mask);
+
+  /// Number of distinct non-empty coalitions evaluated so far.
+  [[nodiscard]] std::size_t evaluations() const { return evals_; }
+
+  /// Members of a mask, ascending.
+  [[nodiscard]] static std::vector<std::size_t> members(std::uint64_t mask);
+
+  [[nodiscard]] std::uint64_t full_mask() const;
+
+ private:
+  std::size_t n_;
+  CharacteristicFn v_;
+  std::unordered_map<std::uint64_t, double> cache_;
+  std::size_t evals_ = 0;
+};
+
+}  // namespace pdsl::shapley

@@ -1,0 +1,130 @@
+#include "shapley/shapley.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pdsl::shapley {
+
+std::vector<double> exact_shapley(CachedGame& game) {
+  const std::size_t n = game.num_players();
+  if (n > 20) {
+    throw std::invalid_argument("exact_shapley: too many players; use monte_carlo_shapley");
+  }
+  // Precompute the permutation weights |S|!(n-1-|S|)!/n! by coalition size.
+  std::vector<double> weight(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    // weight(s) = s! (n-1-s)! / n!  computed iteratively to avoid overflow.
+    double w = 1.0 / static_cast<double>(n);
+    // w = 1/(n * C(n-1, s))
+    for (std::size_t k = 1; k <= s; ++k) {
+      w *= static_cast<double>(k) / static_cast<double>(n - k);
+    }
+    weight[s] = w;
+  }
+
+  std::vector<double> phi(n, 0.0);
+  const std::uint64_t full = game.full_mask();
+  for (std::uint64_t mask = 0; mask <= full; ++mask) {
+    const auto size = static_cast<std::size_t>(__builtin_popcountll(mask));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) continue;  // S must exclude i
+      const double marginal = game.value(mask | (1ULL << i)) - game.value(mask);
+      phi[i] += weight[size] * marginal;
+    }
+  }
+  return phi;
+}
+
+std::vector<double> monte_carlo_shapley(CachedGame& game, std::size_t num_permutations,
+                                        Rng& rng) {
+  if (num_permutations == 0) {
+    throw std::invalid_argument("monte_carlo_shapley: need at least one permutation");
+  }
+  const std::size_t n = game.num_players();
+  std::vector<double> phi(n, 0.0);
+  const double inv_r = 1.0 / static_cast<double>(num_permutations);
+  for (std::size_t r = 0; r < num_permutations; ++r) {
+    const auto order = rng.permutation(n);
+    std::uint64_t prefix = 0;  // Z_j(phi_r): predecessors of the current player
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const std::size_t j = order[pos];
+      const double with_j = game.value(prefix | (1ULL << j));
+      const double without_j = game.value(prefix);
+      phi[j] += (with_j - without_j) * inv_r;  // Eq. 26
+      prefix |= (1ULL << j);
+    }
+  }
+  return phi;
+}
+
+std::vector<double> truncated_monte_carlo_shapley(CachedGame& game,
+                                                  const TruncatedMcOptions& opts, Rng& rng) {
+  if (opts.num_permutations == 0) {
+    throw std::invalid_argument("truncated_monte_carlo_shapley: need permutations");
+  }
+  if (opts.tolerance < 0.0) {
+    throw std::invalid_argument("truncated_monte_carlo_shapley: negative tolerance");
+  }
+  const std::size_t n = game.num_players();
+  const double full_value = game.value(game.full_mask());
+  std::vector<double> phi(n, 0.0);
+  const double inv_r = 1.0 / static_cast<double>(opts.num_permutations);
+  for (std::size_t r = 0; r < opts.num_permutations; ++r) {
+    const auto order = rng.permutation(n);
+    std::uint64_t prefix = 0;
+    double prev_value = 0.0;
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      if (std::abs(full_value - prev_value) <= opts.tolerance) {
+        break;  // truncate: remaining players get zero marginal this pass
+      }
+      const std::size_t j = order[pos];
+      const double with_j = game.value(prefix | (1ULL << j));
+      phi[j] += (with_j - prev_value) * inv_r;
+      prev_value = with_j;
+      prefix |= (1ULL << j);
+    }
+  }
+  return phi;
+}
+
+std::vector<double> stratified_shapley(CachedGame& game, std::size_t samples_per_stratum,
+                                       Rng& rng) {
+  if (samples_per_stratum == 0) {
+    throw std::invalid_argument("stratified_shapley: need at least one sample per stratum");
+  }
+  const std::size_t n = game.num_players();
+  std::vector<double> phi(n, 0.0);
+  std::vector<std::size_t> others;
+  others.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    others.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) others.push_back(j);
+    }
+    for (std::size_t s = 0; s < n; ++s) {  // stratum: coalition size s
+      double stratum = 0.0;
+      for (std::size_t k = 0; k < samples_per_stratum; ++k) {
+        rng.shuffle(others);
+        std::uint64_t mask = 0;
+        for (std::size_t t = 0; t < s; ++t) mask |= (1ULL << others[t]);
+        stratum += game.value(mask | (1ULL << i)) - game.value(mask);
+      }
+      acc += stratum / static_cast<double>(samples_per_stratum);
+    }
+    phi[i] = acc / static_cast<double>(n);
+  }
+  return phi;
+}
+
+std::vector<double> shapley_auto(CachedGame& game, std::size_t num_permutations, Rng& rng) {
+  const std::size_t n = game.num_players();
+  // Exact costs 2^n - 1 evaluations; Monte Carlo costs at most R*n distinct
+  // prefixes (usually fewer after caching). Choose the cheaper.
+  const double exact_cost = (n <= 20) ? std::pow(2.0, static_cast<double>(n)) : 1e30;
+  const double mc_cost = static_cast<double>(num_permutations) * static_cast<double>(n);
+  if (exact_cost <= mc_cost) return exact_shapley(game);
+  return monte_carlo_shapley(game, num_permutations, rng);
+}
+
+}  // namespace pdsl::shapley

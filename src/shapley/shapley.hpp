@@ -1,0 +1,43 @@
+#pragma once
+// Shapley value computation: exact subset enumeration (Eq. 18, feasible for
+// small neighborhoods) and the paper's Monte Carlo permutation sampler
+// (Algorithm 2) for larger ones.
+
+#include "common/rng.hpp"
+#include "shapley/game.hpp"
+
+namespace pdsl::shapley {
+
+/// Exact Shapley values via Eq. 8/18:
+///   phi_i = sum_{S subseteq N\{i}} |S|! (n-1-|S|)! / n! * (v(S+i) - v(S)).
+/// Requires 2^n coalition evaluations; guarded to n <= 20.
+std::vector<double> exact_shapley(CachedGame& game);
+
+/// Algorithm 2: R random permutations; phi_i accumulates the marginal
+/// contribution of i to its predecessors in each permutation, divided by R.
+std::vector<double> monte_carlo_shapley(CachedGame& game, std::size_t num_permutations,
+                                        Rng& rng);
+
+/// Auto: exact when 2^n coalition evaluations are cheaper than the Monte
+/// Carlo budget would be, Monte Carlo otherwise.
+std::vector<double> shapley_auto(CachedGame& game, std::size_t num_permutations, Rng& rng);
+
+/// Truncated Monte Carlo ("TMC-Shapley", Ghorbani & Zou style): scan each
+/// permutation but stop appending players once the running coalition's value
+/// is within `tolerance` of the grand coalition's — the remaining marginals
+/// are credited as zero. Saves characteristic evaluations when v saturates.
+struct TruncatedMcOptions {
+  std::size_t num_permutations = 8;
+  double tolerance = 0.01;
+};
+std::vector<double> truncated_monte_carlo_shapley(CachedGame& game,
+                                                  const TruncatedMcOptions& opts, Rng& rng);
+
+/// Stratified sampling estimator (Castro et al. [37]): for every player and
+/// every coalition size s, average the marginal contribution over
+/// `samples_per_stratum` uniformly drawn coalitions of size s that exclude
+/// the player; the Shapley value is the mean across strata.
+std::vector<double> stratified_shapley(CachedGame& game, std::size_t samples_per_stratum,
+                                       Rng& rng);
+
+}  // namespace pdsl::shapley

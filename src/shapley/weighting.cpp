@@ -1,0 +1,66 @@
+#include "shapley/weighting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pdsl::shapley {
+
+std::vector<double> minmax_normalize(const std::vector<double>& phi) {
+  if (phi.empty()) throw std::invalid_argument("minmax_normalize: empty input");
+  const auto [mn_it, mx_it] = std::minmax_element(phi.begin(), phi.end());
+  const double mn = *mn_it, mx = *mx_it;
+  if (mx - mn < 1e-12) return std::vector<double>(phi.size(), 1.0);
+  std::vector<double> out(phi.size());
+  for (std::size_t i = 0; i < phi.size(); ++i) out[i] = (phi[i] - mn) / (mx - mn);
+  return out;
+}
+
+std::vector<double> aggregation_weights(const std::vector<double>& phi_hat,
+                                        const std::vector<double>& w_row) {
+  if (phi_hat.size() != w_row.size() || phi_hat.empty()) {
+    throw std::invalid_argument("aggregation_weights: arity mismatch");
+  }
+  double total = 0.0;
+  for (double v : phi_hat) {
+    if (v < 0.0) throw std::invalid_argument("aggregation_weights: negative phi_hat");
+    total += v;
+  }
+  std::vector<double> shares(phi_hat.size());
+  if (total <= 1e-12) {
+    std::fill(shares.begin(), shares.end(), 1.0 / static_cast<double>(phi_hat.size()));
+  } else {
+    for (std::size_t i = 0; i < phi_hat.size(); ++i) shares[i] = phi_hat[i] / total;
+  }
+  std::vector<double> pi(phi_hat.size());
+  for (std::size_t i = 0; i < phi_hat.size(); ++i) {
+    if (w_row[i] <= 0.0) {
+      throw std::invalid_argument("aggregation_weights: non-positive mixing weight");
+    }
+    pi[i] = shares[i] / w_row[i];
+  }
+  return pi;
+}
+
+std::vector<double> relu_normalize(const std::vector<double>& phi) {
+  if (phi.empty()) throw std::invalid_argument("relu_normalize: empty input");
+  const double mx = *std::max_element(phi.begin(), phi.end());
+  if (mx <= 1e-12) return std::vector<double>(phi.size(), 1.0);
+  std::vector<double> out(phi.size());
+  for (std::size_t i = 0; i < phi.size(); ++i) out[i] = std::max(phi[i], 0.0) / mx;
+  return out;
+}
+
+std::vector<double> normalized_shares(const std::vector<double>& phi_hat) {
+  double total = 0.0;
+  for (double v : phi_hat) total += v;
+  std::vector<double> out(phi_hat.size());
+  if (total <= 1e-12) {
+    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(phi_hat.size()));
+  } else {
+    for (std::size_t i = 0; i < phi_hat.size(); ++i) out[i] = phi_hat[i] / total;
+  }
+  return out;
+}
+
+}  // namespace pdsl::shapley

@@ -1,0 +1,36 @@
+#pragma once
+// Turning Shapley values into aggregation weights: min-max normalization
+// (Eq. 19) and the pi weights (Eq. 20) PDSL uses to average perturbed
+// gradients (Eq. 21).
+
+#include <cstddef>
+#include <vector>
+
+namespace pdsl::shapley {
+
+/// Eq. 19: phî_j = (phi_j - min_k phi_k) / (max_k phi_k - min_k phi_k).
+/// Degenerate case (all phi equal, e.g. round 1 with identical models): the
+/// paper's formula is 0/0; we return all-ones, which makes Eq. 20 fall back
+/// to plain W-weighted averaging — the natural "no contribution signal" prior.
+std::vector<double> minmax_normalize(const std::vector<double>& phi);
+
+/// Eq. 20: pi_j = phî_j / (w_row[j] * sum_k phî_k), where w_row[j] = omega_{i,j}
+/// for each j in the closed neighborhood (same indexing as phi_hat).
+/// If sum_k phî_k == 0 (cannot happen after minmax_normalize's fallback, but
+/// guarded for direct callers) the function behaves as if phî were all-ones.
+std::vector<double> aggregation_weights(const std::vector<double>& phi_hat,
+                                        const std::vector<double>& w_row);
+
+/// Normalized share phî_j / sum_k phî_k — the quantity whose minimum is the
+/// phi_hat_min constant in Theorem 1.
+std::vector<double> normalized_shares(const std::vector<double>& phi_hat);
+
+/// Extension of Eq. 19 for adversarial settings: players with *negative*
+/// Shapley value (harmful on average to every coalition) are zeroed outright,
+/// and the rest are scaled by the maximum:
+///   phî_j = max(phi_j, 0) / max_k phi_k   (all-ones if max <= 0).
+/// Unlike min-max normalization, this suppresses every harmful contributor,
+/// not just the single worst one.
+std::vector<double> relu_normalize(const std::vector<double>& phi);
+
+}  // namespace pdsl::shapley

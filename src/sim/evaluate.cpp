@@ -1,0 +1,44 @@
+#include "sim/evaluate.hpp"
+
+#include <algorithm>
+
+namespace pdsl::sim {
+
+EvalResult evaluate(nn::Model& workspace, const std::vector<float>& params,
+                    const data::Dataset& ds, std::size_t max_samples, std::size_t batch) {
+  workspace.set_flat_params(params);
+  const std::size_t n = max_samples == 0 ? ds.size() : std::min(max_samples, ds.size());
+  EvalResult res;
+  res.samples = n;
+  if (n == 0) return res;
+  double loss_acc = 0.0;
+  double hits = 0.0;
+  for (std::size_t off = 0; off < n; off += batch) {
+    const std::size_t take = std::min(batch, n - off);
+    std::vector<std::size_t> idx(take);
+    for (std::size_t k = 0; k < take; ++k) idx[k] = off + k;
+    const Tensor x = ds.batch_features(idx);
+    const auto y = ds.batch_labels(idx);
+    loss_acc += workspace.loss(x, y) * static_cast<double>(take);
+    hits += workspace.accuracy(x, y) * static_cast<double>(take);
+  }
+  res.loss = loss_acc / static_cast<double>(n);
+  res.accuracy = hits / static_cast<double>(n);
+  return res;
+}
+
+FixedBatch FixedBatch::from(const data::Dataset& ds, const std::vector<std::size_t>& idx) {
+  return FixedBatch{ds.batch_features(idx), ds.batch_labels(idx)};
+}
+
+double accuracy_on(nn::Model& workspace, const std::vector<float>& params, const FixedBatch& b) {
+  workspace.set_flat_params(params);
+  return workspace.accuracy(b.x, b.y);
+}
+
+double loss_on(nn::Model& workspace, const std::vector<float>& params, const FixedBatch& b) {
+  workspace.set_flat_params(params);
+  return workspace.loss(b.x, b.y);
+}
+
+}  // namespace pdsl::sim

@@ -1,0 +1,40 @@
+#pragma once
+// Shared evaluation helpers: accuracy/loss of a flat parameter vector on a
+// dataset (optionally subsampled), used for test metrics and for the Shapley
+// characteristic function's validation scoring.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace pdsl::sim {
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Evaluate `params` (loaded into `workspace`) on up to `max_samples` of `ds`
+/// (0 = all), in batches of `batch`.
+EvalResult evaluate(nn::Model& workspace, const std::vector<float>& params,
+                    const data::Dataset& ds, std::size_t max_samples = 0,
+                    std::size_t batch = 128);
+
+/// A fixed evaluation batch: materialized once, reused many times. This is
+/// what PDSL's per-round characteristic function evaluates coalitions on.
+struct FixedBatch {
+  Tensor x;
+  std::vector<int> y;
+
+  static FixedBatch from(const data::Dataset& ds, const std::vector<std::size_t>& idx);
+};
+
+/// Accuracy of `params` on a fixed batch.
+double accuracy_on(nn::Model& workspace, const std::vector<float>& params, const FixedBatch& b);
+
+/// Loss of `params` on a fixed batch.
+double loss_on(nn::Model& workspace, const std::vector<float>& params, const FixedBatch& b);
+
+}  // namespace pdsl::sim

@@ -1,0 +1,36 @@
+#include "sim/metrics.hpp"
+
+#include <stdexcept>
+
+#include "common/vec_math.hpp"
+
+namespace pdsl::sim {
+
+double consensus_distance(const std::vector<std::vector<float>>& models) {
+  if (models.empty()) return 0.0;
+  const auto avg = average_model(models);
+  double acc = 0.0;
+  for (const auto& m : models) acc += l2_distance(m, avg);
+  return acc / static_cast<double>(models.size());
+}
+
+std::vector<float> average_model(const std::vector<std::vector<float>>& models) {
+  if (models.empty()) throw std::invalid_argument("average_model: no models");
+  std::vector<const std::vector<float>*> ptrs;
+  ptrs.reserve(models.size());
+  for (const auto& m : models) ptrs.push_back(&m);
+  return mean_of(ptrs);
+}
+
+void write_metrics_csv(const std::string& path, const std::string& run_label,
+                       const std::vector<RoundMetrics>& series) {
+  CsvWriter csv(path, {"run", "round", "avg_loss", "test_accuracy", "consensus", "grad_norm",
+                       "messages", "bytes", "elapsed_s"});
+  for (const auto& m : series) {
+    csv.row(run_label, m.round, m.avg_loss, m.test_accuracy, m.consensus, m.grad_norm,
+            m.messages, m.bytes, m.elapsed_s);
+  }
+  csv.flush();
+}
+
+}  // namespace pdsl::sim

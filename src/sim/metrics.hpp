@@ -1,0 +1,36 @@
+#pragma once
+// Per-round experiment metrics: the quantities the paper's figures and tables
+// report (average training loss, test accuracy) plus diagnostics (consensus
+// distance, communication volume).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+
+namespace pdsl::sim {
+
+struct RoundMetrics {
+  std::size_t round = 0;
+  double avg_loss = 0.0;        ///< mean over agents of F_i(x_i) on local eval data
+  double test_accuracy = 0.0;   ///< mean over agents of accuracy(x_i) on the test set
+  double consensus = 0.0;       ///< mean over agents of ||x_i - x_bar||_2
+  double grad_norm = 0.0;       ///< ||grad of F at x_bar|| proxy if recorded (else 0)
+  std::size_t messages = 0;     ///< cumulative network messages so far
+  std::size_t bytes = 0;        ///< cumulative network bytes so far
+  double elapsed_s = 0.0;
+};
+
+/// Mean over agents of ||x_i - mean_j x_j||.
+double consensus_distance(const std::vector<std::vector<float>>& models);
+
+/// Average of per-agent flat models.
+std::vector<float> average_model(const std::vector<std::vector<float>>& models);
+
+/// Write a metrics series to CSV (columns: round, avg_loss, test_accuracy,
+/// consensus, grad_norm, messages, bytes, elapsed_s).
+void write_metrics_csv(const std::string& path, const std::string& run_label,
+                       const std::vector<RoundMetrics>& series);
+
+}  // namespace pdsl::sim

@@ -1,0 +1,60 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace pdsl::sim {
+
+Network::Network(const graph::Topology& topo, Options opts)
+    : topo_(topo), opts_(opts), rng_(opts.seed) {
+  if (opts.drop_prob < 0.0 || opts.drop_prob >= 1.0) {
+    throw std::invalid_argument("Network: drop_prob must be in [0,1)");
+  }
+}
+
+bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
+                   std::vector<float> payload) {
+  if (src >= topo_.size() || dst >= topo_.size()) {
+    throw std::out_of_range("Network::send: agent id out of range");
+  }
+  if (src == dst) {
+    if (!opts_.allow_self_send) throw std::invalid_argument("Network::send: self send disabled");
+  } else if (!topo_.has_edge(src, dst)) {
+    throw std::invalid_argument("Network::send: (" + std::to_string(src) + "," +
+                                std::to_string(dst) + ") is not an edge");
+  }
+  ++sent_;
+  const bool lossy_channel = (src != dst) && opts_.compressor != nullptr;
+  bytes_ += lossy_channel ? opts_.compressor->wire_bytes(payload)
+                          : payload.size() * sizeof(float);
+  if (src != dst && opts_.drop_prob > 0.0 && rng_.bernoulli(opts_.drop_prob)) {
+    ++dropped_;
+    return false;
+  }
+  if (lossy_channel) payload = opts_.compressor->apply(payload);
+  boxes_[Key{src, dst, tag}].push(std::move(payload));
+  return true;
+}
+
+std::optional<std::vector<float>> Network::receive(std::size_t dst, std::size_t src,
+                                                   const std::string& tag) {
+  const auto it = boxes_.find(Key{src, dst, tag});
+  if (it == boxes_.end() || it->second.empty()) return std::nullopt;
+  std::vector<float> payload = std::move(it->second.front());
+  it->second.pop();
+  if (it->second.empty()) boxes_.erase(it);
+  return payload;
+}
+
+bool Network::has_message(std::size_t dst, std::size_t src, const std::string& tag) const {
+  const auto it = boxes_.find(Key{src, dst, tag});
+  return it != boxes_.end() && !it->second.empty();
+}
+
+std::size_t Network::clear() {
+  std::size_t n = 0;
+  for (auto& [key, q] : boxes_) n += q.size();
+  boxes_.clear();
+  return n;
+}
+
+}  // namespace pdsl::sim

@@ -1,0 +1,82 @@
+#pragma once
+// In-process message-passing network (S7). Algorithms may only move data
+// between agents through send/receive on an edge of the topology — this keeps
+// implementations honest about what is communicated (and lets us count
+// messages/bytes, the "cost" axis of decentralized learning) even though
+// everything runs in one process. Optional loss injection models unreliable
+// links for the fault-tolerance tests.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/compressor.hpp"
+#include "graph/topology.hpp"
+
+namespace pdsl::sim {
+
+struct NetworkOptions {
+  double drop_prob = 0.0;     ///< probability a message is silently lost
+  std::uint64_t seed = 7;     ///< for drop decisions
+  bool allow_self_send = true;
+  /// Optional lossy channel compression (borrowed; must outlive the
+  /// Network). Applied to every inter-agent payload; bytes_sent() then
+  /// counts wire bytes under the scheme instead of dense floats.
+  const compress::Compressor* compressor = nullptr;
+};
+
+class Network {
+ public:
+  using Options = NetworkOptions;
+
+  explicit Network(const graph::Topology& topo, Options opts = {});
+
+  /// Enqueue a payload from src to dst under `tag`. Throws if (src,dst) is
+  /// not an edge (or self without allow_self_send). Returns false if the
+  /// message was dropped by fault injection.
+  bool send(std::size_t src, std::size_t dst, const std::string& tag,
+            std::vector<float> payload);
+
+  /// Dequeue the oldest message from src to dst under `tag`; nullopt if none
+  /// arrived (never sent, or dropped).
+  std::optional<std::vector<float>> receive(std::size_t dst, std::size_t src,
+                                            const std::string& tag);
+
+  /// True if a message is waiting.
+  [[nodiscard]] bool has_message(std::size_t dst, std::size_t src, const std::string& tag) const;
+
+  /// Drop any undelivered messages (call between rounds to catch protocol
+  /// bugs where a round leaves mail unread). Returns the number discarded.
+  std::size_t clear();
+
+  [[nodiscard]] std::size_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::size_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t bytes_sent() const { return bytes_; }
+  [[nodiscard]] const graph::Topology& topology() const { return topo_; }
+
+ private:
+  struct Key {
+    std::size_t src;
+    std::size_t dst;
+    std::string tag;
+    bool operator<(const Key& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return tag < o.tag;
+    }
+  };
+
+  graph::Topology topo_;  ///< owned copy: callers may pass temporaries
+  Options opts_;
+  Rng rng_;
+  std::map<Key, std::queue<std::vector<float>>> boxes_;
+  std::size_t sent_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace pdsl::sim

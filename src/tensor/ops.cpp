@@ -1,0 +1,129 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pdsl {
+
+namespace {
+void require_2d(const Tensor& t, const char* what) {
+  if (t.rank() != 2) throw std::invalid_argument(std::string(what) + ": tensor must be 2-D");
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_2d(a, "matmul");
+  require_2d(b, "matmul");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dimension mismatch");
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  require_2d(a, "matmul_transpose_a");
+  require_2d(b, "matmul_transpose_a");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != m) throw std::invalid_argument("matmul_transpose_a: dimension mismatch");
+  Tensor c(Shape{k, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + i * n;
+      float* crow = pc + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  require_2d(a, "matmul_transpose_b");
+  require_2d(b, "matmul_transpose_b");
+  const std::size_t m = a.dim(0), n = a.dim(1), k = b.dim(0);
+  if (b.dim(1) != n) throw std::invalid_argument("matmul_transpose_b: dimension mismatch");
+  Tensor c(Shape{m, k});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const float* arow = pa + i * n;
+      const float* brow = pb + j * n;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < n; ++p) acc += static_cast<double>(arow[p]) * brow[p];
+      pc[i * k + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  require_2d(logits, "softmax_rows");
+  const std::size_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out(Shape{rows, cols});
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    const float mx = *std::max_element(in, in + cols);
+    double total = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      total += o[c];
+    }
+    const auto inv = static_cast<float>(1.0 / total);
+    for (std::size_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+double sum(const Tensor& t) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) acc += t[i];
+  return acc;
+}
+
+std::size_t argmax_row(const Tensor& t, std::size_t r) {
+  require_2d(t, "argmax_row");
+  const std::size_t cols = t.dim(1);
+  const float* row = t.data() + r * cols;
+  return static_cast<std::size_t>(std::max_element(row, row + cols) - row);
+}
+
+double frobenius_norm(const Tensor& t) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) acc += static_cast<double>(t[i]) * t[i];
+  return std::sqrt(acc);
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("add: shape mismatch");
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor scaled(const Tensor& a, float s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+}  // namespace pdsl

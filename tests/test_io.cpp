@@ -1,0 +1,149 @@
+// Checkpoint serialization: round trips, corruption detection, fleet I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "core/pdsl.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "io/checkpoint.hpp"
+#include "nn/model_zoo.hpp"
+
+using namespace pdsl;
+using namespace pdsl::io;
+
+namespace {
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  rng.fill_normal(v, 0.0, 1.0);
+  return v;
+}
+}  // namespace
+
+TEST(Checkpoint, SingleRoundTrip) {
+  const std::string path = "/tmp/pdsl_ckpt_single.bin";
+  const auto params = random_vec(1234, 1);
+  save_params(path, params);
+  EXPECT_EQ(load_params(path), params);
+}
+
+TEST(Checkpoint, EmptyVectorRoundTrips) {
+  const std::string path = "/tmp/pdsl_ckpt_empty.bin";
+  save_params(path, {});
+  EXPECT_TRUE(load_params(path).empty());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(load_params("/tmp/definitely_missing_pdsl.bin"), std::runtime_error);
+}
+
+TEST(Checkpoint, BadMagicDetected) {
+  const std::string path = "/tmp/pdsl_ckpt_magic.bin";
+  std::ofstream(path) << "this is not a checkpoint at all, not even close";
+  EXPECT_THROW(load_params(path), std::runtime_error);
+}
+
+TEST(Checkpoint, TruncationDetected) {
+  const std::string path = "/tmp/pdsl_ckpt_trunc.bin";
+  save_params(path, random_vec(1000, 2));
+  // Truncate the file to half its size.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  EXPECT_THROW(load_params(path), std::runtime_error);
+}
+
+TEST(Checkpoint, CorruptionDetectedByChecksum) {
+  const std::string path = "/tmp/pdsl_ckpt_corrupt.bin";
+  save_params(path, random_vec(500, 3));
+  // Flip one payload byte (past the 24-byte header).
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(24 + 100);
+  char byte;
+  f.read(&byte, 1);
+  f.seekp(24 + 100);
+  byte = static_cast<char>(byte ^ 0x5A);
+  f.write(&byte, 1);
+  f.close();
+  EXPECT_THROW(load_params(path), std::runtime_error);
+}
+
+TEST(Checkpoint, FleetRoundTrip) {
+  const std::string path = "/tmp/pdsl_ckpt_fleet.bin";
+  std::vector<std::vector<float>> fleet;
+  for (std::uint64_t i = 0; i < 5; ++i) fleet.push_back(random_vec(321, 10 + i));
+  save_fleet(path, fleet);
+  EXPECT_EQ(load_fleet(path), fleet);
+}
+
+TEST(Checkpoint, FleetValidation) {
+  EXPECT_THROW(save_fleet("/tmp/pdsl_ckpt_bad.bin", {}), std::invalid_argument);
+  EXPECT_THROW(save_fleet("/tmp/pdsl_ckpt_bad.bin", {{1.0f}, {1.0f, 2.0f}}),
+               std::invalid_argument);
+}
+
+TEST(Checkpoint, SingleAndFleetFormatsAreDistinct) {
+  const std::string path = "/tmp/pdsl_ckpt_cross.bin";
+  save_params(path, random_vec(10, 4));
+  EXPECT_THROW(load_fleet(path), std::runtime_error);
+}
+
+TEST(Checkpoint, ModelWeightsSurviveRoundTrip) {
+  Rng rng(5);
+  nn::Model model = nn::make_mlp(16, 8, 4);
+  model.init(rng);
+  const std::string path = "/tmp/pdsl_ckpt_model.bin";
+  save_params(path, model.flat_params());
+  nn::Model restored = nn::make_mlp(16, 8, 4);
+  restored.set_flat_params(load_params(path));
+  EXPECT_EQ(restored.flat_params(), model.flat_params());
+}
+
+TEST(Checkpoint, WarmStartRestoresAlgorithmFleet) {
+  // End-to-end: checkpoint a PDSL fleet, restore into a fresh instance.
+  using namespace pdsl;
+  Rng rng(7);
+  auto pool = data::make_gaussian_mixture(300, 3, 4, 2.0, 0.5, 8);
+  auto [train, validation] = data::split_off(pool, 60, rng);
+  const auto topo = graph::Topology::make(graph::TopologyKind::kRing, 4);
+  const auto mixing = graph::MixingMatrix::metropolis(topo);
+  const nn::Model model = nn::make_logistic(4, 3);
+  const auto partition = data::iid_partition(train, 4, rng);
+  algos::Env env;
+  env.topo = &topo;
+  env.mixing = &mixing;
+  env.train = &train;
+  env.validation = &validation;
+  env.model_template = &model;
+  env.partition = &partition;
+  env.hp.gamma = 0.05;
+  env.hp.batch = 8;
+  env.hp.shapley_permutations = 2;
+  env.hp.validation_batch = 16;
+  env.seed = 3;
+
+  core::Pdsl a(env);
+  for (std::size_t t = 1; t <= 3; ++t) a.run_round(t);
+  const std::string path = "/tmp/pdsl_ckpt_warm.bin";
+  save_fleet(path, a.models());
+
+  core::Pdsl b(env);
+  b.set_models(load_fleet(path));
+  EXPECT_EQ(b.models(), a.models());
+  EXPECT_THROW(b.set_models({{1.0f}}), std::invalid_argument);
+}
+
+TEST(Checkpoint, Fnv1aIsStableAndSensitive) {
+  const auto v = random_vec(64, 6);
+  EXPECT_EQ(fnv1a(v), fnv1a(v));
+  auto w = v;
+  w[10] += 1.0f;
+  EXPECT_NE(fnv1a(v), fnv1a(w));
+}

@@ -1,0 +1,167 @@
+// Model-level behaviour: flat parameter views, cloning, the loss head, and
+// end-to-end learning on a separable toy problem.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+#include "nn/activations.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/model.hpp"
+#include "nn/model_zoo.hpp"
+
+using namespace pdsl;
+using namespace pdsl::nn;
+
+namespace {
+Model tiny_mlp(Rng& rng) {
+  Model m;
+  m.emplace<Linear>(4, 8);
+  m.emplace<ReLU>();
+  m.emplace<Linear>(8, 3);
+  m.init(rng);
+  return m;
+}
+}  // namespace
+
+TEST(Model, FlatParamsRoundTrip) {
+  Rng rng(1);
+  Model m = tiny_mlp(rng);
+  auto flat = m.flat_params();
+  EXPECT_EQ(flat.size(), m.num_params());
+  EXPECT_EQ(flat.size(), 4u * 8 + 8 + 8 * 3 + 3);
+  for (auto& v : flat) v += 0.5f;
+  m.set_flat_params(flat);
+  EXPECT_EQ(m.flat_params(), flat);
+  flat.pop_back();
+  EXPECT_THROW(m.set_flat_params(flat), std::invalid_argument);
+}
+
+TEST(Model, CopyIsDeep) {
+  Rng rng(2);
+  Model a = tiny_mlp(rng);
+  Model b = a;
+  auto flat = a.flat_params();
+  flat[0] += 1.0f;
+  a.set_flat_params(flat);
+  EXPECT_NE(a.flat_params()[0], b.flat_params()[0]);
+}
+
+TEST(Model, ZeroGradClearsAccumulation) {
+  Rng rng(3);
+  Model m = tiny_mlp(rng);
+  Tensor x(Shape{2, 4}, 0.5f);
+  m.loss_and_backward(x, {0, 1});
+  const auto g1 = m.flat_grad();
+  m.loss_and_backward(x, {0, 1});  // zero_grad is internal to loss_and_backward
+  const auto g2 = m.flat_grad();
+  for (std::size_t i = 0; i < g1.size(); ++i) EXPECT_FLOAT_EQ(g1[i], g2[i]);
+}
+
+TEST(Model, LossDecreasesUnderSgd) {
+  Rng rng(4);
+  Model m = tiny_mlp(rng);
+  const auto ds = data::make_gaussian_mixture(300, 3, 4, 2.0, 0.5, 11);
+  const Tensor x = ds.all_features().reshaped(Shape{ds.size(), 4});
+  const auto y = ds.labels();
+
+  const double initial = m.loss(x, y);
+  for (int step = 0; step < 60; ++step) {
+    m.loss_and_backward(x, y);
+    auto params = m.flat_params();
+    const auto grad = m.flat_grad();
+    for (std::size_t i = 0; i < params.size(); ++i) params[i] -= 0.5f * grad[i];
+    m.set_flat_params(params);
+  }
+  const double trained = m.loss(x, y);
+  EXPECT_LT(trained, initial * 0.5);
+  EXPECT_GT(m.accuracy(x, y), 0.8);
+}
+
+TEST(Model, PerSampleCorrectMatchesAccuracy) {
+  Rng rng(5);
+  Model m = tiny_mlp(rng);
+  Tensor x(Shape{10, 4});
+  rng.fill_normal(x.vec(), 0.0, 1.0);
+  std::vector<int> y(10, 1);
+  const auto correct = m.per_sample_correct(x, y);
+  double frac = 0.0;
+  for (bool c : correct) frac += c ? 1.0 : 0.0;
+  frac /= 10.0;
+  EXPECT_DOUBLE_EQ(frac, m.accuracy(x, y));
+}
+
+TEST(Model, LossRejectsBadLabels) {
+  Rng rng(6);
+  Model m = tiny_mlp(rng);
+  Tensor x(Shape{2, 4}, 0.1f);
+  EXPECT_THROW(m.loss(x, {0, 3}), std::out_of_range);   // 3 classes: labels 0..2
+  EXPECT_THROW(m.loss(x, {0}), std::invalid_argument);  // count mismatch
+}
+
+TEST(ModelZoo, MnistCnnShapesAndForward) {
+  Rng rng(7);
+  Model m = make_mnist_cnn(28, 1, 10);
+  m.init(rng);
+  Tensor x(Shape{2, 1, 28, 28}, 0.1f);
+  const Tensor out = m.forward(x);
+  EXPECT_EQ(out.shape(), (Shape{2, 10}));
+}
+
+TEST(ModelZoo, MnistCnnReducedScale) {
+  Rng rng(8);
+  Model m = make_mnist_cnn(14, 1, 10);
+  m.init(rng);
+  Tensor x(Shape{3, 1, 14, 14}, 0.1f);
+  EXPECT_EQ(m.forward(x).shape(), (Shape{3, 10}));
+}
+
+TEST(ModelZoo, CifarCnnShapes) {
+  Rng rng(9);
+  Model m = make_cifar_cnn(32, 3, 10);
+  m.init(rng);
+  Tensor x(Shape{2, 3, 32, 32}, 0.1f);
+  EXPECT_EQ(m.forward(x).shape(), (Shape{2, 10}));
+}
+
+TEST(ModelZoo, CifarCnnReducedScale) {
+  Rng rng(10);
+  Model m = make_cifar_cnn(16, 3, 10);
+  m.init(rng);
+  Tensor x(Shape{2, 3, 16, 16}, 0.1f);
+  EXPECT_EQ(m.forward(x).shape(), (Shape{2, 10}));
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  nn::LayerNorm ln(4);
+  Rng rng(20);
+  ln.init(rng);
+  Tensor x(Shape{3, 4}, {1, 2, 3, 4, -10, 0, 10, 20, 5, 5, 5, 6});
+  const Tensor y = ln.forward(x);
+  for (std::size_t r = 0; r < 3; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) mean += y.at2(r, c);
+    mean /= 4.0;
+    for (std::size_t c = 0; c < 4; ++c) var += (y.at2(r, c) - mean) * (y.at2(r, c) - mean);
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 2e-2);
+  }
+  EXPECT_THROW(nn::LayerNorm(0), std::invalid_argument);
+}
+
+TEST(ModelZoo, FactoryDispatchAndErrors) {
+  Rng rng(11);
+  Model mlp = make_model("mlp", 8, 1, 10, 16);
+  mlp.init(rng);
+  Tensor x(Shape{1, 1, 8, 8}, 0.2f);
+  EXPECT_EQ(mlp.forward(x).shape(), (Shape{1, 10}));
+
+  Model logistic = make_model("logistic", 8, 1, 10);
+  logistic.init(rng);
+  EXPECT_EQ(logistic.forward(x).shape(), (Shape{1, 10}));
+  EXPECT_EQ(logistic.num_params(), 64u * 10 + 10);
+
+  EXPECT_THROW(make_model("vit", 8, 1, 10), std::invalid_argument);
+}

@@ -1,0 +1,221 @@
+// PDSL integration tests: Algorithm 1 end to end on small problems, the
+// Shapley observability hooks, the uniform-weights ablation and protocol
+// robustness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pdsl.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "nn/model_zoo.hpp"
+
+using namespace pdsl;
+using namespace pdsl::algos;
+using pdsl::core::Pdsl;
+
+namespace {
+
+struct Fixture {
+  data::Dataset train;
+  data::Dataset validation;
+  data::Dataset test;
+  graph::Topology topo;
+  graph::MixingMatrix mixing;
+  nn::Model model;
+  std::vector<std::vector<std::size_t>> partition;
+
+  static Fixture make(std::size_t agents, const std::string& topology, bool heterogeneous,
+                      std::uint64_t seed = 31) {
+    Rng rng(seed);
+    auto pool = data::make_gaussian_mixture(800, 4, 6, 2.5, 0.5, seed);
+    auto [rest, test] = data::split_off(pool, 120, rng);
+    auto [train, validation] = data::split_off(rest, 120, rng);
+    auto topo = graph::Topology::make(graph::topology_from_string(topology), agents, &rng);
+    auto mixing = graph::MixingMatrix::metropolis(topo);
+    nn::Model model = nn::make_mlp(6, 12, 4);
+    std::vector<std::vector<std::size_t>> partition;
+    if (heterogeneous) {
+      data::PartitionOptions opts;
+      opts.mu = 0.15;
+      partition = data::dirichlet_partition(train, agents, opts, rng);
+    } else {
+      partition = data::iid_partition(train, agents, rng);
+    }
+    return Fixture{std::move(train), std::move(validation), std::move(test),
+                   std::move(topo),  std::move(mixing),     std::move(model),
+                   std::move(partition)};
+  }
+
+  Env env(double sigma = 0.0) const {
+    Env e;
+    e.topo = &topo;
+    e.mixing = &mixing;
+    e.train = &train;
+    e.validation = &validation;
+    e.model_template = &model;
+    e.partition = &partition;
+    e.hp.gamma = 0.05;
+    e.hp.alpha = 0.5;
+    e.hp.clip = 5.0;
+    e.hp.sigma = sigma;
+    e.hp.batch = 16;
+    e.hp.shapley_permutations = 4;
+    e.hp.validation_batch = 40;
+    e.seed = 13;
+    return e;
+  }
+};
+
+}  // namespace
+
+TEST(Pdsl, RequiresValidationSet) {
+  const auto fx = Fixture::make(4, "ring", false);
+  Env env = fx.env();
+  env.validation = nullptr;
+  EXPECT_THROW(Pdsl{env}, std::invalid_argument);
+}
+
+TEST(Pdsl, LearnsOnIidRing) {
+  const auto fx = Fixture::make(4, "ring", false);
+  Pdsl alg(fx.env(0.0));
+  MetricsOptions mopts;
+  mopts.test_subsample = 120;
+  mopts.eval_every = 25;
+  const auto series = run_with_metrics(alg, 25, fx.test, mopts);
+  EXPECT_GT(series.back().test_accuracy, 0.6);
+  EXPECT_LT(series.back().avg_loss, series.front().avg_loss);
+}
+
+TEST(Pdsl, LearnsUnderHeterogeneityAndNoise) {
+  const auto fx = Fixture::make(5, "full", true);
+  Pdsl alg(fx.env(0.05));
+  MetricsOptions mopts;
+  mopts.test_subsample = 120;
+  mopts.eval_every = 30;
+  const auto series = run_with_metrics(alg, 30, fx.test, mopts);
+  EXPECT_GT(series.back().test_accuracy, 0.5);
+}
+
+TEST(Pdsl, ShapleyHooksArePopulatedAndEfficient) {
+  const auto fx = Fixture::make(4, "full", true);
+  Pdsl alg(fx.env(0.0));
+  alg.run_round(1);
+  ASSERT_EQ(alg.last_shapley().size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    // Fully connected closed neighborhood of 4 agents.
+    EXPECT_EQ(alg.last_shapley()[i].size(), 4u);
+    EXPECT_EQ(alg.last_pi()[i].size(), 4u);
+    for (double pi : alg.last_pi()[i]) {
+      EXPECT_GE(pi, 0.0);
+      EXPECT_TRUE(std::isfinite(pi));
+    }
+  }
+  EXPECT_GT(alg.last_characteristic_evals(), 0u);
+  EXPECT_GT(alg.observed_phi_hat_min(), 0.0);
+  EXPECT_LE(alg.observed_phi_hat_min(), 1.0 + 1e-12);
+}
+
+TEST(Pdsl, ExactShapleyPathRuns) {
+  const auto fx = Fixture::make(4, "ring", true);
+  Env env = fx.env(0.0);
+  env.hp.exact_shapley = true;
+  Pdsl alg(env);
+  alg.run_round(1);
+  // Ring closed neighborhood = 3 players -> exact enumeration = 7 coalitions
+  // per agent at most (cached), and Shapley efficiency must hold per agent:
+  // sum phi = v(full) - v(empty) = validation accuracy of full average.
+  for (std::size_t i = 0; i < 4; ++i) {
+    double total = 0.0;
+    for (double p : alg.last_shapley()[i]) total += p;
+    EXPECT_GE(total, -1e-9);
+    EXPECT_LE(total, 1.0 + 1e-9);  // accuracy-valued characteristic function
+  }
+}
+
+TEST(Pdsl, UniformAblationRunsAndNames) {
+  const auto fx = Fixture::make(4, "ring", true);
+  Pdsl uniform(fx.env(0.0), Pdsl::Options{true});
+  EXPECT_EQ(uniform.name(), "PDSL-uniform");
+  uniform.run_round(1);
+  // Uniform weights: pi_k = (1/n) / w_ik.
+  const auto hood = fx.topo.closed_neighborhood(0);
+  for (std::size_t k = 0; k < hood.size(); ++k) {
+    const double expect = (1.0 / static_cast<double>(hood.size())) / fx.mixing(0, hood[k]);
+    EXPECT_NEAR(uniform.last_pi()[0][k], expect, 1e-9);
+  }
+}
+
+TEST(Pdsl, AlternativeShapleyEstimatorsRun) {
+  const auto fx = Fixture::make(4, "full", true);
+  for (const std::string method : {"mc", "tmc", "stratified", "exact"}) {
+    Env env = fx.env(0.05);
+    env.hp.shapley_method = method;
+    Pdsl alg(env);
+    alg.run_round(1);
+    for (double pi : alg.last_pi()[0]) EXPECT_TRUE(std::isfinite(pi)) << method;
+  }
+}
+
+TEST(Pdsl, RobustVariantSurvivesByzantineAgents) {
+  // Gradient-poisoning adversaries: 1 of 4 agents flips+amplifies the
+  // cross-gradients it sends. The robust variant (loss characteristic +
+  // ReLU normalization) must keep learning; see bench_ablation_shapley for
+  // the full comparison.
+  const auto fx = Fixture::make(4, "full", false, 57);
+  Pdsl::Options popts;
+  popts.byzantine_agents = 1;
+  popts.relu_normalization = true;
+  popts.loss_characteristic = true;
+  Env env = fx.env(0.02);
+  Pdsl robust(env, popts);
+  MetricsOptions mopts;
+  mopts.test_subsample = 120;
+  mopts.eval_every = 25;
+  const auto series = run_with_metrics(robust, 25, fx.test, mopts);
+  EXPECT_GT(series.back().test_accuracy, 0.5);
+  for (float v : robust.models()[1]) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Pdsl, DeterministicGivenSeed) {
+  const auto fx = Fixture::make(4, "ring", true);
+  Pdsl a(fx.env(0.1));
+  Pdsl b(fx.env(0.1));
+  for (std::size_t t = 1; t <= 3; ++t) {
+    a.run_round(t);
+    b.run_round(t);
+  }
+  EXPECT_EQ(a.models(), b.models());
+}
+
+TEST(Pdsl, SurvivesMessageLoss) {
+  const auto fx = Fixture::make(5, "full", true);
+  Env env = fx.env(0.05);
+  env.drop_prob = 0.25;
+  Pdsl alg(env);
+  for (std::size_t t = 1; t <= 6; ++t) alg.run_round(t);
+  for (const auto& m : alg.models()) {
+    for (float v : m) EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GT(alg.network().messages_dropped(), 0u);
+}
+
+TEST(Pdsl, NoUnreadMailAfterRound) {
+  const auto fx = Fixture::make(4, "full", false);
+  Pdsl alg(fx.env(0.0));
+  alg.run_round(1);
+  EXPECT_EQ(alg.network().clear(), 0u) << "protocol left unread messages";
+}
+
+TEST(Pdsl, ConsensusTightensOverRounds) {
+  const auto fx = Fixture::make(6, "full", false);
+  Pdsl alg(fx.env(0.0));
+  alg.run_round(1);
+  const double early = sim::consensus_distance(alg.models());
+  for (std::size_t t = 2; t <= 10; ++t) alg.run_round(t);
+  const double late = sim::consensus_distance(alg.models());
+  // Fully-connected metropolis averages to exact consensus every round.
+  EXPECT_LE(late, early + 1e-4);
+  EXPECT_LT(late, 1e-3);
+}

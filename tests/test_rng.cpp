@@ -1,0 +1,156 @@
+// Unit tests for the deterministic RNG substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+using pdsl::Rng;
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  Rng root(7);
+  Rng c1 = root.split(1);
+  Rng c2 = root.split(2);
+  Rng c1_again = Rng(7).split(1);
+  EXPECT_DOUBLE_EQ(c1.uniform(), c1_again.uniform());
+  // Splitting must not perturb the parent stream.
+  Rng fresh(7);
+  EXPECT_DOUBLE_EQ(root.uniform(), fresh.uniform());
+  // Children are distinct streams.
+  EXPECT_NE(c1.uniform(), c2.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng r(5);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.08);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, DirichletSumsToOneAndNonNegative) {
+  Rng r(6);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto p = r.dirichlet(std::vector<double>(8, 0.25));
+    double total = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletSmallAlphaIsConcentrated) {
+  // As alpha -> 0 the draw approaches a one-hot vector.
+  Rng r(7);
+  double max_mass = 0.0;
+  const int reps = 100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto p = r.dirichlet(std::vector<double>(10, 0.05));
+    max_mass += *std::max_element(p.begin(), p.end());
+  }
+  EXPECT_GT(max_mass / reps, 0.8);
+}
+
+TEST(Rng, DirichletLargeAlphaIsUniformish) {
+  Rng r(8);
+  const auto p = r.dirichlet(std::vector<double>(10, 500.0));
+  for (double v : p) EXPECT_NEAR(v, 0.1, 0.03);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng r(9);
+  const auto p = r.permutation(20);
+  std::vector<std::size_t> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, PermutationsVary) {
+  Rng r(10);
+  const auto a = r.permutation(12);
+  const auto b = r.permutation(12);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng r(11);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[r.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, CategoricalRejectsBadInput) {
+  Rng r(12);
+  EXPECT_THROW(r.categorical({}), std::invalid_argument);
+  EXPECT_THROW(r.categorical({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, FillNormalFills) {
+  Rng r(13);
+  std::vector<float> buf(1000, 0.0f);
+  r.fill_normal(buf, 0.0, 1.0);
+  double nonzero = 0;
+  for (float v : buf) nonzero += (v != 0.0f);
+  EXPECT_GT(nonzero, 990);
+}
+
+TEST(Rng, SplitMixAvalanche) {
+  // Adjacent inputs should produce very different outputs.
+  const auto a = pdsl::splitmix64(1);
+  const auto b = pdsl::splitmix64(2);
+  EXPECT_NE(a, b);
+  EXPECT_GT(__builtin_popcountll(a ^ b), 16);
+}

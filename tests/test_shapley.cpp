@@ -1,0 +1,303 @@
+// Shapley values: the classical axioms on the exact solver, Monte Carlo
+// convergence (Algorithm 2), and the normalization/weighting pipeline
+// (Eqs. 19-20).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "shapley/game.hpp"
+#include "shapley/shapley.hpp"
+#include "shapley/weighting.hpp"
+
+using namespace pdsl;
+using namespace pdsl::shapley;
+
+namespace {
+
+/// Additive game: v(S) = sum of per-player worths -> phi_i = worth_i.
+CharacteristicFn additive_game(std::vector<double> worth) {
+  return [worth = std::move(worth)](const std::vector<std::size_t>& coalition) {
+    double v = 0.0;
+    for (std::size_t p : coalition) v += worth[p];
+    return v;
+  };
+}
+
+/// Symmetric "majority" game: v(S) = 1 if |S| >= quota else 0.
+CharacteristicFn majority_game(std::size_t quota) {
+  return [quota](const std::vector<std::size_t>& coalition) {
+    return coalition.size() >= quota ? 1.0 : 0.0;
+  };
+}
+
+}  // namespace
+
+TEST(CachedGame, MemoizesAndCounts) {
+  std::size_t calls = 0;
+  CachedGame game(3, [&](const std::vector<std::size_t>& c) {
+    ++calls;
+    return static_cast<double>(c.size());
+  });
+  EXPECT_DOUBLE_EQ(game.value(0b101), 2.0);
+  EXPECT_DOUBLE_EQ(game.value(0b101), 2.0);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(game.evaluations(), 1u);
+  EXPECT_DOUBLE_EQ(game.value(0), 0.0);  // empty coalition is free
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(CachedGame, MembersRoundTrip) {
+  EXPECT_EQ(CachedGame::members(0b1011), (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_TRUE(CachedGame::members(0).empty());
+}
+
+TEST(CachedGame, Validation) {
+  EXPECT_THROW(CachedGame(0, additive_game({})), std::invalid_argument);
+  EXPECT_THROW(CachedGame(64, additive_game(std::vector<double>(64, 1.0))),
+               std::invalid_argument);
+  CachedGame g(2, additive_game({1, 2}));
+  EXPECT_THROW(g.value(0b100), std::out_of_range);
+}
+
+TEST(ExactShapley, AdditivityAxiom) {
+  // For additive games the Shapley value is each player's own worth.
+  CachedGame game(4, additive_game({1.0, -2.0, 0.5, 3.0}));
+  const auto phi = exact_shapley(game);
+  EXPECT_NEAR(phi[0], 1.0, 1e-12);
+  EXPECT_NEAR(phi[1], -2.0, 1e-12);
+  EXPECT_NEAR(phi[2], 0.5, 1e-12);
+  EXPECT_NEAR(phi[3], 3.0, 1e-12);
+}
+
+TEST(ExactShapley, EfficiencyAxiom) {
+  // Balance: payoffs sum to v(grand coalition).
+  CachedGame game(5, majority_game(3));
+  const auto phi = exact_shapley(game);
+  const double total = std::accumulate(phi.begin(), phi.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ExactShapley, SymmetryAxiom) {
+  CachedGame game(5, majority_game(3));
+  const auto phi = exact_shapley(game);
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_NEAR(phi[i], phi[0], 1e-12);
+}
+
+TEST(ExactShapley, NullPlayerAxiom) {
+  // Player 2 contributes nothing to any coalition.
+  CachedGame game(3, [](const std::vector<std::size_t>& c) {
+    double v = 0.0;
+    for (std::size_t p : c) {
+      if (p != 2) v += 1.0;
+    }
+    return v;
+  });
+  const auto phi = exact_shapley(game);
+  EXPECT_NEAR(phi[2], 0.0, 1e-12);
+  EXPECT_NEAR(phi[0], 1.0, 1e-12);
+}
+
+TEST(ExactShapley, GloveGameKnownValues) {
+  // Classic 3-player glove game: players {0,1} hold left gloves, {2} right.
+  // v(S) = 1 iff S contains player 2 and at least one of {0,1}.
+  CachedGame game(3, [](const std::vector<std::size_t>& c) {
+    bool right = false, left = false;
+    for (std::size_t p : c) {
+      if (p == 2) right = true;
+      else left = true;
+    }
+    return (right && left) ? 1.0 : 0.0;
+  });
+  const auto phi = exact_shapley(game);
+  EXPECT_NEAR(phi[0], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(phi[1], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(phi[2], 4.0 / 6.0, 1e-12);
+}
+
+TEST(ExactShapley, RefusesLargeGames) {
+  CachedGame game(21, majority_game(5));
+  EXPECT_THROW(exact_shapley(game), std::invalid_argument);
+}
+
+TEST(MonteCarloShapley, EfficiencyHoldsPerEstimate) {
+  // Every permutation telescopes to v(full) - v(empty), so even the MC
+  // estimate is exactly efficient.
+  CachedGame game(6, majority_game(4));
+  Rng rng(1);
+  const auto phi = monte_carlo_shapley(game, 20, rng);
+  EXPECT_NEAR(std::accumulate(phi.begin(), phi.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(MonteCarloShapley, ConvergesToExact) {
+  CachedGame game_a(6, additive_game({0.1, 0.9, 0.3, 0.5, 0.7, 0.2}));
+  const auto exact = exact_shapley(game_a);
+  CachedGame game_b(6, additive_game({0.1, 0.9, 0.3, 0.5, 0.7, 0.2}));
+  Rng rng(2);
+  const auto mc = monte_carlo_shapley(game_b, 3000, rng);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(mc[i], exact[i], 0.05);
+}
+
+class McAccuracy : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(McAccuracy, ErrorShrinksWithMorePermutations) {
+  const std::size_t R = GetParam();
+  auto fn = [](const std::vector<std::size_t>& c) {
+    // Superadditive game with asymmetric players.
+    double v = 0.0;
+    for (std::size_t p : c) v += static_cast<double>(p + 1);
+    return v * v / 100.0;
+  };
+  CachedGame exact_game(5, fn);
+  const auto exact = exact_shapley(exact_game);
+  double err = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    CachedGame g(5, fn);
+    Rng rng(100 + s);
+    const auto mc = monte_carlo_shapley(g, R, rng);
+    for (std::size_t i = 0; i < 5; ++i) err += std::abs(mc[i] - exact[i]);
+  }
+  // Calibrated loose bound ~ c/sqrt(R): at R=4 allow much more error than R=256.
+  EXPECT_LT(err / 25.0, 1.2 / std::sqrt(static_cast<double>(R)) + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(PermutationSweep, McAccuracy,
+                         ::testing::Values(std::size_t{4}, std::size_t{16}, std::size_t{64},
+                                           std::size_t{256}));
+
+TEST(ShapleyAuto, PicksExactForTinyGames) {
+  CachedGame g(3, majority_game(2));
+  Rng rng(3);
+  const auto phi = shapley_auto(g, 1000, rng);
+  CachedGame g2(3, majority_game(2));
+  const auto exact = exact_shapley(g2);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(phi[i], exact[i], 1e-12);
+}
+
+TEST(TruncatedMc, MatchesMcWhenNothingTruncates) {
+  // With tolerance 0 (and a strictly increasing game) no truncation happens,
+  // so TMC equals plain MC on the same rng stream.
+  auto fn = additive_game({0.3, 0.1, 0.4, 0.2});
+  CachedGame a(4, fn), b(4, fn);
+  Rng r1(5), r2(5);
+  const auto mc = monte_carlo_shapley(a, 50, r1);
+  TruncatedMcOptions opts;
+  opts.num_permutations = 50;
+  opts.tolerance = 0.0;
+  const auto tmc = truncated_monte_carlo_shapley(b, opts, r2);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(tmc[i], mc[i], 1e-12);
+}
+
+TEST(TruncatedMc, SavesEvaluationsOnSaturatingGames) {
+  // v saturates at 1 once any two players join: deep prefixes are skipped.
+  auto fn = majority_game(2);
+  CachedGame full_game(10, fn);
+  Rng r1(6);
+  (void)monte_carlo_shapley(full_game, 30, r1);
+  CachedGame trunc_game(10, fn);
+  Rng r2(6);
+  TruncatedMcOptions opts;
+  opts.num_permutations = 30;
+  opts.tolerance = 0.001;
+  const auto phi = truncated_monte_carlo_shapley(trunc_game, opts, r2);
+  EXPECT_LT(trunc_game.evaluations(), full_game.evaluations());
+  // Still roughly symmetric and efficient-ish.
+  double total = std::accumulate(phi.begin(), phi.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(TruncatedMc, Validation) {
+  CachedGame g(3, majority_game(2));
+  Rng rng(7);
+  TruncatedMcOptions opts;
+  opts.num_permutations = 0;
+  EXPECT_THROW(truncated_monte_carlo_shapley(g, opts, rng), std::invalid_argument);
+  opts.num_permutations = 2;
+  opts.tolerance = -1.0;
+  EXPECT_THROW(truncated_monte_carlo_shapley(g, opts, rng), std::invalid_argument);
+}
+
+TEST(Stratified, ConvergesToExactOnAdditiveGame) {
+  auto fn = additive_game({0.5, -0.2, 0.8, 0.1, 0.3});
+  CachedGame g(5, fn);
+  Rng rng(8);
+  const auto phi = stratified_shapley(g, 40, rng);
+  // Additive games: stratified estimator is unbiased with zero variance in
+  // the marginal (marginal of i is worth_i regardless of coalition).
+  EXPECT_NEAR(phi[0], 0.5, 1e-9);
+  EXPECT_NEAR(phi[2], 0.8, 1e-9);
+}
+
+TEST(Stratified, ApproximatesExactOnInteractionGame) {
+  auto fn = [](const std::vector<std::size_t>& c) {
+    double v = 0.0;
+    for (std::size_t p : c) v += static_cast<double>(p + 1);
+    return v * v / 50.0;
+  };
+  CachedGame exact_g(5, fn);
+  const auto exact = exact_shapley(exact_g);
+  CachedGame strat_g(5, fn);
+  Rng rng(9);
+  const auto strat = stratified_shapley(strat_g, 200, rng);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(strat[i], exact[i], 0.08);
+}
+
+TEST(Stratified, Validation) {
+  CachedGame g(3, majority_game(2));
+  Rng rng(10);
+  EXPECT_THROW(stratified_shapley(g, 0, rng), std::invalid_argument);
+}
+
+TEST(Weighting, MinMaxNormalization) {
+  const auto out = minmax_normalize({2.0, 4.0, 3.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(Weighting, DegenerateNormalizationFallsBackToOnes) {
+  const auto out = minmax_normalize({0.7, 0.7, 0.7});
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_THROW(minmax_normalize({}), std::invalid_argument);
+}
+
+TEST(Weighting, AggregationWeightsMatchEq20) {
+  // pi_j = phî_j / (w_j * sum_k phî_k)
+  const std::vector<double> phi_hat = {0.0, 1.0, 0.5};
+  const std::vector<double> w_row = {0.25, 0.25, 0.5};
+  const auto pi = aggregation_weights(phi_hat, w_row);
+  EXPECT_NEAR(pi[0], 0.0, 1e-12);
+  EXPECT_NEAR(pi[1], (1.0 / 1.5) / 0.25, 1e-12);
+  EXPECT_NEAR(pi[2], (0.5 / 1.5) / 0.5, 1e-12);
+}
+
+TEST(Weighting, AggregationWeightsGuards) {
+  EXPECT_THROW(aggregation_weights({1.0}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(aggregation_weights({-1.0, 1.0}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(aggregation_weights({1.0, 1.0}, {0.0, 0.5}), std::invalid_argument);
+  // All-zero phi_hat degrades to uniform shares.
+  const auto pi = aggregation_weights({0.0, 0.0}, {0.5, 0.5});
+  EXPECT_NEAR(pi[0], 1.0, 1e-12);
+  EXPECT_NEAR(pi[1], 1.0, 1e-12);
+}
+
+TEST(Weighting, ReluNormalization) {
+  const auto out = relu_normalize({-0.5, 1.0, 0.25, -0.1});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.25);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+  // All non-positive: fall back to all-ones (uniform prior).
+  const auto flat = relu_normalize({-1.0, -2.0, 0.0});
+  for (double v : flat) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_THROW(relu_normalize({}), std::invalid_argument);
+}
+
+TEST(Weighting, NormalizedShares) {
+  const auto s = normalized_shares({1.0, 3.0});
+  EXPECT_NEAR(s[0], 0.25, 1e-12);
+  EXPECT_NEAR(s[1], 0.75, 1e-12);
+  const auto uniform = normalized_shares({0.0, 0.0, 0.0});
+  for (double v : uniform) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}

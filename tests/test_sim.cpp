@@ -1,0 +1,179 @@
+// Simulation runtime: network semantics (edges, mailboxes, fault injection),
+// the local worker gradient oracle, evaluation helpers and metrics.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/evaluate.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/worker.hpp"
+
+using namespace pdsl;
+using namespace pdsl::sim;
+
+namespace {
+graph::Topology ring(std::size_t n) { return graph::Topology::make(graph::TopologyKind::kRing, n); }
+}  // namespace
+
+TEST(Network, DeliversFifoPerChannel) {
+  const auto topo = ring(4);
+  Network net(topo);
+  net.send(0, 1, "a", {1.0f});
+  net.send(0, 1, "a", {2.0f});
+  auto first = net.receive(1, 0, "a");
+  auto second = net.receive(1, 0, "a");
+  ASSERT_TRUE(first && second);
+  EXPECT_FLOAT_EQ((*first)[0], 1.0f);
+  EXPECT_FLOAT_EQ((*second)[0], 2.0f);
+  EXPECT_FALSE(net.receive(1, 0, "a").has_value());
+}
+
+TEST(Network, TagsAreIsolated) {
+  Network net(ring(4));
+  net.send(0, 1, "x", {1.0f});
+  EXPECT_FALSE(net.receive(1, 0, "y").has_value());
+  EXPECT_TRUE(net.receive(1, 0, "x").has_value());
+}
+
+TEST(Network, EnforcesTopology) {
+  Network net(ring(5));
+  EXPECT_THROW(net.send(0, 2, "a", {1.0f}), std::invalid_argument);  // not an edge
+  EXPECT_THROW(net.send(0, 9, "a", {1.0f}), std::out_of_range);
+  EXPECT_NO_THROW(net.send(0, 1, "a", {1.0f}));
+  EXPECT_NO_THROW(net.send(0, 0, "a", {1.0f}));  // self allowed by default
+}
+
+TEST(Network, CountsMessagesAndBytes) {
+  Network net(ring(4));
+  net.send(0, 1, "a", std::vector<float>(10, 0.0f));
+  net.send(1, 2, "a", std::vector<float>(5, 0.0f));
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 15u * sizeof(float));
+}
+
+TEST(Network, DropInjectionLosesRoughlyTheRequestedFraction) {
+  Network::Options opts;
+  opts.drop_prob = 0.3;
+  opts.seed = 5;
+  Network net(ring(4), opts);
+  int delivered = 0;
+  const int total = 2000;
+  for (int i = 0; i < total; ++i) {
+    if (net.send(0, 1, "a", {1.0f})) ++delivered;
+  }
+  EXPECT_EQ(net.messages_dropped(), static_cast<std::size_t>(total - delivered));
+  EXPECT_NEAR(static_cast<double>(delivered) / total, 0.7, 0.05);
+}
+
+TEST(Network, SelfSendsAreNeverDropped) {
+  Network::Options opts;
+  opts.drop_prob = 0.9;
+  Network net(ring(4), opts);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(net.send(2, 2, "s", {1.0f}));
+}
+
+TEST(Network, ClearReportsLeftovers) {
+  Network net(ring(4));
+  net.send(0, 1, "a", {1.0f});
+  net.send(1, 2, "b", {1.0f});
+  EXPECT_EQ(net.clear(), 2u);
+  EXPECT_FALSE(net.has_message(1, 0, "a"));
+}
+
+TEST(Worker, GradientMatchesDirectModelComputation) {
+  const auto ds = data::make_gaussian_mixture(60, 3, 4, 2.0, 0.5, 1);
+  Rng rng(2);
+  nn::Model model = nn::make_logistic(4, 3);
+  model.init(rng);
+  std::vector<std::size_t> shard = {0, 1, 2, 3, 4, 5, 6, 7};
+  LocalWorker worker(model, ds, shard, 4, Rng(3));
+  worker.draw_batch();
+  const auto params = model.flat_params();
+  const auto g1 = worker.gradient(params);
+  const auto g2 = worker.gradient(params);  // same batch -> identical gradient
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(g1.size(), model.num_params());
+
+  worker.draw_batch();  // new batch -> (almost surely) different gradient
+  const auto g3 = worker.gradient(params);
+  EXPECT_NE(g1, g3);
+}
+
+TEST(Worker, RequiresBatchBeforeGradient) {
+  const auto ds = data::make_gaussian_mixture(20, 2, 3, 1.0, 0.5, 4);
+  Rng rng(5);
+  nn::Model model = nn::make_logistic(3, 2);
+  model.init(rng);
+  LocalWorker worker(model, ds, {0, 1, 2}, 2, Rng(6));
+  EXPECT_THROW(worker.gradient(model.flat_params()), std::logic_error);
+}
+
+TEST(Worker, EvalMetricsAreDeterministic) {
+  const auto ds = data::make_gaussian_mixture(100, 4, 3, 2.0, 0.3, 7);
+  Rng rng(8);
+  nn::Model model = nn::make_logistic(3, 4);
+  model.init(rng);
+  std::vector<std::size_t> shard(30);
+  for (std::size_t i = 0; i < 30; ++i) shard[i] = i;
+  LocalWorker worker(model, ds, shard, 8, Rng(9));
+  const auto params = model.flat_params();
+  EXPECT_DOUBLE_EQ(worker.local_eval_loss(params), worker.local_eval_loss(params));
+  EXPECT_DOUBLE_EQ(worker.local_eval_accuracy(params), worker.local_eval_accuracy(params));
+}
+
+TEST(Evaluate, FullVsSubsample) {
+  const auto ds = data::make_gaussian_mixture(200, 4, 3, 2.0, 0.3, 10);
+  Rng rng(11);
+  nn::Model ws = nn::make_logistic(3, 4);
+  ws.init(rng);
+  const auto params = ws.flat_params();
+  const auto full = evaluate(ws, params, ds);
+  EXPECT_EQ(full.samples, 200u);
+  const auto sub = evaluate(ws, params, ds, 50);
+  EXPECT_EQ(sub.samples, 50u);
+  EXPECT_GE(full.accuracy, 0.0);
+  EXPECT_LE(full.accuracy, 1.0);
+}
+
+TEST(Evaluate, FixedBatchScoring) {
+  const auto ds = data::make_gaussian_mixture(50, 2, 3, 3.0, 0.2, 12);
+  Rng rng(13);
+  nn::Model ws = nn::make_logistic(3, 2);
+  ws.init(rng);
+  const auto batch = FixedBatch::from(ds, {0, 1, 2, 3, 4});
+  const auto params = ws.flat_params();
+  const double acc = accuracy_on(ws, params, batch);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+  EXPECT_GT(loss_on(ws, params, batch), 0.0);
+}
+
+TEST(Metrics, ConsensusDistance) {
+  EXPECT_DOUBLE_EQ(consensus_distance({{1.0f, 0.0f}, {1.0f, 0.0f}}), 0.0);
+  // Two models at distance 2 from each other: each is 1 from the mean.
+  EXPECT_NEAR(consensus_distance({{1.0f, 0.0f}, {-1.0f, 0.0f}}), 1.0, 1e-6);
+}
+
+TEST(Metrics, AverageModel) {
+  const auto avg = average_model({{2.0f, 0.0f}, {0.0f, 2.0f}});
+  EXPECT_FLOAT_EQ(avg[0], 1.0f);
+  EXPECT_FLOAT_EQ(avg[1], 1.0f);
+  EXPECT_THROW(average_model({}), std::invalid_argument);
+}
+
+TEST(Metrics, CsvRoundTrip) {
+  const std::string path = "/tmp/pdsl_metrics_test.csv";
+  std::vector<RoundMetrics> series(2);
+  series[0].round = 1;
+  series[0].avg_loss = 2.5;
+  series[1].round = 2;
+  series[1].test_accuracy = 0.75;
+  write_metrics_csv(path, "unit", series);
+  const auto rows = pdsl::read_csv(path);
+  ASSERT_EQ(rows.size(), 3u);  // header + 2
+  EXPECT_EQ(rows[0][0], "run");
+  EXPECT_EQ(rows[1][1], "1");
+  EXPECT_EQ(rows[2][0], "unit");
+}

@@ -1,0 +1,30 @@
+// Build-level smoke test: the full stack links and a tiny PDSL experiment
+// runs end to end.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+TEST(Smoke, TinyPdslExperimentRuns) {
+  pdsl::core::ExperimentConfig cfg;
+  cfg.algorithm = "pdsl";
+  cfg.dataset = "gaussian";
+  cfg.model = "logistic";
+  cfg.topology = "ring";
+  cfg.agents = 4;
+  cfg.rounds = 2;
+  cfg.train_samples = 200;
+  cfg.test_samples = 60;
+  cfg.validation_samples = 40;
+  cfg.image = 4;  // gaussian: dim = image^2 = 16
+  cfg.hp.batch = 8;
+  cfg.hp.gamma = 0.1;
+  cfg.hp.shapley_permutations = 2;
+  cfg.hp.validation_batch = 20;
+  cfg.sigma_mode = "none";
+
+  const auto res = pdsl::core::run_experiment(cfg);
+  EXPECT_EQ(res.series.size(), 2u);
+  EXPECT_GT(res.model_dim, 0u);
+  EXPECT_GT(res.messages, 0u);
+}

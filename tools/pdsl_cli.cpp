@@ -1,0 +1,252 @@
+// pdsl_cli — command-line front door to the library.
+//
+//   pdsl_cli run        --algorithm pdsl --topology ring --agents 8 ...
+//   pdsl_cli topology   --agents 10,15,20
+//   pdsl_cli calibrate  --eps 0.1 --delta 1e-3 --clip 1 --batch 250 ...
+//   pdsl_cli help
+//
+// `run` executes one experiment and prints the per-round series (optionally
+// writing CSV and a model checkpoint); `topology` prints spectral/structure
+// facts for the supported graphs; `calibrate` compares every sigma
+// calibration mode and the total privacy spend over T rounds.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "core/config_io.hpp"
+#include "core/experiment.hpp"
+#include "core/replicate.hpp"
+#include "dp/accountant.hpp"
+#include "dp/calibration.hpp"
+#include "dp/mechanism.hpp"
+#include "dp/rdp.hpp"
+#include "graph/spectral.hpp"
+#include "io/checkpoint.hpp"
+#include "sim/metrics.hpp"
+
+using namespace pdsl;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: pdsl_cli <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  run        run one experiment (or several seeds) and print the series\n"
+      "             flags: --config <file.json> --json (machine-readable output)\n"
+      "                    --algorithm --dataset --model --topology --agents --rounds\n"
+      "                    --train --image --mu --partition --batch --gamma --alpha\n"
+      "                    --clip --eps --delta --sigma_mode --noise_scale --seed\n"
+      "                    --seeds 1,2,3 --compression --drop_prob --corrupt\n"
+      "                    --csv <path> --save_model <path>\n"
+      "  topology   print spectral facts for the supported graphs\n"
+      "             flags: --agents 10,15,20\n"
+      "  calibrate  compare sigma calibrations and composed privacy budgets\n"
+      "             flags: --topology --agents --eps --delta --clip --batch --rounds\n"
+      "                    --phimin\n"
+      "  help       this text\n");
+  return 2;
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv,
+                     {"algorithm", "dataset",  "model",   "topology",    "agents",
+                      "rounds",    "train",    "image",   "mu",          "partition",
+                      "batch",     "gamma",    "alpha",   "clip",        "eps",
+                      "delta",     "sigma_mode", "noise_scale", "seed",  "seeds",
+                      "compression", "drop_prob", "corrupt", "csv",      "save_model",
+                      "mc_perms",  "valbatch", "hidden",  "config",      "json"});
+  core::ExperimentConfig cfg;
+  if (args.has("config")) {
+    cfg = core::load_config(args.get_string("config", ""));
+  }
+  const bool from_file = args.has("config");
+  // CLI defaults differ from the struct's (they target the quick demo scale);
+  // a config file's values win over CLI defaults, explicit flags win over both.
+  if (!from_file) {
+    cfg.agents = 6;
+    cfg.rounds = 25;
+    cfg.train_samples = 900;
+    cfg.image = 10;
+    cfg.hp.batch = 16;
+    cfg.hp.gamma = 0.05;
+    cfg.hp.shapley_permutations = 6;
+    cfg.hp.validation_batch = 32;
+    cfg.epsilon = 0.3;
+    cfg.noise_scale = 0.06;
+  }
+  cfg.algorithm = args.get_string("algorithm", cfg.algorithm);
+  cfg.dataset = args.get_string("dataset", cfg.dataset);
+  cfg.model = args.get_string("model", cfg.model);
+  cfg.topology = args.get_string("topology", cfg.topology);
+  cfg.agents = static_cast<std::size_t>(
+      args.get_int("agents", static_cast<std::int64_t>(cfg.agents)));
+  cfg.rounds = static_cast<std::size_t>(
+      args.get_int("rounds", static_cast<std::int64_t>(cfg.rounds)));
+  cfg.train_samples = static_cast<std::size_t>(
+      args.get_int("train", static_cast<std::int64_t>(cfg.train_samples)));
+  cfg.image = static_cast<std::size_t>(
+      args.get_int("image", static_cast<std::int64_t>(cfg.image)));
+  cfg.hidden = static_cast<std::size_t>(
+      args.get_int("hidden", static_cast<std::int64_t>(cfg.hidden)));
+  cfg.mu = args.get_double("mu", cfg.mu);
+  cfg.partition = args.get_string("partition", cfg.partition);
+  cfg.hp.batch = static_cast<std::size_t>(
+      args.get_int("batch", static_cast<std::int64_t>(cfg.hp.batch)));
+  cfg.hp.gamma = args.get_double("gamma", cfg.hp.gamma);
+  cfg.hp.alpha = args.get_double("alpha", cfg.hp.alpha);
+  cfg.hp.clip = args.get_double("clip", cfg.hp.clip);
+  cfg.hp.shapley_permutations = static_cast<std::size_t>(
+      args.get_int("mc_perms", static_cast<std::int64_t>(cfg.hp.shapley_permutations)));
+  cfg.hp.validation_batch = static_cast<std::size_t>(
+      args.get_int("valbatch", static_cast<std::int64_t>(cfg.hp.validation_batch)));
+  cfg.epsilon = args.get_double("eps", cfg.epsilon);
+  cfg.delta = args.get_double("delta", cfg.delta);
+  cfg.sigma_mode = args.get_string("sigma_mode", cfg.sigma_mode);
+  cfg.noise_scale = args.get_double("noise_scale", cfg.noise_scale);
+  cfg.compression = args.get_string("compression", cfg.compression);
+  cfg.drop_prob = args.get_double("drop_prob", cfg.drop_prob);
+  cfg.corrupt_agents = static_cast<std::size_t>(
+      args.get_int("corrupt", static_cast<std::int64_t>(cfg.corrupt_agents)));
+  cfg.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  if (cfg.metrics.eval_every == 1) cfg.metrics.eval_every = 5;
+
+  if (args.has("seeds")) {
+    const auto seed_ints = args.get_int_list("seeds", {1, 2, 3});
+    const auto rep =
+        core::run_replicated(cfg, std::vector<std::uint64_t>(seed_ints.begin(), seed_ints.end()));
+    std::printf("%s over %zu seeds: loss %.4f +- %.4f, accuracy %.3f +- %.3f\n",
+                cfg.algorithm.c_str(), rep.runs.size(), rep.final_loss.mean,
+                rep.final_loss.stddev, rep.final_accuracy.mean, rep.final_accuracy.stddev);
+    return 0;
+  }
+
+  const auto res = core::run_experiment(cfg);
+  if (args.get_bool("json", false)) {
+    std::printf("%s\n", core::result_to_json(res).dump(2).c_str());
+    return 0;
+  }
+  std::printf("algorithm=%s d=%zu sigma=%.4f heterogeneity=%.3f rho=%.3f\n",
+              res.algorithm.c_str(), res.model_dim, res.sigma, res.heterogeneity,
+              res.spectral.rho);
+  std::printf("%6s %10s %10s %12s\n", "round", "avg_loss", "test_acc", "consensus");
+  for (const auto& m : res.series) {
+    if (m.round % 5 == 0 || m.round == 1 || m.round == res.series.size()) {
+      std::printf("%6zu %10.4f %10.3f %12.5f\n", m.round, m.avg_loss, m.test_accuracy,
+                  m.consensus);
+    }
+  }
+  std::printf("final: loss=%.4f acc=%.3f messages=%zu bytes=%.1fMB\n", res.final_loss,
+              res.final_accuracy, res.messages, static_cast<double>(res.bytes) / 1e6);
+
+  if (args.has("csv")) {
+    sim::write_metrics_csv(args.get_string("csv", ""), cfg.algorithm, res.series);
+    std::printf("series written to %s\n", args.get_string("csv", "").c_str());
+  }
+  if (args.has("save_model")) {
+    // Persist the consensus (average) model; agents are near-consensus
+    // after the final gossip step anyway.
+    const auto path = args.get_string("save_model", "");
+    io::save_params(path, res.average_model);
+    std::printf("average model written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_topology(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv, {"agents"});
+  const auto counts = args.get_int_list("agents", {10, 15, 20});
+  std::printf("%-16s %4s %6s %8s %8s %10s %10s\n", "topology", "M", "edges", "rho",
+              "gap", "omega_min", "diam<=M?");
+  Rng rng(1);
+  for (const std::string name : {"full", "bipartite", "torus", "ring", "star", "er"}) {
+    for (const auto m : counts) {
+      try {
+        const auto topo = graph::Topology::make(graph::topology_from_string(name),
+                                                static_cast<std::size_t>(m), &rng);
+        const auto w = graph::MixingMatrix::metropolis(topo);
+        const auto info = graph::analyze(w);
+        std::printf("%-16s %4lld %6zu %8.4f %8.4f %10.4f %10s\n", name.c_str(),
+                    static_cast<long long>(m), topo.num_edges(), info.rho, info.spectral_gap,
+                    w.min_positive_weight(), topo.is_connected() ? "yes" : "NO");
+      } catch (const std::exception& e) {
+        std::printf("%-16s %4lld  (skipped: %s)\n", name.c_str(), static_cast<long long>(m),
+                    e.what());
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_calibrate(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv,
+                     {"topology", "agents", "eps", "delta", "clip", "batch", "rounds", "phimin"});
+  const std::string topology = args.get_string("topology", "full");
+  const auto m = static_cast<std::size_t>(args.get_int("agents", 10));
+  const double eps = args.get_double("eps", 0.1);
+  const double delta = args.get_double("delta", 1e-3);
+  const double clip = args.get_double("clip", 1.0);
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 250));
+  const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 180));
+  const double phimin = args.get_double("phimin", 0.1);
+
+  Rng rng(1);
+  const auto topo = graph::Topology::make(graph::topology_from_string(topology), m, &rng);
+  const auto w = graph::MixingMatrix::metropolis(topo);
+  const double sens = 2.0 * clip / static_cast<double>(batch);
+  const double sigma_dpsgd = dp::gaussian_sigma(sens, eps, delta);
+  dp::Theorem1Params p;
+  p.epsilon = eps;
+  p.delta = delta;
+  p.clip = clip;
+  p.phi_hat_min = phimin;
+  const double sigma_thm = dp::theorem1_sigma(w, p);
+
+  std::printf("topology=%s M=%zu eps=%.3g delta=%.1e clip=%.2f batch=%zu\n", topology.c_str(),
+              m, eps, delta, clip, batch);
+  std::printf("  per-round DP-SGD sigma (sens 2C/B):  %.6f\n", sigma_dpsgd);
+  std::printf("  Theorem-1 sigma (phi_hat_min=%.2f):  %.4f\n", phimin, sigma_thm);
+  std::printf("  Theorem-1 L2 sensitivity bound:      %.4f\n",
+              dp::theorem1_sensitivity(w, clip));
+
+  dp::PrivacyAccountant acc;
+  acc.record_rounds(eps, delta, rounds);
+  dp::RdpAccountant rdp;
+  rdp.add_gaussian(sigma_dpsgd / sens, rounds);
+  std::printf("composition over %zu rounds:\n", rounds);
+  std::printf("  basic:    eps=%.3f  delta=%.2e\n", acc.basic_epsilon(), acc.basic_delta());
+  std::printf("  advanced: eps=%.3f  (delta'=%.0e)\n", acc.advanced_epsilon(delta), delta);
+  std::printf("  RDP:      eps=%.3f  at delta=%.2e (best order %.1f)\n",
+              rdp.epsilon(acc.basic_delta()), acc.basic_delta(),
+              rdp.best_order(acc.basic_delta()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  // Shift argv so CliArgs sees only the flags.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (cmd == "run") return cmd_run(sub_argc, sub_argv);
+    if (cmd == "topology") return cmd_topology(sub_argc, sub_argv);
+    if (cmd == "calibrate") return cmd_calibrate(sub_argc, sub_argv);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      usage();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pdsl_cli %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "pdsl_cli: unknown command '%s'\n", cmd.c_str());
+  return usage();
+}
