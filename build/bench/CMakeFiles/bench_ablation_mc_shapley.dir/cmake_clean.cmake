@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mc_shapley.dir/bench_ablation_mc_shapley.cpp.o"
+  "CMakeFiles/bench_ablation_mc_shapley.dir/bench_ablation_mc_shapley.cpp.o.d"
+  "CMakeFiles/bench_ablation_mc_shapley.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_ablation_mc_shapley.dir/bench_util.cpp.o.d"
+  "bench_ablation_mc_shapley"
+  "bench_ablation_mc_shapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mc_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sigma.dir/bench_ablation_sigma.cpp.o"
+  "CMakeFiles/bench_ablation_sigma.dir/bench_ablation_sigma.cpp.o.d"
+  "CMakeFiles/bench_ablation_sigma.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_ablation_sigma.dir/bench_util.cpp.o.d"
+  "bench_ablation_sigma"
+  "bench_ablation_sigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_algorithms.dir/bench_extended_algorithms.cpp.o"
+  "CMakeFiles/bench_extended_algorithms.dir/bench_extended_algorithms.cpp.o.d"
+  "CMakeFiles/bench_extended_algorithms.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_extended_algorithms.dir/bench_util.cpp.o.d"
+  "bench_extended_algorithms"
+  "bench_extended_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mnist_full.dir/bench_fig1_mnist_full.cpp.o"
+  "CMakeFiles/bench_fig1_mnist_full.dir/bench_fig1_mnist_full.cpp.o.d"
+  "CMakeFiles/bench_fig1_mnist_full.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig1_mnist_full.dir/bench_util.cpp.o.d"
+  "bench_fig1_mnist_full"
+  "bench_fig1_mnist_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mnist_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

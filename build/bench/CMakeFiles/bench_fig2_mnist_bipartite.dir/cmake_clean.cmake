@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_mnist_bipartite.dir/bench_fig2_mnist_bipartite.cpp.o"
+  "CMakeFiles/bench_fig2_mnist_bipartite.dir/bench_fig2_mnist_bipartite.cpp.o.d"
+  "CMakeFiles/bench_fig2_mnist_bipartite.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig2_mnist_bipartite.dir/bench_util.cpp.o.d"
+  "bench_fig2_mnist_bipartite"
+  "bench_fig2_mnist_bipartite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mnist_bipartite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mnist_ring.dir/bench_fig3_mnist_ring.cpp.o"
+  "CMakeFiles/bench_fig3_mnist_ring.dir/bench_fig3_mnist_ring.cpp.o.d"
+  "CMakeFiles/bench_fig3_mnist_ring.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig3_mnist_ring.dir/bench_util.cpp.o.d"
+  "bench_fig3_mnist_ring"
+  "bench_fig3_mnist_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mnist_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cifar_ring.dir/bench_fig6_cifar_ring.cpp.o"
+  "CMakeFiles/bench_fig6_cifar_ring.dir/bench_fig6_cifar_ring.cpp.o.d"
+  "CMakeFiles/bench_fig6_cifar_ring.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig6_cifar_ring.dir/bench_util.cpp.o.d"
+  "bench_fig6_cifar_ring"
+  "bench_fig6_cifar_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cifar_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

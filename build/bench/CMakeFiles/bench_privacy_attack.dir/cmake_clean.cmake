@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_privacy_attack.dir/bench_privacy_attack.cpp.o"
+  "CMakeFiles/bench_privacy_attack.dir/bench_privacy_attack.cpp.o.d"
+  "CMakeFiles/bench_privacy_attack.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_privacy_attack.dir/bench_util.cpp.o.d"
+  "bench_privacy_attack"
+  "bench_privacy_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_privacy_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cifar_accuracy.dir/bench_table2_cifar_accuracy.cpp.o"
+  "CMakeFiles/bench_table2_cifar_accuracy.dir/bench_table2_cifar_accuracy.cpp.o.d"
+  "CMakeFiles/bench_table2_cifar_accuracy.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_table2_cifar_accuracy.dir/bench_util.cpp.o.d"
+  "bench_table2_cifar_accuracy"
+  "bench_table2_cifar_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cifar_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

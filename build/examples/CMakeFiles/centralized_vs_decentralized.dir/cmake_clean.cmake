@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centralized_vs_decentralized.dir/centralized_vs_decentralized.cpp.o"
+  "CMakeFiles/centralized_vs_decentralized.dir/centralized_vs_decentralized.cpp.o.d"
+  "centralized_vs_decentralized"
+  "centralized_vs_decentralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centralized_vs_decentralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

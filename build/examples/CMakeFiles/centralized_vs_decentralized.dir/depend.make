@@ -1,0 +1,2 @@
+# Empty dependencies file for centralized_vs_decentralized.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/decentralized_hospitals.cpp" "examples/CMakeFiles/decentralized_hospitals.dir/decentralized_hospitals.cpp.o" "gcc" "examples/CMakeFiles/decentralized_hospitals.dir/decentralized_hospitals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pdsl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/pdsl_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/pdsl_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pdsl_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/pdsl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdsl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/shapley/CMakeFiles/pdsl_shapley.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/pdsl_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pdsl_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pdsl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pdsl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pdsl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pdsl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdsl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

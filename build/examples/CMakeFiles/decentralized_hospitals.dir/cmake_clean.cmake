@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_hospitals.dir/decentralized_hospitals.cpp.o"
+  "CMakeFiles/decentralized_hospitals.dir/decentralized_hospitals.cpp.o.d"
+  "decentralized_hospitals"
+  "decentralized_hospitals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_hospitals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

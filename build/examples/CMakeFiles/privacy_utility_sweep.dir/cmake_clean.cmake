@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_utility_sweep.dir/privacy_utility_sweep.cpp.o"
+  "CMakeFiles/privacy_utility_sweep.dir/privacy_utility_sweep.cpp.o.d"
+  "privacy_utility_sweep"
+  "privacy_utility_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_utility_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

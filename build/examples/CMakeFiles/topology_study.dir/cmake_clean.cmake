@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_study.dir/topology_study.cpp.o"
+  "CMakeFiles/topology_study.dir/topology_study.cpp.o.d"
+  "topology_study"
+  "topology_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("nn")
+subdirs("data")
+subdirs("graph")
+subdirs("compress")
+subdirs("io")
+subdirs("dp")
+subdirs("optim")
+subdirs("shapley")
+subdirs("sim")
+subdirs("attack")
+subdirs("algos")
+subdirs("core")

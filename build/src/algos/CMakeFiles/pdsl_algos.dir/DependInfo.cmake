@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/async_gossip.cpp" "src/algos/CMakeFiles/pdsl_algos.dir/async_gossip.cpp.o" "gcc" "src/algos/CMakeFiles/pdsl_algos.dir/async_gossip.cpp.o.d"
+  "/root/repo/src/algos/common.cpp" "src/algos/CMakeFiles/pdsl_algos.dir/common.cpp.o" "gcc" "src/algos/CMakeFiles/pdsl_algos.dir/common.cpp.o.d"
+  "/root/repo/src/algos/dp_cga.cpp" "src/algos/CMakeFiles/pdsl_algos.dir/dp_cga.cpp.o" "gcc" "src/algos/CMakeFiles/pdsl_algos.dir/dp_cga.cpp.o.d"
+  "/root/repo/src/algos/dp_dpsgd.cpp" "src/algos/CMakeFiles/pdsl_algos.dir/dp_dpsgd.cpp.o" "gcc" "src/algos/CMakeFiles/pdsl_algos.dir/dp_dpsgd.cpp.o.d"
+  "/root/repo/src/algos/dp_netfleet.cpp" "src/algos/CMakeFiles/pdsl_algos.dir/dp_netfleet.cpp.o" "gcc" "src/algos/CMakeFiles/pdsl_algos.dir/dp_netfleet.cpp.o.d"
+  "/root/repo/src/algos/dpsgd.cpp" "src/algos/CMakeFiles/pdsl_algos.dir/dpsgd.cpp.o" "gcc" "src/algos/CMakeFiles/pdsl_algos.dir/dpsgd.cpp.o.d"
+  "/root/repo/src/algos/fedavg.cpp" "src/algos/CMakeFiles/pdsl_algos.dir/fedavg.cpp.o" "gcc" "src/algos/CMakeFiles/pdsl_algos.dir/fedavg.cpp.o.d"
+  "/root/repo/src/algos/muffliato.cpp" "src/algos/CMakeFiles/pdsl_algos.dir/muffliato.cpp.o" "gcc" "src/algos/CMakeFiles/pdsl_algos.dir/muffliato.cpp.o.d"
+  "/root/repo/src/algos/qgm.cpp" "src/algos/CMakeFiles/pdsl_algos.dir/qgm.cpp.o" "gcc" "src/algos/CMakeFiles/pdsl_algos.dir/qgm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pdsl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/pdsl_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pdsl_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/shapley/CMakeFiles/pdsl_shapley.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pdsl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pdsl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pdsl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/pdsl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pdsl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdsl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

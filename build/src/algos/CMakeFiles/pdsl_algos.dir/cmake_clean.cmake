@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_algos.dir/async_gossip.cpp.o"
+  "CMakeFiles/pdsl_algos.dir/async_gossip.cpp.o.d"
+  "CMakeFiles/pdsl_algos.dir/common.cpp.o"
+  "CMakeFiles/pdsl_algos.dir/common.cpp.o.d"
+  "CMakeFiles/pdsl_algos.dir/dp_cga.cpp.o"
+  "CMakeFiles/pdsl_algos.dir/dp_cga.cpp.o.d"
+  "CMakeFiles/pdsl_algos.dir/dp_dpsgd.cpp.o"
+  "CMakeFiles/pdsl_algos.dir/dp_dpsgd.cpp.o.d"
+  "CMakeFiles/pdsl_algos.dir/dp_netfleet.cpp.o"
+  "CMakeFiles/pdsl_algos.dir/dp_netfleet.cpp.o.d"
+  "CMakeFiles/pdsl_algos.dir/dpsgd.cpp.o"
+  "CMakeFiles/pdsl_algos.dir/dpsgd.cpp.o.d"
+  "CMakeFiles/pdsl_algos.dir/fedavg.cpp.o"
+  "CMakeFiles/pdsl_algos.dir/fedavg.cpp.o.d"
+  "CMakeFiles/pdsl_algos.dir/muffliato.cpp.o"
+  "CMakeFiles/pdsl_algos.dir/muffliato.cpp.o.d"
+  "CMakeFiles/pdsl_algos.dir/qgm.cpp.o"
+  "CMakeFiles/pdsl_algos.dir/qgm.cpp.o.d"
+  "libpdsl_algos.a"
+  "libpdsl_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_attack.dir/label_inference.cpp.o"
+  "CMakeFiles/pdsl_attack.dir/label_inference.cpp.o.d"
+  "CMakeFiles/pdsl_attack.dir/membership.cpp.o"
+  "CMakeFiles/pdsl_attack.dir/membership.cpp.o.d"
+  "libpdsl_attack.a"
+  "libpdsl_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cpp" "src/common/CMakeFiles/pdsl_common.dir/cli.cpp.o" "gcc" "src/common/CMakeFiles/pdsl_common.dir/cli.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/pdsl_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/pdsl_common.dir/csv.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/common/CMakeFiles/pdsl_common.dir/json.cpp.o" "gcc" "src/common/CMakeFiles/pdsl_common.dir/json.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/pdsl_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/pdsl_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/pdsl_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/pdsl_common.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

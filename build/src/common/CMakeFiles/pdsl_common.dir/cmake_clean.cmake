@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_common.dir/cli.cpp.o"
+  "CMakeFiles/pdsl_common.dir/cli.cpp.o.d"
+  "CMakeFiles/pdsl_common.dir/csv.cpp.o"
+  "CMakeFiles/pdsl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/pdsl_common.dir/json.cpp.o"
+  "CMakeFiles/pdsl_common.dir/json.cpp.o.d"
+  "CMakeFiles/pdsl_common.dir/logging.cpp.o"
+  "CMakeFiles/pdsl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pdsl_common.dir/rng.cpp.o"
+  "CMakeFiles/pdsl_common.dir/rng.cpp.o.d"
+  "libpdsl_common.a"
+  "libpdsl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

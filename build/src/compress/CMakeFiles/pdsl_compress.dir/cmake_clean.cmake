@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_compress.dir/compressor.cpp.o"
+  "CMakeFiles/pdsl_compress.dir/compressor.cpp.o.d"
+  "libpdsl_compress.a"
+  "libpdsl_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdsl_compress.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_core.dir/config_io.cpp.o"
+  "CMakeFiles/pdsl_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/pdsl_core.dir/experiment.cpp.o"
+  "CMakeFiles/pdsl_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/pdsl_core.dir/pdsl.cpp.o"
+  "CMakeFiles/pdsl_core.dir/pdsl.cpp.o.d"
+  "CMakeFiles/pdsl_core.dir/replicate.cpp.o"
+  "CMakeFiles/pdsl_core.dir/replicate.cpp.o.d"
+  "libpdsl_core.a"
+  "libpdsl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_data.dir/dataset.cpp.o"
+  "CMakeFiles/pdsl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/pdsl_data.dir/partition.cpp.o"
+  "CMakeFiles/pdsl_data.dir/partition.cpp.o.d"
+  "CMakeFiles/pdsl_data.dir/sampler.cpp.o"
+  "CMakeFiles/pdsl_data.dir/sampler.cpp.o.d"
+  "CMakeFiles/pdsl_data.dir/synthetic.cpp.o"
+  "CMakeFiles/pdsl_data.dir/synthetic.cpp.o.d"
+  "libpdsl_data.a"
+  "libpdsl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

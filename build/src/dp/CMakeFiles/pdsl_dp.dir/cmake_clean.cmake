@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_dp.dir/accountant.cpp.o"
+  "CMakeFiles/pdsl_dp.dir/accountant.cpp.o.d"
+  "CMakeFiles/pdsl_dp.dir/calibration.cpp.o"
+  "CMakeFiles/pdsl_dp.dir/calibration.cpp.o.d"
+  "CMakeFiles/pdsl_dp.dir/mechanism.cpp.o"
+  "CMakeFiles/pdsl_dp.dir/mechanism.cpp.o.d"
+  "CMakeFiles/pdsl_dp.dir/rdp.cpp.o"
+  "CMakeFiles/pdsl_dp.dir/rdp.cpp.o.d"
+  "libpdsl_dp.a"
+  "libpdsl_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pdsl_dp.
+# This may be replaced when dependencies are built.

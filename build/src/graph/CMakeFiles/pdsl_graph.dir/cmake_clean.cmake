@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_graph.dir/mixing.cpp.o"
+  "CMakeFiles/pdsl_graph.dir/mixing.cpp.o.d"
+  "CMakeFiles/pdsl_graph.dir/spectral.cpp.o"
+  "CMakeFiles/pdsl_graph.dir/spectral.cpp.o.d"
+  "CMakeFiles/pdsl_graph.dir/topology.cpp.o"
+  "CMakeFiles/pdsl_graph.dir/topology.cpp.o.d"
+  "libpdsl_graph.a"
+  "libpdsl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/checkpoint.cpp" "src/io/CMakeFiles/pdsl_io.dir/checkpoint.cpp.o" "gcc" "src/io/CMakeFiles/pdsl_io.dir/checkpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pdsl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdsl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pdsl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/pdsl_io.dir/checkpoint.cpp.o.d"
+  "libpdsl_io.a"
+  "libpdsl_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

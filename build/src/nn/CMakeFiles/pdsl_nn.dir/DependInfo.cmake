@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/pdsl_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/pdsl_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/pdsl_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/pdsl_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/pdsl_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/pdsl_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/pdsl_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/pdsl_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/pdsl_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/pdsl_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/layernorm.cpp" "src/nn/CMakeFiles/pdsl_nn.dir/layernorm.cpp.o" "gcc" "src/nn/CMakeFiles/pdsl_nn.dir/layernorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/pdsl_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/pdsl_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/pdsl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/pdsl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/pdsl_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/pdsl_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/pdsl_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/pdsl_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/pdsl_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/pdsl_nn.dir/pooling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pdsl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdsl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_nn.dir/activations.cpp.o"
+  "CMakeFiles/pdsl_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/pdsl_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/pdsl_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/pdsl_nn.dir/dropout.cpp.o"
+  "CMakeFiles/pdsl_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/pdsl_nn.dir/flatten.cpp.o"
+  "CMakeFiles/pdsl_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/pdsl_nn.dir/layer.cpp.o"
+  "CMakeFiles/pdsl_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/pdsl_nn.dir/layernorm.cpp.o"
+  "CMakeFiles/pdsl_nn.dir/layernorm.cpp.o.d"
+  "CMakeFiles/pdsl_nn.dir/linear.cpp.o"
+  "CMakeFiles/pdsl_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/pdsl_nn.dir/loss.cpp.o"
+  "CMakeFiles/pdsl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/pdsl_nn.dir/model.cpp.o"
+  "CMakeFiles/pdsl_nn.dir/model.cpp.o.d"
+  "CMakeFiles/pdsl_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/pdsl_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/pdsl_nn.dir/pooling.cpp.o"
+  "CMakeFiles/pdsl_nn.dir/pooling.cpp.o.d"
+  "libpdsl_nn.a"
+  "libpdsl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/adam.cpp" "src/optim/CMakeFiles/pdsl_optim.dir/adam.cpp.o" "gcc" "src/optim/CMakeFiles/pdsl_optim.dir/adam.cpp.o.d"
+  "/root/repo/src/optim/qp.cpp" "src/optim/CMakeFiles/pdsl_optim.dir/qp.cpp.o" "gcc" "src/optim/CMakeFiles/pdsl_optim.dir/qp.cpp.o.d"
+  "/root/repo/src/optim/schedule.cpp" "src/optim/CMakeFiles/pdsl_optim.dir/schedule.cpp.o" "gcc" "src/optim/CMakeFiles/pdsl_optim.dir/schedule.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "src/optim/CMakeFiles/pdsl_optim.dir/sgd.cpp.o" "gcc" "src/optim/CMakeFiles/pdsl_optim.dir/sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdsl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_optim.dir/adam.cpp.o"
+  "CMakeFiles/pdsl_optim.dir/adam.cpp.o.d"
+  "CMakeFiles/pdsl_optim.dir/qp.cpp.o"
+  "CMakeFiles/pdsl_optim.dir/qp.cpp.o.d"
+  "CMakeFiles/pdsl_optim.dir/schedule.cpp.o"
+  "CMakeFiles/pdsl_optim.dir/schedule.cpp.o.d"
+  "CMakeFiles/pdsl_optim.dir/sgd.cpp.o"
+  "CMakeFiles/pdsl_optim.dir/sgd.cpp.o.d"
+  "libpdsl_optim.a"
+  "libpdsl_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shapley/game.cpp" "src/shapley/CMakeFiles/pdsl_shapley.dir/game.cpp.o" "gcc" "src/shapley/CMakeFiles/pdsl_shapley.dir/game.cpp.o.d"
+  "/root/repo/src/shapley/shapley.cpp" "src/shapley/CMakeFiles/pdsl_shapley.dir/shapley.cpp.o" "gcc" "src/shapley/CMakeFiles/pdsl_shapley.dir/shapley.cpp.o.d"
+  "/root/repo/src/shapley/weighting.cpp" "src/shapley/CMakeFiles/pdsl_shapley.dir/weighting.cpp.o" "gcc" "src/shapley/CMakeFiles/pdsl_shapley.dir/weighting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdsl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

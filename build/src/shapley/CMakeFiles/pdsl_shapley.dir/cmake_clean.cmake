@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_shapley.dir/game.cpp.o"
+  "CMakeFiles/pdsl_shapley.dir/game.cpp.o.d"
+  "CMakeFiles/pdsl_shapley.dir/shapley.cpp.o"
+  "CMakeFiles/pdsl_shapley.dir/shapley.cpp.o.d"
+  "CMakeFiles/pdsl_shapley.dir/weighting.cpp.o"
+  "CMakeFiles/pdsl_shapley.dir/weighting.cpp.o.d"
+  "libpdsl_shapley.a"
+  "libpdsl_shapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

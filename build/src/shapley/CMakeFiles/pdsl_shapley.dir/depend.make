@@ -1,0 +1,2 @@
+# Empty dependencies file for pdsl_shapley.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/comm_cost.cpp" "src/sim/CMakeFiles/pdsl_sim.dir/comm_cost.cpp.o" "gcc" "src/sim/CMakeFiles/pdsl_sim.dir/comm_cost.cpp.o.d"
+  "/root/repo/src/sim/evaluate.cpp" "src/sim/CMakeFiles/pdsl_sim.dir/evaluate.cpp.o" "gcc" "src/sim/CMakeFiles/pdsl_sim.dir/evaluate.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/pdsl_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/pdsl_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/pdsl_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/pdsl_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/worker.cpp" "src/sim/CMakeFiles/pdsl_sim.dir/worker.cpp.o" "gcc" "src/sim/CMakeFiles/pdsl_sim.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdsl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pdsl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pdsl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pdsl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/pdsl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pdsl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

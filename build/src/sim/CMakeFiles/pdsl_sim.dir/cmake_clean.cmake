@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_sim.dir/comm_cost.cpp.o"
+  "CMakeFiles/pdsl_sim.dir/comm_cost.cpp.o.d"
+  "CMakeFiles/pdsl_sim.dir/evaluate.cpp.o"
+  "CMakeFiles/pdsl_sim.dir/evaluate.cpp.o.d"
+  "CMakeFiles/pdsl_sim.dir/metrics.cpp.o"
+  "CMakeFiles/pdsl_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/pdsl_sim.dir/network.cpp.o"
+  "CMakeFiles/pdsl_sim.dir/network.cpp.o.d"
+  "CMakeFiles/pdsl_sim.dir/worker.cpp.o"
+  "CMakeFiles/pdsl_sim.dir/worker.cpp.o.d"
+  "libpdsl_sim.a"
+  "libpdsl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

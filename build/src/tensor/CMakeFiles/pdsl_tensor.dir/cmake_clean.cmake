@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/pdsl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/pdsl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/pdsl_tensor.dir/tensor.cpp.o.d"
+  "libpdsl_tensor.a"
+  "libpdsl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

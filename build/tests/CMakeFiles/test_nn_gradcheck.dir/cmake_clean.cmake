@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_gradcheck.dir/test_nn_gradcheck.cpp.o"
+  "CMakeFiles/test_nn_gradcheck.dir/test_nn_gradcheck.cpp.o.d"
+  "test_nn_gradcheck"
+  "test_nn_gradcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_gradcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_model.dir/test_nn_model.cpp.o"
+  "CMakeFiles/test_nn_model.dir/test_nn_model.cpp.o.d"
+  "test_nn_model"
+  "test_nn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdsl.dir/test_pdsl.cpp.o"
+  "CMakeFiles/test_pdsl.dir/test_pdsl.cpp.o.d"
+  "test_pdsl"
+  "test_pdsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

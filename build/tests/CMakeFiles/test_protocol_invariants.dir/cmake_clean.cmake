@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_invariants.dir/test_protocol_invariants.cpp.o"
+  "CMakeFiles/test_protocol_invariants.dir/test_protocol_invariants.cpp.o.d"
+  "test_protocol_invariants"
+  "test_protocol_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

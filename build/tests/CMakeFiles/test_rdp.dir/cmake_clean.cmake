@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdp.dir/test_rdp.cpp.o"
+  "CMakeFiles/test_rdp.dir/test_rdp.cpp.o.d"
+  "test_rdp"
+  "test_rdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shapley.dir/test_shapley.cpp.o"
+  "CMakeFiles/test_shapley.dir/test_shapley.cpp.o.d"
+  "test_shapley"
+  "test_shapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsl_cli.dir/pdsl_cli.cpp.o"
+  "CMakeFiles/pdsl_cli.dir/pdsl_cli.cpp.o.d"
+  "pdsl_cli"
+  "pdsl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
