@@ -7,6 +7,9 @@
 
 #include "common/csv.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
 
 namespace pdsl::bench {
 
@@ -15,7 +18,7 @@ namespace {
 const std::vector<std::string> kFlags = {
     "scale",  "agents", "eps",        "rounds", "seed",  "train", "image",
     "batch",  "model",  "mc_perms",   "valbatch", "out", "gamma", "alpha",
-    "print_every", "noise_scale"};
+    "print_every", "noise_scale", "profile", "trace-out", "trace_out"};
 
 constexpr const char* kOutDir = "bench_results";
 
@@ -144,6 +147,8 @@ struct ParsedCommon {
   std::vector<std::int64_t> agents;
   std::vector<double> epsilons;
   std::uint64_t seed;
+  bool profile = false;        ///< print per-phase breakdown per run
+  std::string trace_out;       ///< Chrome trace sink for the whole sweep
 };
 
 ParsedCommon parse_common(const CliArgs& args, SweepSpec& spec) {
@@ -168,7 +173,37 @@ ParsedCommon parse_common(const CliArgs& args, SweepSpec& spec) {
   pc.agents = args.get_int_list("agents", pc.sp.agents);
   pc.epsilons = args.get_double_list("eps", spec.epsilons);
   pc.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  pc.profile = args.get_bool("profile", false);
+  pc.trace_out = args.get_string("trace-out", args.get_string("trace_out", ""));
+  if (!pc.trace_out.empty()) obs::TraceRecorder::global().enable(true);
   return pc;
+}
+
+/// Per-run profile line + accumulated sweep totals.
+void print_profile(const core::ExperimentResult& res, std::size_t rounds) {
+  const auto& p = res.phase_totals;
+  std::printf(
+      "     phases(ms/round): local_grad=%.2f crossgrad=%.2f shapley=%.2f "
+      "aggregate=%.2f gossip=%.2f\n",
+      1e3 * p.local_grad_s / static_cast<double>(rounds),
+      1e3 * p.crossgrad_s / static_cast<double>(rounds),
+      1e3 * p.shapley_s / static_cast<double>(rounds),
+      1e3 * p.aggregate_s / static_cast<double>(rounds),
+      1e3 * p.gossip_s / static_cast<double>(rounds));
+}
+
+/// End-of-bench reporting: the sweep-wide phase table and the trace file.
+void finish_obs(const ParsedCommon& pc, const obs::PhaseTimings& totals,
+                std::size_t total_rounds) {
+  if (pc.profile) {
+    std::printf("\n-- sweep phase breakdown (%zu algorithm-rounds) --\n%s", total_rounds,
+                obs::format_phase_table(totals, total_rounds).c_str());
+  }
+  if (!pc.trace_out.empty()) {
+    obs::TraceRecorder::global().write(pc.trace_out);
+    std::printf("trace written to %s (%zu events)\n", pc.trace_out.c_str(),
+                obs::TraceRecorder::global().size());
+  }
 }
 
 }  // namespace
@@ -186,6 +221,8 @@ int run_figure_bench(int argc, const char* const* argv, const SweepSpec& spec_in
                 {"figure", "dataset", "topology", "agents", "epsilon", "algorithm", "round",
                  "avg_loss", "test_accuracy", "consensus"});
   Stopwatch total;
+  obs::PhaseTimings phase_totals;
+  std::size_t total_rounds = 0;
 
   for (const auto m : pc.agents) {
     for (const double eps : pc.epsilons) {
@@ -201,6 +238,9 @@ int run_figure_bench(int argc, const char* const* argv, const SweepSpec& spec_in
                     display_name(algo).c_str(), results[algo].sigma,
                     results[algo].final_loss, results[algo].final_accuracy,
                     sw.elapsed_seconds());
+        if (pc.profile) print_profile(results[algo], pc.sp.rounds);
+        phase_totals += results[algo].phase_totals;
+        total_rounds += pc.sp.rounds;
         for (const auto& rm : results[algo].series) {
           csv.row(spec.id, spec.dataset, spec.topology, m, eps, display_name(algo), rm.round,
                   rm.avg_loss, rm.test_accuracy, rm.consensus);
@@ -224,6 +264,7 @@ int run_figure_bench(int argc, const char* const* argv, const SweepSpec& spec_in
       }
     }
   }
+  finish_obs(pc, phase_totals, total_rounds);
   std::printf("\n%s done in %.1fs; series in %s\n", spec.id.c_str(), total.elapsed_seconds(),
               csv_path(spec.id).c_str());
   return 0;
@@ -241,6 +282,8 @@ int run_table_bench(int argc, const char* const* argv, SweepSpec spec,
   CsvWriter csv(csv_path(spec.id), {"table", "dataset", "topology", "agents", "epsilon",
                                     "algorithm", "test_accuracy", "final_loss", "sigma"});
   Stopwatch total;
+  obs::PhaseTimings phase_totals;
+  std::size_t total_rounds = 0;
 
   for (const double eps : pc.epsilons) {
     std::printf("\nepsilon = %.3g\n", eps);
@@ -259,6 +302,8 @@ int run_table_bench(int argc, const char* const* argv, SweepSpec spec,
           auto cfg = make_config(spec, pc.sp, static_cast<std::size_t>(m), eps, pc.seed);
           cfg.algorithm = algo;
           const auto res = core::run_experiment(cfg);
+          phase_totals += res.phase_totals;
+          total_rounds += pc.sp.rounds;
           std::printf("  %9.3f", res.final_accuracy);
           std::fflush(stdout);
           csv.row(spec.id, spec.dataset, topo, m, eps, display_name(algo), res.final_accuracy,
@@ -269,6 +314,7 @@ int run_table_bench(int argc, const char* const* argv, SweepSpec spec,
       std::printf("\n");
     }
   }
+  finish_obs(pc, phase_totals, total_rounds);
   std::printf("\n%s done in %.1fs; rows in %s\n", spec.id.c_str(), total.elapsed_seconds(),
               csv_path(spec.id).c_str());
   return 0;

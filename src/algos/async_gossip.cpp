@@ -11,10 +11,14 @@ AsyncDpGossip::AsyncDpGossip(const Env& env)
 void AsyncDpGossip::wake(std::size_t i, std::size_t t) {
   ++events_;
   // Local privatized step at whatever (possibly stale) model i currently has.
-  workers_[i].draw_batch();
-  const auto g = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
-                               agent_rngs_[i]);
-  axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
+  {
+    auto timer = phase(obs::Phase::kLocalGrad);
+    workers_[i].draw_batch();
+    const auto g = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
+                                 agent_rngs_[i]);
+    axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
+  }
+  auto timer = phase(obs::Phase::kGossip);
 
   // Randomized pairwise gossip with one uniform neighbor: both endpoints
   // move to the average. Models cross the network privatized so the exchange

@@ -69,6 +69,9 @@ void Algorithm::set_models(std::vector<std::vector<float>> models) {
 
 std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::vector<float>>& in,
                                                        const std::string& tag) {
+  // Every algorithm's mixing-matrix averaging flows through here, so this one
+  // scope accounts the gossip phase for the whole family.
+  auto timer = phase(obs::Phase::kGossip);
   const std::size_t m = num_agents();
   if (in.size() != m) throw std::invalid_argument("mix_vectors: arity mismatch");
   for (std::size_t i = 0; i < m; ++i) {
@@ -105,10 +108,17 @@ std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t roun
   nn::Model eval_ws = *alg.env().model_template;
   double last_acc = 0.0;
   for (std::size_t t = 1; t <= rounds; ++t) {
-    alg.run_round(t);
+    alg.reset_phase_timings();
+    Stopwatch round_watch;
+    {
+      PDSL_SPAN("round", static_cast<std::int64_t>(t), "round");
+      alg.run_round(t);
+    }
 
     sim::RoundMetrics m;
     m.round = t;
+    m.round_s = round_watch.elapsed_seconds();
+    m.phases = alg.phase_timings();
     double loss_acc = 0.0;
     for (std::size_t i = 0; i < alg.num_agents(); ++i) {
       loss_acc += alg.worker(i).local_eval_loss(alg.models()[i]);

@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "compress/compressor.hpp"
+#include "obs/phase.hpp"
 #include "data/dataset.hpp"
 #include "graph/mixing.hpp"
 #include "graph/topology.hpp"
@@ -82,6 +83,12 @@ class Algorithm {
   [[nodiscard]] sim::LocalWorker& worker(std::size_t i) { return workers_[i]; }
   [[nodiscard]] const Env& env() const { return env_; }
 
+  /// Phase-time breakdown accumulated since the last reset (S-OBS). The
+  /// metrics loop resets before each round and snapshots after, giving a
+  /// per-round local_grad/crossgrad/shapley/aggregate/gossip split.
+  [[nodiscard]] const obs::PhaseTimings& phase_timings() const { return phases_; }
+  void reset_phase_timings() { phases_ = obs::PhaseTimings{}; }
+
  protected:
   [[nodiscard]] double w(std::size_t i, std::size_t j) const { return (*env_.mixing)(i, j); }
   [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i) const {
@@ -99,11 +106,16 @@ class Algorithm {
   /// Draw this round's mini-batch on every worker.
   void draw_all_batches();
 
+  /// RAII timer crediting the enclosing scope to `p` (and emitting a trace
+  /// span when tracing is on): `auto t = phase(obs::Phase::kLocalGrad);`.
+  [[nodiscard]] obs::PhaseScope phase(obs::Phase p) { return {phases_, p}; }
+
   Env env_;
   sim::Network net_;
   std::vector<sim::LocalWorker> workers_;
   std::vector<std::vector<float>> models_;  ///< x_i, flat
   std::vector<Rng> agent_rngs_;             ///< per-agent noise streams
+  obs::PhaseTimings phases_;                ///< since last reset_phase_timings()
 };
 
 struct MetricsOptions {

@@ -15,20 +15,21 @@ void DpCga::run_round(std::size_t t) {
   const std::string model_tag = "x@" + std::to_string(t);
   const std::string xgrad_tag = "xg@" + std::to_string(t);
 
-  // Phase 1: broadcast current models.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j : neighbors(i)) net_.send(i, j, model_tag, models_[i]);
-  }
-
-  // Phase 2: compute privatized cross-gradients for every received model and
-  // return them to the model's owner.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j : neighbors(i)) {
-      auto xj = net_.receive(i, j, model_tag);
-      if (!xj) continue;  // dropped link: owner falls back to remaining grads
-      auto g = dp::privatize(workers_[i].gradient(*xj), env_.hp.clip, env_.hp.sigma,
-                             agent_rngs_[i]);
-      net_.send(i, j, xgrad_tag, std::move(g));
+  // Phase 1+2: broadcast current models, compute privatized cross-gradients
+  // for every received model, and return them to the model's owner.
+  {
+    auto timer = phase(obs::Phase::kCrossGrad);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j : neighbors(i)) net_.send(i, j, model_tag, models_[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j : neighbors(i)) {
+        auto xj = net_.receive(i, j, model_tag);
+        if (!xj) continue;  // dropped link: owner falls back to remaining grads
+        auto g = dp::privatize(workers_[i].gradient(*xj), env_.hp.clip, env_.hp.sigma,
+                               agent_rngs_[i]);
+        net_.send(i, j, xgrad_tag, std::move(g));
+      }
     }
   }
 
@@ -36,20 +37,24 @@ void DpCga::run_round(std::size_t t) {
   // cross-gradients and solves the min-norm QP for a common descent direction.
   std::vector<std::vector<float>> directions(m);
   last_qp_iters_ = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    std::vector<std::vector<float>> bundle;
-    bundle.push_back(dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
-                                   env_.hp.sigma, agent_rngs_[i]));
-    for (std::size_t j : neighbors(i)) {
-      if (auto g = net_.receive(i, j, xgrad_tag)) bundle.push_back(std::move(*g));
+  {
+    auto timer = phase(obs::Phase::kAggregate);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<std::vector<float>> bundle;
+      bundle.push_back(dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
+                                     env_.hp.sigma, agent_rngs_[i]));
+      for (std::size_t j : neighbors(i)) {
+        if (auto g = net_.receive(i, j, xgrad_tag)) bundle.push_back(std::move(*g));
+      }
+      const auto res = solver_.solve(bundle);
+      last_qp_iters_ = std::max(last_qp_iters_, res.iterations);
+      directions[i] = optim::combine(bundle, res.lambda);
     }
-    const auto res = solver_.solve(bundle);
-    last_qp_iters_ = std::max(last_qp_iters_, res.iterations);
-    directions[i] = optim::combine(bundle, res.lambda);
   }
 
   // Phase 4: gossip-average models, then apply the momentum-smoothed direction.
   auto mixed = mix_vectors(models_, "mix@" + std::to_string(t));
+  auto timer = phase(obs::Phase::kAggregate);
   const auto a = static_cast<float>(env_.hp.alpha);
   for (std::size_t i = 0; i < m; ++i) {
     auto& u = momentum_[i];

@@ -6,14 +6,18 @@
 namespace pdsl::algos {
 
 void DpDpsgd::run_round(std::size_t t) {
-  draw_all_batches();
   const std::size_t m = num_agents();
   std::vector<std::vector<float>> grads(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    grads[i] = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
-                             agent_rngs_[i]);
+  {
+    auto timer = phase(obs::Phase::kLocalGrad);
+    draw_all_batches();
+    for (std::size_t i = 0; i < m; ++i) {
+      grads[i] = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
+                               agent_rngs_[i]);
+    }
   }
   auto mixed = mix_vectors(models_, "x@" + std::to_string(t));
+  auto timer = phase(obs::Phase::kAggregate);
   for (std::size_t i = 0; i < m; ++i) {
     axpy(mixed[i], grads[i], static_cast<float>(-env_.hp.gamma));
     models_[i] = std::move(mixed[i]);

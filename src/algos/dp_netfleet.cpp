@@ -21,6 +21,7 @@ void DpNetFleet::run_round(std::size_t t) {
   // already-privatized gradients, so DP follows by post-processing — no
   // second noise injection that would compound over the tracking recursion.
   if (first_round_) {
+    auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
     for (std::size_t i = 0; i < m; ++i) {
       prev_grad_[i] = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
@@ -31,9 +32,12 @@ void DpNetFleet::run_round(std::size_t t) {
   }
 
   // Local phase: K tracker-guided updates (no communication).
-  for (std::size_t k = 0; k + 1 < std::max<std::size_t>(1, env_.hp.local_steps); ++k) {
-    for (std::size_t i = 0; i < m; ++i) {
-      axpy(models_[i], tracker_[i], static_cast<float>(-env_.hp.gamma));
+  {
+    auto timer = phase(obs::Phase::kAggregate);
+    for (std::size_t k = 0; k + 1 < std::max<std::size_t>(1, env_.hp.local_steps); ++k) {
+      for (std::size_t i = 0; i < m; ++i) {
+        axpy(models_[i], tracker_[i], static_cast<float>(-env_.hp.gamma));
+      }
     }
   }
 
@@ -46,6 +50,7 @@ void DpNetFleet::run_round(std::size_t t) {
   // mixed model. The recursion telescopes, so tracker noise stays bounded
   // (~the noise of one privatized gradient); a generous clip only guards
   // against outright divergence without biasing the direction.
+  auto timer = phase(obs::Phase::kLocalGrad);
   draw_all_batches();
   for (std::size_t i = 0; i < m; ++i) {
     auto g = dp::privatize(workers_[i].gradient(mixed_model[i]), env_.hp.clip, env_.hp.sigma,

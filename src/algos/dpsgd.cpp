@@ -5,11 +5,15 @@
 namespace pdsl::algos {
 
 void DPSGD::run_round(std::size_t t) {
-  draw_all_batches();
   const std::size_t m = num_agents();
   std::vector<std::vector<float>> grads(m);
-  for (std::size_t i = 0; i < m; ++i) grads[i] = workers_[i].gradient(models_[i]);
+  {
+    auto timer = phase(obs::Phase::kLocalGrad);
+    draw_all_batches();
+    for (std::size_t i = 0; i < m; ++i) grads[i] = workers_[i].gradient(models_[i]);
+  }
   auto mixed = mix_vectors(models_, "x@" + std::to_string(t));
+  auto timer = phase(obs::Phase::kAggregate);
   for (std::size_t i = 0; i < m; ++i) {
     axpy(mixed[i], grads[i], static_cast<float>(-env_.hp.gamma));
     models_[i] = std::move(mixed[i]);
@@ -21,12 +25,16 @@ DMSGD::DMSGD(const Env& env) : Algorithm(env) {
 }
 
 void DMSGD::run_round(std::size_t t) {
-  draw_all_batches();
   const std::size_t m = num_agents();
   const auto a = static_cast<float>(env_.hp.alpha);
   std::vector<std::vector<float>> grads(m);
-  for (std::size_t i = 0; i < m; ++i) grads[i] = workers_[i].gradient(models_[i]);
+  {
+    auto timer = phase(obs::Phase::kLocalGrad);
+    draw_all_batches();
+    for (std::size_t i = 0; i < m; ++i) grads[i] = workers_[i].gradient(models_[i]);
+  }
   auto mixed = mix_vectors(models_, "x@" + std::to_string(t));
+  auto timer = phase(obs::Phase::kAggregate);
   for (std::size_t i = 0; i < m; ++i) {
     auto& u = momentum_[i];
     for (std::size_t k = 0; k < u.size(); ++k) u[k] = a * u[k] + grads[i][k];

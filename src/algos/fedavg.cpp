@@ -20,16 +20,20 @@ void FedAvg::run_round(std::size_t /*t*/) {
   const auto steps = std::max<std::size_t>(1, env_.hp.local_steps);
 
   // Local phase: K privatized SGD steps per agent from the shared model.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t k = 0; k < steps; ++k) {
-      workers_[i].draw_batch();
-      const auto g = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
-                                   env_.hp.sigma, agent_rngs_[i]);
-      axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
+  {
+    auto timer = phase(obs::Phase::kLocalGrad);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t k = 0; k < steps; ++k) {
+        workers_[i].draw_batch();
+        const auto g = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
+                                     env_.hp.sigma, agent_rngs_[i]);
+        axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
+      }
     }
   }
 
   // Server phase: shard-weighted average, redistributed to everyone.
+  auto timer = phase(obs::Phase::kAggregate);
   std::vector<const std::vector<float>*> ptrs;
   ptrs.reserve(m);
   for (const auto& x : models_) ptrs.push_back(&x);

@@ -6,16 +6,19 @@
 namespace pdsl::algos {
 
 void Muffliato::run_round(std::size_t t) {
-  draw_all_batches();
   const std::size_t m = num_agents();
   // Local step with clipped gradient, then noise injection on the shared value.
-  for (std::size_t i = 0; i < m; ++i) {
-    auto g = workers_[i].gradient(models_[i]);
-    dp::clip_l2(g, env_.hp.clip);
-    axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
-    // Perturb the *update scale* the agent exposes: noise with stddev
-    // gamma*sigma on the model matches noising the gradient with sigma.
-    dp::add_gaussian_noise(models_[i], env_.hp.gamma * env_.hp.sigma, agent_rngs_[i]);
+  {
+    auto timer = phase(obs::Phase::kLocalGrad);
+    draw_all_batches();
+    for (std::size_t i = 0; i < m; ++i) {
+      auto g = workers_[i].gradient(models_[i]);
+      dp::clip_l2(g, env_.hp.clip);
+      axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
+      // Perturb the *update scale* the agent exposes: noise with stddev
+      // gamma*sigma on the model matches noising the gradient with sigma.
+      dp::add_gaussian_noise(models_[i], env_.hp.gamma * env_.hp.sigma, agent_rngs_[i]);
+    }
   }
   // Gossip phase: K sweeps of x <- W x.
   for (std::size_t k = 0; k < std::max<std::size_t>(1, env_.hp.gossip_steps); ++k) {

@@ -17,11 +17,15 @@ void DpQgm::run_round(std::size_t t) {
   const auto gamma = static_cast<float>(env_.hp.gamma);
 
   std::vector<std::vector<float>> grads(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    grads[i] = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
-                             agent_rngs_[i]);
+  {
+    auto timer = phase(obs::Phase::kLocalGrad);
+    for (std::size_t i = 0; i < m; ++i) {
+      grads[i] = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
+                               agent_rngs_[i]);
+    }
   }
   auto mixed = mix_vectors(models_, "x@" + std::to_string(t));
+  auto timer = phase(obs::Phase::kAggregate);
   for (std::size_t i = 0; i < m; ++i) {
     // Quasi-global momentum from the displacement of the *previous* round.
     auto& mbuf = momentum_[i];

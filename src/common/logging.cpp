@@ -1,12 +1,19 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 
 namespace pdsl {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mutex;
+
+std::chrono::steady_clock::time_point log_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,12 +29,29 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+double log_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - log_epoch()).count();
+}
+
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
+  // Stable format: `[SSSS.mmm] [LEVEL] message` — monotonic seconds since the
+  // logger's first line, then the level tag. Scripts may rely on this shape.
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%9.3f", log_uptime_seconds());
   std::lock_guard<std::mutex> lock(g_mutex);
   std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
-  os << "[" << level_name(level) << "] " << msg << '\n';
+  os << "[" << stamp << "] [" << level_name(level) << "] " << msg << '\n';
 }
 }  // namespace detail
+
+void log_span(const std::string& name, double seconds) {
+  log_debug("span ", name, " done (", seconds * 1e3, " ms)");
+}
+
+ScopedLogSpan::ScopedLogSpan(std::string name)
+    : name_(std::move(name)), start_s_(log_uptime_seconds()) {}
+
+ScopedLogSpan::~ScopedLogSpan() { log_span(name_, log_uptime_seconds() - start_s_); }
 
 }  // namespace pdsl

@@ -19,6 +19,10 @@ namespace detail {
 void log_line(LogLevel level, const std::string& msg);
 }
 
+/// Monotonic seconds since the logger's first use; every log line carries it
+/// so interleaved output from long sweeps stays ordered and attributable.
+double log_uptime_seconds();
+
 template <typename... Args>
 void log(LogLevel level, Args&&... args) {
   if (level < log_level()) return;
@@ -35,5 +39,22 @@ template <typename... Args>
 void log_warn(Args&&... args) { log(LogLevel::kWarn, std::forward<Args>(args)...); }
 template <typename... Args>
 void log_error(Args&&... args) { log(LogLevel::kError, std::forward<Args>(args)...); }
+
+/// One debug line for a completed timed region: `span name done (12.3 ms)`.
+/// Complements obs::ScopedSpan — this is for eyeballing logs, not trace files.
+void log_span(const std::string& name, double seconds);
+
+/// RAII variant: logs `span <name> done (N ms)` at debug level on destruction.
+class ScopedLogSpan {
+ public:
+  explicit ScopedLogSpan(std::string name);
+  ~ScopedLogSpan();
+  ScopedLogSpan(const ScopedLogSpan&) = delete;
+  ScopedLogSpan& operator=(const ScopedLogSpan&) = delete;
+
+ private:
+  std::string name_;
+  double start_s_;
+};
 
 }  // namespace pdsl

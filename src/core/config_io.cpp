@@ -44,6 +44,8 @@ json::Value config_to_json(const ExperimentConfig& cfg) {
   o["compression"] = cfg.compression;
   o["test_subsample"] = cfg.metrics.test_subsample;
   o["eval_every"] = cfg.metrics.eval_every;
+  o["profile"] = cfg.profile;
+  o["trace_out"] = cfg.trace_out;
   return json::Value(std::move(o));
 }
 
@@ -57,7 +59,8 @@ ExperimentConfig config_from_json(const json::Value& v) {
       "sigma",      "batch",     "shapley_permutations", "shapley_method",
       "validation_batch", "gossip_steps", "local_steps", "sigma_mode",
       "noise_scale", "epsilon",  "delta",     "phi_hat_min",   "seed",
-      "drop_prob",  "compression", "test_subsample", "eval_every"};
+      "drop_prob",  "compression", "test_subsample", "eval_every",
+      "profile",    "trace_out"};
   for (const auto& [key, value] : obj) {
     if (known.find(key) == known.end()) {
       throw std::invalid_argument("config_from_json: unknown key '" + key + "'");
@@ -111,6 +114,8 @@ ExperimentConfig config_from_json(const json::Value& v) {
   str("compression", cfg.compression);
   idx("test_subsample", cfg.metrics.test_subsample);
   idx("eval_every", cfg.metrics.eval_every);
+  if (v.contains("profile")) cfg.profile = v.at("profile").as_bool();
+  str("trace_out", cfg.trace_out);
   return cfg;
 }
 
@@ -130,6 +135,13 @@ json::Value result_to_json(const ExperimentResult& res) {
   o["model_dim"] = res.model_dim;
   o["messages"] = res.messages;
   o["bytes"] = res.bytes;
+  json::Object phases;
+  phases["local_grad_s"] = res.phase_totals.local_grad_s;
+  phases["crossgrad_s"] = res.phase_totals.crossgrad_s;
+  phases["shapley_s"] = res.phase_totals.shapley_s;
+  phases["aggregate_s"] = res.phase_totals.aggregate_s;
+  phases["gossip_s"] = res.phase_totals.gossip_s;
+  o["phase_totals"] = json::Value(std::move(phases));
   json::Array series;
   for (const auto& m : res.series) {
     json::Object row;

@@ -17,6 +17,8 @@
 #include "dp/calibration.hpp"
 #include "dp/mechanism.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pdsl::core {
 
@@ -168,6 +170,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   const auto compressor = compress::make_compressor(cfg.compression);
   if (cfg.compression != "none" && !cfg.compression.empty()) env.compressor = compressor.get();
 
+  // S-OBS: tracing stays off (near-zero overhead) unless a sink is named.
+  // The recorder is process-global, so back-to-back runs accumulate into the
+  // same trace file — each run rewrites it with everything recorded so far.
+  if (!cfg.trace_out.empty()) obs::TraceRecorder::global().enable(true);
+  obs::MetricsRegistry::global().gauge("dp.sigma").set(hp.sigma);
+
   auto alg = make_algorithm(cfg.algorithm, env, cfg.byzantine_agents);
   auto series = algos::run_with_metrics(*alg, cfg.rounds, test, cfg.metrics);
 
@@ -182,7 +190,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.messages = alg->network().messages_sent();
   res.bytes = alg->network().bytes_sent();
   res.average_model = alg->average_model();
+  for (const auto& rm : series) res.phase_totals += rm.phases;
   res.series = std::move(series);
+  alg->network().publish_edge_metrics();
+  if (!cfg.trace_out.empty()) obs::TraceRecorder::global().write(cfg.trace_out);
   return res;
 }
 

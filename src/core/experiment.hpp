@@ -67,6 +67,14 @@ struct ExperimentConfig {
   /// (extension experiment; see src/compress/).
   std::string compression = "none";
   algos::MetricsOptions metrics;
+
+  /// S-OBS: collect a per-phase wall-time breakdown and have the CLI/bench
+  /// front-ends print it (phase timings are recorded regardless; this flag
+  /// only controls reporting).
+  bool profile = false;
+  /// S-OBS: enable span tracing for this run and write Chrome trace-event
+  /// JSON (chrome://tracing / Perfetto loadable) to this path; empty = off.
+  std::string trace_out;
 };
 
 struct ExperimentResult {
@@ -81,6 +89,7 @@ struct ExperimentResult {
   std::size_t messages = 0;
   std::size_t bytes = 0;
   std::vector<float> average_model;  ///< consensus model after the last round
+  obs::PhaseTimings phase_totals;    ///< per-phase seconds summed over rounds
 };
 
 /// Resolve the noise level for a config (exposed for the sigma ablation).

@@ -5,6 +5,8 @@
 
 #include "common/vec_math.hpp"
 #include "dp/mechanism.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "shapley/game.hpp"
 #include "shapley/shapley.hpp"
 #include "shapley/weighting.hpp"
@@ -51,28 +53,34 @@ void Pdsl::run_round(std::size_t t) {
   const std::string xhat_tag = "xh@" + std::to_string(t);
 
   // ---- Lines 2-5: local gradient, clip, perturb; broadcast model ----
-  draw_all_batches();
   std::vector<std::vector<float>> own_grad(m);  // \hat g_{i,i}
-  for (std::size_t i = 0; i < m; ++i) {
-    own_grad[i] =
-        dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
-                      agent_rngs_[i]);
-    for (std::size_t j : neighbors(i)) net_.send(i, j, model_tag, models_[i]);
+  {
+    auto timer = phase(obs::Phase::kLocalGrad);
+    draw_all_batches();
+    for (std::size_t i = 0; i < m; ++i) {
+      own_grad[i] =
+          dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
+                        agent_rngs_[i]);
+      for (std::size_t j : neighbors(i)) net_.send(i, j, model_tag, models_[i]);
+    }
   }
 
   // ---- Lines 6-12: cross-gradients on received models, perturbed, returned ----
-  for (std::size_t i = 0; i < m; ++i) {
-    const bool byzantine = i < options_.byzantine_agents;
-    for (std::size_t j : neighbors(i)) {
-      auto xj = net_.receive(i, j, model_tag);
-      if (!xj) continue;  // dropped link; j falls back to its local gradient
-      auto g = dp::privatize(workers_[i].gradient(*xj), env_.hp.clip, env_.hp.sigma,
-                             agent_rngs_[i]);
-      if (byzantine) {
-        // Gradient-poisoning adversary: flip and amplify what it sends out.
-        scale_inplace(g, static_cast<float>(-options_.byzantine_scale));
+  {
+    auto timer = phase(obs::Phase::kCrossGrad);
+    for (std::size_t i = 0; i < m; ++i) {
+      const bool byzantine = i < options_.byzantine_agents;
+      for (std::size_t j : neighbors(i)) {
+        auto xj = net_.receive(i, j, model_tag);
+        if (!xj) continue;  // dropped link; j falls back to its local gradient
+        auto g = dp::privatize(workers_[i].gradient(*xj), env_.hp.clip, env_.hp.sigma,
+                               agent_rngs_[i]);
+        if (byzantine) {
+          // Gradient-poisoning adversary: flip and amplify what it sends out.
+          scale_inplace(g, static_cast<float>(-options_.byzantine_scale));
+        }
+        net_.send(i, j, xgrad_tag, std::move(g));
       }
-      net_.send(i, j, xgrad_tag, std::move(g));
     }
   }
 
@@ -101,74 +109,87 @@ void Pdsl::run_round(std::size_t t) {
       }
     }
 
-    // Eq. 15: one-step virtual models x_{i,j} = x_i - gamma * ghat_{j,i}.
-    std::vector<std::vector<float>> virtual_models(n);
-    for (std::size_t k = 0; k < n; ++k) {
-      virtual_models[k] = models_[i];
-      axpy(virtual_models[k], ghat[k], static_cast<float>(-env_.hp.gamma));
+    std::vector<double> pi;
+    {
+      auto timer = phase(obs::Phase::kShapley);
+      PDSL_SPAN("shapley_eval", i, "shapley");
+
+      // Eq. 15: one-step virtual models x_{i,j} = x_i - gamma * ghat_{j,i}.
+      std::vector<std::vector<float>> virtual_models(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        virtual_models[k] = models_[i];
+        axpy(virtual_models[k], ghat[k], static_cast<float>(-env_.hp.gamma));
+      }
+
+      // Eqs. 16-17: v(M') = validation accuracy of the coalition-average model
+      // (or negative validation loss under Options::loss_characteristic).
+      shapley::CachedGame game(n, [&](const std::vector<std::size_t>& coalition) {
+        std::vector<const std::vector<float>*> members;
+        members.reserve(coalition.size());
+        for (std::size_t k : coalition) members.push_back(&virtual_models[k]);
+        const auto avg = mean_of(members);
+        return options_.loss_characteristic ? -sim::loss_on(val_ws_, avg, val)
+                                            : sim::accuracy_on(val_ws_, avg, val);
+      });
+
+      // Line 15 / Algorithm 2 (or an alternative estimator when requested).
+      std::vector<double> phi;
+      const std::string& method =
+          env_.hp.exact_shapley ? std::string("exact") : env_.hp.shapley_method;
+      if (options_.uniform_weights) {
+        phi.assign(n, 1.0);
+      } else if (method == "exact" && n <= 20) {
+        phi = shapley::exact_shapley(game);
+      } else if (method == "tmc") {
+        shapley::TruncatedMcOptions topts;
+        topts.num_permutations = env_.hp.shapley_permutations;
+        topts.tolerance = env_.hp.tmc_tolerance;
+        phi = shapley::truncated_monte_carlo_shapley(game, topts, shapley_rngs_[i]);
+      } else if (method == "stratified") {
+        const std::size_t per_stratum =
+            std::max<std::size_t>(1, env_.hp.shapley_permutations / 2);
+        phi = shapley::stratified_shapley(game, per_stratum, shapley_rngs_[i]);
+      } else {  // "mc" and the exact fallback for oversized neighborhoods
+        phi = shapley::monte_carlo_shapley(game, env_.hp.shapley_permutations,
+                                           shapley_rngs_[i]);
+      }
+      last_evals_ += game.evaluations();
+      static obs::Counter& evals =
+          obs::MetricsRegistry::global().counter("shapley.coalition_evals");
+      evals.add(game.evaluations());
+
+      // Eq. 19 normalization (or the robust ReLU variant), Eq. 20 weights.
+      const std::vector<double> phi_hat =
+          options_.uniform_weights
+              ? phi
+              : (options_.relu_normalization ? shapley::relu_normalize(phi)
+                                             : shapley::minmax_normalize(phi));
+      std::vector<double> w_row(n);
+      for (std::size_t k = 0; k < n; ++k) w_row[k] = w(i, hood[k]);
+      pi = shapley::aggregation_weights(phi_hat, w_row);
+      for (double share : shapley::normalized_shares(phi_hat)) {
+        if (share > 0.0) observed_phi_hat_min_ = std::min(observed_phi_hat_min_, share);
+      }
+      last_phi_[i] = phi;
+      last_pi_[i] = pi;
     }
 
-    // Eqs. 16-17: v(M') = validation accuracy of the coalition-average model
-    // (or negative validation loss under Options::loss_characteristic).
-    shapley::CachedGame game(n, [&](const std::vector<std::size_t>& coalition) {
-      std::vector<const std::vector<float>*> members;
-      members.reserve(coalition.size());
-      for (std::size_t k : coalition) members.push_back(&virtual_models[k]);
-      const auto avg = mean_of(members);
-      return options_.loss_characteristic ? -sim::loss_on(val_ws_, avg, val)
-                                          : sim::accuracy_on(val_ws_, avg, val);
-    });
+    {
+      auto timer = phase(obs::Phase::kAggregate);
 
-    // Line 15 / Algorithm 2 (or an alternative estimator when requested).
-    std::vector<double> phi;
-    const std::string& method =
-        env_.hp.exact_shapley ? std::string("exact") : env_.hp.shapley_method;
-    if (options_.uniform_weights) {
-      phi.assign(n, 1.0);
-    } else if (method == "exact" && n <= 20) {
-      phi = shapley::exact_shapley(game);
-    } else if (method == "tmc") {
-      shapley::TruncatedMcOptions topts;
-      topts.num_permutations = env_.hp.shapley_permutations;
-      topts.tolerance = env_.hp.tmc_tolerance;
-      phi = shapley::truncated_monte_carlo_shapley(game, topts, shapley_rngs_[i]);
-    } else if (method == "stratified") {
-      const std::size_t per_stratum =
-          std::max<std::size_t>(1, env_.hp.shapley_permutations / 2);
-      phi = shapley::stratified_shapley(game, per_stratum, shapley_rngs_[i]);
-    } else {  // "mc" and the exact fallback for oversized neighborhoods
-      phi = shapley::monte_carlo_shapley(game, env_.hp.shapley_permutations,
-                                         shapley_rngs_[i]);
+      // Eq. 21: weighted aggregate of the perturbed gradients.
+      std::vector<const std::vector<float>*> gptrs;
+      gptrs.reserve(n);
+      for (const auto& g : ghat) gptrs.push_back(&g);
+      const auto g_bar = weighted_sum(gptrs, pi);
+
+      // Eqs. 22-23 + Line 21 broadcast.
+      u_hat[i] = momentum_[i];
+      scale_inplace(u_hat[i], static_cast<float>(env_.hp.alpha));
+      axpy(u_hat[i], g_bar, 1.0f);
+      x_hat[i] = models_[i];
+      axpy(x_hat[i], u_hat[i], static_cast<float>(-env_.hp.gamma));
     }
-    last_evals_ += game.evaluations();
-
-    // Eq. 19 normalization (or the robust ReLU variant), Eq. 20 weights.
-    const std::vector<double> phi_hat =
-        options_.uniform_weights
-            ? phi
-            : (options_.relu_normalization ? shapley::relu_normalize(phi)
-                                           : shapley::minmax_normalize(phi));
-    std::vector<double> w_row(n);
-    for (std::size_t k = 0; k < n; ++k) w_row[k] = w(i, hood[k]);
-    const std::vector<double> pi = shapley::aggregation_weights(phi_hat, w_row);
-    for (double share : shapley::normalized_shares(phi_hat)) {
-      if (share > 0.0) observed_phi_hat_min_ = std::min(observed_phi_hat_min_, share);
-    }
-    last_phi_[i] = phi;
-    last_pi_[i] = pi;
-
-    // Eq. 21: weighted aggregate of the perturbed gradients.
-    std::vector<const std::vector<float>*> gptrs;
-    gptrs.reserve(n);
-    for (const auto& g : ghat) gptrs.push_back(&g);
-    const auto g_bar = weighted_sum(gptrs, pi);
-
-    // Eqs. 22-23 + Line 21 broadcast.
-    u_hat[i] = momentum_[i];
-    scale_inplace(u_hat[i], static_cast<float>(env_.hp.alpha));
-    axpy(u_hat[i], g_bar, 1.0f);
-    x_hat[i] = models_[i];
-    axpy(x_hat[i], u_hat[i], static_cast<float>(-env_.hp.gamma));
   }
 
   // ---- Lines 21-24: gossip-average momentum and model with W ----

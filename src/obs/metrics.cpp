@@ -1,0 +1,116 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace pdsl::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: at least one bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+  buckets_.resize(bounds_.size() + 1);  // + overflow
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto k = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[k].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static auto* instance = new MetricsRegistry();  // leaky: outlives static dtors
+  return *instance;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+json::Value MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Object counters;
+  for (const auto& [name, c] : counters_) counters[name] = c->value();
+  json::Object gauges;
+  for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+  json::Object histograms;
+  for (const auto& [name, h] : histograms_) {
+    json::Object ho;
+    ho["count"] = h->count();
+    ho["sum"] = h->sum();
+    json::Array bounds;
+    for (double b : h->bounds()) bounds.push_back(json::Value(b));
+    ho["bounds"] = json::Value(std::move(bounds));
+    json::Array buckets;
+    for (std::uint64_t c : h->bucket_counts()) buckets.push_back(json::Value(c));
+    ho["buckets"] = json::Value(std::move(buckets));
+    histograms[name] = json::Value(std::move(ho));
+  }
+  json::Object o;
+  o["counters"] = json::Value(std::move(counters));
+  o["gauges"] = json::Value(std::move(gauges));
+  o["histograms"] = json::Value(std::move(histograms));
+  return json::Value(std::move(o));
+}
+
+void MetricsRegistry::write_csv(const std::string& path) const {
+  CsvWriter csv(path, {"kind", "name", "value", "count", "sum"});
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) csv.row("counter", name, c->value(), "", "");
+  for (const auto& [name, g] : gauges_) csv.row("gauge", name, g->value(), "", "");
+  for (const auto& [name, h] : histograms_) {
+    csv.row("histogram", name, "", h->count(), h->sum());
+  }
+  csv.flush();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace pdsl::obs

@@ -1,0 +1,93 @@
+#pragma once
+// Process-wide metrics registry (S-OBS): named counters, gauges and
+// fixed-bucket histograms shared by every layer of the stack. Handles are
+// looked up once (by name, under a mutex) and then updated lock-free with
+// relaxed atomics, so instrumented hot loops pay one fetch_add per event.
+// Objects are owned by the registry and never move or die, so cached
+// references (`static obs::Counter& c = ...`) stay valid for the process
+// lifetime. Snapshots dump to JSON or CSV for offline analysis.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace pdsl::obs {
+
+/// Monotonically increasing event count (messages sent, coalitions evaluated).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (dp.sigma, current round).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket k counts observations <= bounds[k]; one
+/// implicit overflow bucket collects the rest. Bounds are fixed at creation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;                  ///< ascending upper edges
+  std::deque<std::atomic<std::uint64_t>> buckets_;  ///< deque: atomics don't move
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> instrument map. Lookup registers on first use; concurrent lookups
+/// and updates are safe. `global()` is the process-wide instance everything
+/// instruments against (leaky singleton: safe to use from static destructors).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First creation fixes the bounds; later calls ignore `upper_bounds`.
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// bounds, buckets}}} — a point-in-time snapshot.
+  [[nodiscard]] json::Value to_json() const;
+  /// One row per instrument: kind,name,value,count,sum.
+  void write_csv(const std::string& path) const;
+  /// Zero every value but keep registrations (cached handles stay valid).
+  void reset();
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pdsl::obs

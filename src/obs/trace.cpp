@@ -1,0 +1,96 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace pdsl::obs {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  static auto* instance = new TraceRecorder();  // leaky: outlives static dtors
+  return *instance;
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+json::Value TraceRecorder::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Array events;
+  events.reserve(events_.size());
+  for (const auto& ev : events_) {
+    json::Object o;
+    o["name"] = ev.name;
+    o["cat"] = ev.cat;
+    o["ph"] = "X";
+    o["ts"] = ev.ts_us;
+    o["dur"] = ev.dur_us;
+    o["pid"] = 0;
+    o["tid"] = static_cast<std::size_t>(ev.tid);
+    if (ev.arg_name != nullptr) {
+      json::Object args;
+      args[ev.arg_name] = ev.arg_value;
+      o["args"] = json::Value(std::move(args));
+    }
+    events.push_back(json::Value(std::move(o)));
+  }
+  json::Object top;
+  top["traceEvents"] = json::Value(std::move(events));
+  top["displayTimeUnit"] = "ms";
+  return json::Value(std::move(top));
+}
+
+void TraceRecorder::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TraceRecorder::write: cannot open " + path);
+  out << to_json().dump(2) << '\n';
+  if (!out) throw std::runtime_error("TraceRecorder::write: write failed for " + path);
+}
+
+std::uint32_t TraceRecorder::thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+void ScopedSpan::begin(const char* name, const char* cat, const char* arg_name,
+                       std::int64_t arg_value) {
+  rec_ = &TraceRecorder::global();
+  name_ = name;
+  cat_ = cat;
+  arg_name_ = arg_name;
+  arg_value_ = arg_value;
+  start_us_ = rec_->now_us();
+}
+
+void ScopedSpan::end() {
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.ts_us = start_us_;
+  ev.dur_us = rec_->now_us() - start_us_;
+  ev.tid = TraceRecorder::thread_id();
+  ev.arg_name = arg_name_;
+  ev.arg_value = arg_value_;
+  rec_->record(std::move(ev));
+}
+
+}  // namespace pdsl::obs

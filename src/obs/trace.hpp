@@ -1,0 +1,109 @@
+#pragma once
+// Phase-level tracing (S-OBS). A TraceRecorder collects complete-span events
+// ("ph":"X") and exports Chrome trace-event JSON loadable in chrome://tracing
+// or https://ui.perfetto.dev. Spans are RAII (`PDSL_SPAN("shapley_eval", i)`):
+// construction samples the clock, destruction records the event.
+//
+// Cost model: tracing is OFF by default. A disabled span is one relaxed
+// atomic load and a null pointer — no lock, no allocation, no clock read —
+// so instrumentation can live permanently in hot loops. When enabled, each
+// span takes the recorder mutex once at destruction.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace pdsl::obs {
+
+/// One complete ("X") trace event. Argument names must be string literals
+/// (or otherwise outlive the recorder); values are integral.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;   ///< start, microseconds since recorder epoch
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+  const char* arg_name = nullptr;
+  std::int64_t arg_value = 0;
+};
+
+class TraceRecorder {
+ public:
+  /// Process-wide recorder (leaky singleton; safe from static destructors).
+  static TraceRecorder& global();
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the recorder's epoch (steady clock).
+  [[nodiscard]] double now_us() const;
+
+  void record(TraceEvent ev);
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} snapshot.
+  [[nodiscard]] json::Value to_json() const;
+  /// Serialize to_json() to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+  /// Stable small id for the calling thread (Chrome "tid" field).
+  static std::uint32_t thread_id();
+
+  TraceRecorder();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span against the global recorder. If tracing is disabled at
+/// construction the object is inert (no clock read, no event).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "phase") {
+    if (TraceRecorder::global().enabled()) begin(name, cat, nullptr, 0);
+  }
+  ScopedSpan(const char* name, std::int64_t id, const char* cat = "phase") {
+    if (TraceRecorder::global().enabled()) begin(name, cat, "id", id);
+  }
+  ScopedSpan(const char* name, std::size_t id, const char* cat = "phase")
+      : ScopedSpan(name, static_cast<std::int64_t>(id), cat) {}
+  ~ScopedSpan() { if (rec_ != nullptr) end(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach/overwrite the span's single integral argument.
+  void set_arg(const char* name, std::int64_t value) {
+    arg_name_ = name;
+    arg_value_ = value;
+  }
+
+ private:
+  void begin(const char* name, const char* cat, const char* arg_name, std::int64_t arg_value);
+  void end();
+
+  TraceRecorder* rec_ = nullptr;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  const char* arg_name_ = nullptr;
+  std::int64_t arg_value_ = 0;
+  double start_us_ = 0.0;
+};
+
+// NOLINTBEGIN(cppcoreguidelines-macro-usage)
+#define PDSL_OBS_CONCAT2(a, b) a##b
+#define PDSL_OBS_CONCAT(a, b) PDSL_OBS_CONCAT2(a, b)
+/// Scoped span tied to the enclosing block: PDSL_SPAN("shapley_eval", agent).
+#define PDSL_SPAN(...) \
+  ::pdsl::obs::ScopedSpan PDSL_OBS_CONCAT(pdsl_span_, __LINE__)(__VA_ARGS__)
+// NOLINTEND(cppcoreguidelines-macro-usage)
+
+}  // namespace pdsl::obs

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/csv.hpp"
+#include "obs/phase.hpp"
 
 namespace pdsl::sim {
 
@@ -19,7 +20,9 @@ struct RoundMetrics {
   double grad_norm = 0.0;       ///< ||grad of F at x_bar|| proxy if recorded (else 0)
   std::size_t messages = 0;     ///< cumulative network messages so far
   std::size_t bytes = 0;        ///< cumulative network bytes so far
-  double elapsed_s = 0.0;
+  double elapsed_s = 0.0;       ///< cumulative run wall time after this round
+  double round_s = 0.0;         ///< wall time of this round's run_round alone
+  obs::PhaseTimings phases;     ///< where round_s went (S-OBS breakdown)
 };
 
 /// Mean over agents of ||x_i - mean_j x_j||.
@@ -29,7 +32,8 @@ double consensus_distance(const std::vector<std::vector<float>>& models);
 std::vector<float> average_model(const std::vector<std::vector<float>>& models);
 
 /// Write a metrics series to CSV (columns: round, avg_loss, test_accuracy,
-/// consensus, grad_norm, messages, bytes, elapsed_s).
+/// consensus, grad_norm, messages, bytes, elapsed_s, round_s, then one
+/// <phase>_s column per obs::Phase).
 void write_metrics_csv(const std::string& path, const std::string& run_label,
                        const std::vector<RoundMetrics>& series);
 

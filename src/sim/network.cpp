@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace pdsl::sim {
 
 Network::Network(const graph::Topology& topo, Options opts)
@@ -24,8 +26,20 @@ bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
   }
   ++sent_;
   const bool lossy_channel = (src != dst) && opts_.compressor != nullptr;
-  bytes_ += lossy_channel ? opts_.compressor->wire_bytes(payload)
-                          : payload.size() * sizeof(float);
+  const std::size_t wire_bytes = lossy_channel ? opts_.compressor->wire_bytes(payload)
+                                               : payload.size() * sizeof(float);
+  bytes_ += wire_bytes;
+  auto& edge = edge_counts_[{src, dst}];
+  ++edge.messages;
+  edge.bytes += wire_bytes;
+  {
+    // Process-wide totals; handles cached so the per-send cost is two
+    // relaxed fetch_adds.
+    static obs::Counter& msgs = obs::MetricsRegistry::global().counter("net.msgs");
+    static obs::Counter& bytes = obs::MetricsRegistry::global().counter("net.bytes");
+    msgs.add(1);
+    bytes.add(wire_bytes);
+  }
   if (src != dst && opts_.drop_prob > 0.0 && rng_.bernoulli(opts_.drop_prob)) {
     ++dropped_;
     return false;
@@ -48,6 +62,30 @@ std::optional<std::vector<float>> Network::receive(std::size_t dst, std::size_t 
 bool Network::has_message(std::size_t dst, std::size_t src, const std::string& tag) const {
   const auto it = boxes_.find(Key{src, dst, tag});
   return it != boxes_.end() && !it->second.empty();
+}
+
+std::vector<Network::EdgeTraffic> Network::edge_traffic() const {
+  std::vector<EdgeTraffic> out;
+  out.reserve(edge_counts_.size());
+  for (const auto& [edge, count] : edge_counts_) {
+    out.push_back({edge.first, edge.second, count.messages, count.bytes});
+  }
+  return out;
+}
+
+std::size_t Network::bytes_between(std::size_t src, std::size_t dst) const {
+  const auto it = edge_counts_.find({src, dst});
+  return it == edge_counts_.end() ? 0 : it->second.bytes;
+}
+
+void Network::publish_edge_metrics(const std::string& prefix) const {
+  auto& reg = obs::MetricsRegistry::global();
+  for (const auto& [edge, count] : edge_counts_) {
+    const std::string suffix =
+        "{edge=" + std::to_string(edge.first) + "->" + std::to_string(edge.second) + "}";
+    reg.counter(prefix + ".bytes" + suffix).add(count.bytes);
+    reg.counter(prefix + ".msgs" + suffix).add(count.messages);
+  }
 }
 
 std::size_t Network::clear() {

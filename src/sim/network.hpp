@@ -11,6 +11,7 @@
 #include <optional>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -58,6 +59,25 @@ class Network {
   [[nodiscard]] std::size_t bytes_sent() const { return bytes_; }
   [[nodiscard]] const graph::Topology& topology() const { return topo_; }
 
+  /// Per-edge traffic totals (S-OBS): every (src,dst) pair that ever sent,
+  /// including dropped messages (they consumed the wire).
+  struct EdgeTraffic {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    std::size_t messages = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// All edges with traffic, ordered by (src, dst).
+  [[nodiscard]] std::vector<EdgeTraffic> edge_traffic() const;
+
+  /// Wire bytes sent on the directed edge src->dst (0 if never used).
+  [[nodiscard]] std::size_t bytes_between(std::size_t src, std::size_t dst) const;
+
+  /// Fold per-edge byte totals into `obs::MetricsRegistry::global()` as
+  /// counters named `net.bytes{edge=src->dst}` (plus `net.msgs{edge=...}`).
+  void publish_edge_metrics(const std::string& prefix = "net") const;
+
  private:
   struct Key {
     std::size_t src;
@@ -77,6 +97,11 @@ class Network {
   std::size_t sent_ = 0;
   std::size_t dropped_ = 0;
   std::size_t bytes_ = 0;
+  struct EdgeCount {
+    std::size_t messages = 0;
+    std::size_t bytes = 0;
+  };
+  std::map<std::pair<std::size_t, std::size_t>, EdgeCount> edge_counts_;
 };
 
 }  // namespace pdsl::sim

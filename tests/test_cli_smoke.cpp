@@ -1,0 +1,88 @@
+// End-to-end smoke test for the CLI observability surface: runs the real
+// pdsl_cli binary (path injected by CMake as PDSL_CLI_PATH) with --profile
+// and --trace-out on a tiny config, then validates the phase table on stdout
+// and the Chrome trace JSON on disk. This doubles as the ctest smoke target
+// for the S-OBS subsystem.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+
+#ifndef PDSL_CLI_PATH
+#error "PDSL_CLI_PATH must be defined by the build (path to the pdsl_cli binary)"
+#endif
+
+namespace {
+
+using pdsl::json::Value;
+
+constexpr std::size_t kRounds = 3;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+TEST(CliSmoke, ProfileAndTraceOnTinyRun) {
+  const std::string trace = temp_path("pdsl_smoke_trace.json");
+  const std::string metrics = temp_path("pdsl_smoke_metrics.csv");
+  const std::string out = temp_path("pdsl_smoke_stdout.txt");
+
+  std::ostringstream cmd;
+  cmd << '"' << PDSL_CLI_PATH << '"'
+      << " run --algorithm pdsl --agents 4 --rounds " << kRounds
+      << " --train 240 --image 8 --batch 8 --mc_perms 2 --valbatch 16"
+      << " --profile --trace-out \"" << trace << '"'
+      << " --metrics-out \"" << metrics << '"'
+      << " > \"" << out << "\" 2>&1";
+  ASSERT_EQ(std::system(cmd.str().c_str()), 0) << slurp(out);
+
+  // Phase table and counters made it to stdout.
+  const std::string stdout_text = slurp(out);
+  for (const char* needle :
+       {"phase", "local_grad", "shapley", "gossip", "total", "shapley.coalition_evals"}) {
+    EXPECT_NE(stdout_text.find(needle), std::string::npos)
+        << "missing '" << needle << "' in:\n" << stdout_text;
+  }
+
+  // Trace file is valid Chrome trace JSON with >=1 span per phase per round.
+  const Value v = pdsl::json::parse_file(trace);
+  const auto& events = v.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+  std::map<std::string, std::size_t> per_phase;
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.at("ph").as_string(), "X");
+    EXPECT_GE(ev.at("dur").as_number(), 0.0);
+    per_phase[ev.at("name").as_string()]++;
+  }
+  for (const char* phase : {"local_grad", "crossgrad", "shapley", "aggregate", "gossip"}) {
+    EXPECT_GE(per_phase[phase], kRounds) << "phase " << phase;
+  }
+  EXPECT_GE(per_phase["round"], kRounds);
+
+  // Metrics registry dump exists and includes the key instruments.
+  const std::string metrics_text = slurp(metrics);
+  EXPECT_NE(metrics_text.find("shapley.coalition_evals"), std::string::npos);
+  EXPECT_NE(metrics_text.find("dp.sigma"), std::string::npos);
+  EXPECT_NE(metrics_text.find("net.bytes"), std::string::npos);
+
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+  std::remove(out.c_str());
+}

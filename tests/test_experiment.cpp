@@ -206,3 +206,33 @@ TEST(Experiment, CifarLikeCnnPathRuns) {
   const auto res = run_experiment(cfg);
   EXPECT_EQ(res.series.size(), 1u);
 }
+
+TEST(Experiment, PhaseTimingsAccountForRoundTime) {
+  const auto res = run_experiment(tiny("pdsl"));
+  ASSERT_EQ(res.series.size(), 3u);
+  for (const auto& rm : res.series) {
+    const double phases = rm.phases.total();
+    // Phase scopes live strictly inside run_round, so the sum can't exceed
+    // the round's wall time by more than timer noise...
+    EXPECT_GT(rm.round_s, 0.0);
+    EXPECT_LE(phases, rm.round_s * 1.05 + 1e-4);
+    // ...and for pdsl the five phases cover the bulk of the round's work
+    // (the rest is loop scaffolding and message passing). Conservative bound
+    // so a loaded CI machine doesn't flake.
+    EXPECT_GE(phases, rm.round_s * 0.25);
+    // The expensive phases actually registered time.
+    EXPECT_GT(rm.phases.shapley_s, 0.0);
+    EXPECT_GT(rm.phases.local_grad_s, 0.0);
+  }
+  // Run totals are the per-round sums.
+  double shapley = 0.0;
+  for (const auto& rm : res.series) shapley += rm.phases.shapley_s;
+  EXPECT_DOUBLE_EQ(res.phase_totals.shapley_s, shapley);
+}
+
+TEST(Experiment, PhaseTimingsPopulatedForBaselines) {
+  for (const std::string name : {"dp_dpsgd", "muffliato", "dp_cga", "dp_netfleet"}) {
+    const auto res = run_experiment(tiny(name));
+    EXPECT_GT(res.phase_totals.total(), 0.0) << name;
+  }
+}

@@ -25,6 +25,9 @@
 #include "dp/rdp.hpp"
 #include "graph/spectral.hpp"
 #include "io/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
 #include "sim/metrics.hpp"
 
 using namespace pdsl;
@@ -43,6 +46,9 @@ int usage() {
       "                    --clip --eps --delta --sigma_mode --noise_scale --seed\n"
       "                    --seeds 1,2,3 --compression --drop_prob --corrupt\n"
       "                    --csv <path> --save_model <path>\n"
+      "                    --profile (per-phase timing table + key counters)\n"
+      "                    --trace-out <t.json> (Chrome trace-event spans)\n"
+      "                    --metrics-out <m.csv> (metrics registry dump)\n"
       "  topology   print spectral facts for the supported graphs\n"
       "             flags: --agents 10,15,20\n"
       "  calibrate  compare sigma calibrations and composed privacy budgets\n"
@@ -59,7 +65,9 @@ int cmd_run(int argc, const char* const* argv) {
                       "batch",     "gamma",    "alpha",   "clip",        "eps",
                       "delta",     "sigma_mode", "noise_scale", "seed",  "seeds",
                       "compression", "drop_prob", "corrupt", "csv",      "save_model",
-                      "mc_perms",  "valbatch", "hidden",  "config",      "json"});
+                      "mc_perms",  "valbatch", "hidden",  "config",      "json",
+                      "profile",   "trace-out", "trace_out", "metrics-out",
+                      "metrics_out"});
   core::ExperimentConfig cfg;
   if (args.has("config")) {
     cfg = core::load_config(args.get_string("config", ""));
@@ -115,6 +123,11 @@ int cmd_run(int argc, const char* const* argv) {
   cfg.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
   if (cfg.metrics.eval_every == 1) cfg.metrics.eval_every = 5;
+  cfg.profile = args.get_bool("profile", cfg.profile);
+  cfg.trace_out =
+      args.get_string("trace-out", args.get_string("trace_out", cfg.trace_out));
+  const std::string metrics_out =
+      args.get_string("metrics-out", args.get_string("metrics_out", ""));
 
   if (args.has("seeds")) {
     const auto seed_ints = args.get_int_list("seeds", {1, 2, 3});
@@ -143,6 +156,29 @@ int cmd_run(int argc, const char* const* argv) {
   }
   std::printf("final: loss=%.4f acc=%.3f messages=%zu bytes=%.1fMB\n", res.final_loss,
               res.final_accuracy, res.messages, static_cast<double>(res.bytes) / 1e6);
+
+  if (cfg.profile) {
+    auto& reg = obs::MetricsRegistry::global();
+    std::printf("\n-- phase breakdown (%zu rounds) --\n%s", cfg.rounds,
+                obs::format_phase_table(res.phase_totals, cfg.rounds).c_str());
+    const auto clip_total = reg.counter("grad.clip_total").value();
+    const auto clipped = reg.counter("grad.clipped").value();
+    std::printf("shapley.coalition_evals=%llu  grad.clip_fraction=%.3f  dp.sigma=%.4f\n",
+                static_cast<unsigned long long>(
+                    reg.counter("shapley.coalition_evals").value()),
+                clip_total == 0 ? 0.0
+                                : static_cast<double>(clipped) /
+                                      static_cast<double>(clip_total),
+                reg.gauge("dp.sigma").value());
+  }
+  if (!cfg.trace_out.empty()) {
+    std::printf("trace written to %s (%zu events; load in chrome://tracing)\n",
+                cfg.trace_out.c_str(), obs::TraceRecorder::global().size());
+  }
+  if (!metrics_out.empty()) {
+    obs::MetricsRegistry::global().write_csv(metrics_out);
+    std::printf("metrics registry written to %s\n", metrics_out.c_str());
+  }
 
   if (args.has("csv")) {
     sim::write_metrics_csv(args.get_string("csv", ""), cfg.algorithm, res.series);
