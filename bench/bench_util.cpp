@@ -18,7 +18,7 @@ namespace {
 const std::vector<std::string> kFlags = {
     "scale",  "agents", "eps",        "rounds", "seed",  "train", "image",
     "batch",  "model",  "mc_perms",   "valbatch", "out", "gamma", "alpha",
-    "print_every", "noise_scale", "profile", "trace-out", "trace_out"};
+    "print_every", "noise_scale", "profile", "trace-out", "trace_out", "threads"};
 
 constexpr const char* kOutDir = "bench_results";
 
@@ -147,6 +147,7 @@ struct ParsedCommon {
   std::vector<std::int64_t> agents;
   std::vector<double> epsilons;
   std::uint64_t seed;
+  std::size_t threads = 1;     ///< S-RT width (1=sequential, 0=auto-detect)
   bool profile = false;        ///< print per-phase breakdown per run
   std::string trace_out;       ///< Chrome trace sink for the whole sweep
 };
@@ -173,6 +174,7 @@ ParsedCommon parse_common(const CliArgs& args, SweepSpec& spec) {
   pc.agents = args.get_int_list("agents", pc.sp.agents);
   pc.epsilons = args.get_double_list("eps", spec.epsilons);
   pc.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  pc.threads = static_cast<std::size_t>(args.get_int("threads", 1));
   pc.profile = args.get_bool("profile", false);
   pc.trace_out = args.get_string("trace-out", args.get_string("trace_out", ""));
   if (!pc.trace_out.empty()) obs::TraceRecorder::global().enable(true);
@@ -214,12 +216,13 @@ int run_figure_bench(int argc, const char* const* argv, const SweepSpec& spec_in
   auto pc = parse_common(args, spec);
 
   std::printf("==== %s: %s ====\n", spec.id.c_str(), spec.title.c_str());
-  std::printf("scale=%s model=%s image=%zu rounds=%zu train=%zu batch=%zu\n", pc.scale.c_str(),
-              pc.sp.model.c_str(), pc.sp.image, pc.sp.rounds, pc.sp.train_samples, pc.sp.batch);
+  std::printf("scale=%s model=%s image=%zu rounds=%zu train=%zu batch=%zu threads=%zu\n",
+              pc.scale.c_str(), pc.sp.model.c_str(), pc.sp.image, pc.sp.rounds,
+              pc.sp.train_samples, pc.sp.batch, pc.threads);
 
   CsvWriter csv(csv_path(spec.id),
-                {"figure", "dataset", "topology", "agents", "epsilon", "algorithm", "round",
-                 "avg_loss", "test_accuracy", "consensus"});
+                {"figure", "dataset", "topology", "agents", "epsilon", "algorithm", "threads",
+                 "round", "avg_loss", "test_accuracy", "consensus"});
   Stopwatch total;
   obs::PhaseTimings phase_totals;
   std::size_t total_rounds = 0;
@@ -232,6 +235,7 @@ int run_figure_bench(int argc, const char* const* argv, const SweepSpec& spec_in
       for (const auto& algo : core::paper_algorithms()) {
         auto cfg = make_config(spec, pc.sp, static_cast<std::size_t>(m), eps, pc.seed);
         cfg.algorithm = algo;
+        cfg.threads = pc.threads;
         Stopwatch sw;
         results[algo] = core::run_experiment(cfg);
         std::printf("   %-13s sigma=%-8.4g final_loss=%-8.4g final_acc=%.3f  (%.1fs)\n",
@@ -242,8 +246,8 @@ int run_figure_bench(int argc, const char* const* argv, const SweepSpec& spec_in
         phase_totals += results[algo].phase_totals;
         total_rounds += pc.sp.rounds;
         for (const auto& rm : results[algo].series) {
-          csv.row(spec.id, spec.dataset, spec.topology, m, eps, display_name(algo), rm.round,
-                  rm.avg_loss, rm.test_accuracy, rm.consensus);
+          csv.row(spec.id, spec.dataset, spec.topology, m, eps, display_name(algo), pc.threads,
+                  rm.round, rm.avg_loss, rm.test_accuracy, rm.consensus);
         }
         csv.flush();
       }
@@ -276,11 +280,12 @@ int run_table_bench(int argc, const char* const* argv, SweepSpec spec,
   auto pc = parse_common(args, spec);
 
   std::printf("==== %s: %s ====\n", spec.id.c_str(), spec.title.c_str());
-  std::printf("scale=%s model=%s image=%zu rounds=%zu\n", pc.scale.c_str(), pc.sp.model.c_str(),
-              pc.sp.image, pc.sp.rounds);
+  std::printf("scale=%s model=%s image=%zu rounds=%zu threads=%zu\n", pc.scale.c_str(),
+              pc.sp.model.c_str(), pc.sp.image, pc.sp.rounds, pc.threads);
 
   CsvWriter csv(csv_path(spec.id), {"table", "dataset", "topology", "agents", "epsilon",
-                                    "algorithm", "test_accuracy", "final_loss", "sigma"});
+                                    "algorithm", "threads", "test_accuracy", "final_loss",
+                                    "sigma"});
   Stopwatch total;
   obs::PhaseTimings phase_totals;
   std::size_t total_rounds = 0;
@@ -301,13 +306,14 @@ int run_table_bench(int argc, const char* const* argv, SweepSpec spec,
           spec.topology = topo;
           auto cfg = make_config(spec, pc.sp, static_cast<std::size_t>(m), eps, pc.seed);
           cfg.algorithm = algo;
+          cfg.threads = pc.threads;
           const auto res = core::run_experiment(cfg);
           phase_totals += res.phase_totals;
           total_rounds += pc.sp.rounds;
           std::printf("  %9.3f", res.final_accuracy);
           std::fflush(stdout);
-          csv.row(spec.id, spec.dataset, topo, m, eps, display_name(algo), res.final_accuracy,
-                  res.final_loss, res.sigma);
+          csv.row(spec.id, spec.dataset, topo, m, eps, display_name(algo), pc.threads,
+                  res.final_accuracy, res.final_loss, res.sigma);
           csv.flush();
         }
       }

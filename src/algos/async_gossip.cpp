@@ -44,7 +44,10 @@ void AsyncDpGossip::wake(std::size_t i, std::size_t t) {
 
 void AsyncDpGossip::run_round(std::size_t t) {
   // M wake events per round, uniformly random agent each time — a discrete
-  // simulation of independent Poisson clocks.
+  // simulation of independent Poisson clocks. Deliberately NOT converted to
+  // runtime::parallel_for (S-RT): wake events are causally ordered (event e+1
+  // reads models event e wrote, and the clock RNG is one serial stream), so
+  // this baseline runs sequentially at every --threads setting.
   const std::size_t m = num_agents();
   for (std::size_t e = 0; e < m; ++e) {
     const auto i = static_cast<std::size_t>(

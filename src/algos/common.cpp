@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.hpp"
 #include "common/vec_math.hpp"
+#include "runtime/parallel_for.hpp"
 #include "sim/evaluate.hpp"
 
 namespace pdsl::algos {
@@ -74,13 +75,16 @@ std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::ve
   auto timer = phase(obs::Phase::kGossip);
   const std::size_t m = num_agents();
   if (in.size() != m) throw std::invalid_argument("mix_vectors: arity mismatch");
-  for (std::size_t i = 0; i < m; ++i) {
+  // Broadcast, then (phase barrier between the two parallel_fors) accumulate.
+  // Each agent writes only its own mailbox edges / output slot, so any
+  // execution width produces the same result.
+  runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     for (std::size_t j : neighbors(i)) {
       net_.send(i, j, tag, in[i]);
     }
-  }
+  });
   std::vector<std::vector<float>> out(m);
-  for (std::size_t i = 0; i < m; ++i) {
+  runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     std::vector<float> acc(in[i].size(), 0.0f);
     axpy(acc, in[i], static_cast<float>(w(i, i)));
     for (std::size_t j : neighbors(i)) {
@@ -91,12 +95,14 @@ std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::ve
       axpy(acc, v, static_cast<float>(w(i, j)));
     }
     out[i] = std::move(acc);
-  }
+  });
   return out;
 }
 
 void Algorithm::draw_all_batches() {
-  for (auto& wkr : workers_) wkr.draw_batch();
+  // Each worker samples from its own RNG stream (split at construction).
+  runtime::parallel_for(0, workers_.size(), 1,
+                        [&](std::size_t i) { workers_[i].draw_batch(); });
 }
 
 std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t rounds,
@@ -126,7 +132,9 @@ std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t roun
     m.avg_loss = loss_acc / static_cast<double>(alg.num_agents());
     m.consensus = sim::consensus_distance(alg.models());
 
-    if (t % opts.eval_every == 0 || t == rounds) {
+    const bool eval_now =
+        opts.eval_every != 0 && (t % opts.eval_every == 0 || t == rounds);
+    if (eval_now) {
       double acc = 0.0;
       for (std::size_t i = 0; i < alg.num_agents(); ++i) {
         acc += sim::evaluate(eval_ws, alg.models()[i], test, opts.test_subsample).accuracy;

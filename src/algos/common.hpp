@@ -120,7 +120,7 @@ class Algorithm {
 
 struct MetricsOptions {
   std::size_t test_subsample = 256;  ///< samples of the test set per evaluation
-  std::size_t eval_every = 1;        ///< test-accuracy cadence (loss is every round)
+  std::size_t eval_every = 1;        ///< test-accuracy cadence; 0 = never (loss is every round)
 };
 
 /// Drive `alg` for `rounds` rounds, recording the per-round series the

@@ -1,7 +1,10 @@
 #include "algos/dp_cga.hpp"
 
+#include <algorithm>
+
 #include "common/vec_math.hpp"
 #include "dp/mechanism.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace pdsl::algos {
 
@@ -16,13 +19,14 @@ void DpCga::run_round(std::size_t t) {
   const std::string xgrad_tag = "xg@" + std::to_string(t);
 
   // Phase 1+2: broadcast current models, compute privatized cross-gradients
-  // for every received model, and return them to the model's owner.
+  // for every received model, and return them to the model's owner. The
+  // broadcast completes (barrier) before anyone receives.
   {
     auto timer = phase(obs::Phase::kCrossGrad);
-    for (std::size_t i = 0; i < m; ++i) {
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       for (std::size_t j : neighbors(i)) net_.send(i, j, model_tag, models_[i]);
-    }
-    for (std::size_t i = 0; i < m; ++i) {
+    });
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       for (std::size_t j : neighbors(i)) {
         auto xj = net_.receive(i, j, model_tag);
         if (!xj) continue;  // dropped link: owner falls back to remaining grads
@@ -30,16 +34,16 @@ void DpCga::run_round(std::size_t t) {
                                agent_rngs_[i]);
         net_.send(i, j, xgrad_tag, std::move(g));
       }
-    }
+    });
   }
 
   // Phase 3: each agent bundles its own privatized gradient with the received
   // cross-gradients and solves the min-norm QP for a common descent direction.
   std::vector<std::vector<float>> directions(m);
-  last_qp_iters_ = 0;
+  std::vector<std::size_t> qp_iters(m, 0);
   {
     auto timer = phase(obs::Phase::kAggregate);
-    for (std::size_t i = 0; i < m; ++i) {
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       std::vector<std::vector<float>> bundle;
       bundle.push_back(dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
                                      env_.hp.sigma, agent_rngs_[i]));
@@ -47,21 +51,22 @@ void DpCga::run_round(std::size_t t) {
         if (auto g = net_.receive(i, j, xgrad_tag)) bundle.push_back(std::move(*g));
       }
       const auto res = solver_.solve(bundle);
-      last_qp_iters_ = std::max(last_qp_iters_, res.iterations);
+      qp_iters[i] = res.iterations;
       directions[i] = optim::combine(bundle, res.lambda);
-    }
+    });
+    last_qp_iters_ = *std::max_element(qp_iters.begin(), qp_iters.end());
   }
 
   // Phase 4: gossip-average models, then apply the momentum-smoothed direction.
   auto mixed = mix_vectors(models_, "mix@" + std::to_string(t));
   auto timer = phase(obs::Phase::kAggregate);
   const auto a = static_cast<float>(env_.hp.alpha);
-  for (std::size_t i = 0; i < m; ++i) {
+  runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     auto& u = momentum_[i];
     for (std::size_t k = 0; k < u.size(); ++k) u[k] = a * u[k] + directions[i][k];
     axpy(mixed[i], u, static_cast<float>(-env_.hp.gamma));
     models_[i] = std::move(mixed[i]);
-  }
+  });
 }
 
 }  // namespace pdsl::algos

@@ -2,6 +2,7 @@
 
 #include "common/vec_math.hpp"
 #include "dp/mechanism.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace pdsl::algos {
 
@@ -11,17 +12,17 @@ void DpDpsgd::run_round(std::size_t t) {
   {
     auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
-    for (std::size_t i = 0; i < m; ++i) {
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       grads[i] = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
                                agent_rngs_[i]);
-    }
+    });
   }
   auto mixed = mix_vectors(models_, "x@" + std::to_string(t));
   auto timer = phase(obs::Phase::kAggregate);
-  for (std::size_t i = 0; i < m; ++i) {
+  runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     axpy(mixed[i], grads[i], static_cast<float>(-env_.hp.gamma));
     models_[i] = std::move(mixed[i]);
-  }
+  });
 }
 
 }  // namespace pdsl::algos

@@ -4,6 +4,7 @@
 
 #include "common/vec_math.hpp"
 #include "dp/mechanism.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace pdsl::algos {
 
@@ -23,22 +24,23 @@ void DpNetFleet::run_round(std::size_t t) {
   if (first_round_) {
     auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
-    for (std::size_t i = 0; i < m; ++i) {
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       prev_grad_[i] = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
                                     env_.hp.sigma, agent_rngs_[i]);
       tracker_[i] = prev_grad_[i];
-    }
+    });
     first_round_ = false;
   }
 
   // Local phase: K tracker-guided updates (no communication).
   {
     auto timer = phase(obs::Phase::kAggregate);
-    for (std::size_t k = 0; k + 1 < std::max<std::size_t>(1, env_.hp.local_steps); ++k) {
-      for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t steps = std::max<std::size_t>(1, env_.hp.local_steps);
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      for (std::size_t k = 0; k + 1 < steps; ++k) {
         axpy(models_[i], tracker_[i], static_cast<float>(-env_.hp.gamma));
       }
-    }
+    });
   }
 
   // Communication phase: gossip the trackers and models (both are functions
@@ -52,7 +54,7 @@ void DpNetFleet::run_round(std::size_t t) {
   // against outright divergence without biasing the direction.
   auto timer = phase(obs::Phase::kLocalGrad);
   draw_all_batches();
-  for (std::size_t i = 0; i < m; ++i) {
+  runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     auto g = dp::privatize(workers_[i].gradient(mixed_model[i]), env_.hp.clip, env_.hp.sigma,
                            agent_rngs_[i]);
     auto& y = mixed_tracker[i];
@@ -66,7 +68,7 @@ void DpNetFleet::run_round(std::size_t t) {
     axpy(mixed_model[i], y, static_cast<float>(-env_.hp.gamma));
     tracker_[i] = std::move(y);
     models_[i] = std::move(mixed_model[i]);
-  }
+  });
 }
 
 }  // namespace pdsl::algos

@@ -1,6 +1,7 @@
 #include "algos/dpsgd.hpp"
 
 #include "common/vec_math.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace pdsl::algos {
 
@@ -10,14 +11,15 @@ void DPSGD::run_round(std::size_t t) {
   {
     auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
-    for (std::size_t i = 0; i < m; ++i) grads[i] = workers_[i].gradient(models_[i]);
+    runtime::parallel_for(0, m, 1,
+                          [&](std::size_t i) { grads[i] = workers_[i].gradient(models_[i]); });
   }
   auto mixed = mix_vectors(models_, "x@" + std::to_string(t));
   auto timer = phase(obs::Phase::kAggregate);
-  for (std::size_t i = 0; i < m; ++i) {
+  runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     axpy(mixed[i], grads[i], static_cast<float>(-env_.hp.gamma));
     models_[i] = std::move(mixed[i]);
-  }
+  });
 }
 
 DMSGD::DMSGD(const Env& env) : Algorithm(env) {
@@ -31,16 +33,17 @@ void DMSGD::run_round(std::size_t t) {
   {
     auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
-    for (std::size_t i = 0; i < m; ++i) grads[i] = workers_[i].gradient(models_[i]);
+    runtime::parallel_for(0, m, 1,
+                          [&](std::size_t i) { grads[i] = workers_[i].gradient(models_[i]); });
   }
   auto mixed = mix_vectors(models_, "x@" + std::to_string(t));
   auto timer = phase(obs::Phase::kAggregate);
-  for (std::size_t i = 0; i < m; ++i) {
+  runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     auto& u = momentum_[i];
     for (std::size_t k = 0; k < u.size(); ++k) u[k] = a * u[k] + grads[i][k];
     axpy(mixed[i], u, static_cast<float>(-env_.hp.gamma));
     models_[i] = std::move(mixed[i]);
-  }
+  });
 }
 
 }  // namespace pdsl::algos

@@ -2,6 +2,7 @@
 
 #include "common/vec_math.hpp"
 #include "dp/mechanism.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace pdsl::algos {
 
@@ -22,14 +23,14 @@ void FedAvg::run_round(std::size_t /*t*/) {
   // Local phase: K privatized SGD steps per agent from the shared model.
   {
     auto timer = phase(obs::Phase::kLocalGrad);
-    for (std::size_t i = 0; i < m; ++i) {
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       for (std::size_t k = 0; k < steps; ++k) {
         workers_[i].draw_batch();
         const auto g = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
                                      env_.hp.sigma, agent_rngs_[i]);
         axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
       }
-    }
+    });
   }
 
   // Server phase: shard-weighted average, redistributed to everyone.

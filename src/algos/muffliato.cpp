@@ -2,6 +2,7 @@
 
 #include "common/vec_math.hpp"
 #include "dp/mechanism.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace pdsl::algos {
 
@@ -11,14 +12,14 @@ void Muffliato::run_round(std::size_t t) {
   {
     auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
-    for (std::size_t i = 0; i < m; ++i) {
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       auto g = workers_[i].gradient(models_[i]);
       dp::clip_l2(g, env_.hp.clip);
       axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
       // Perturb the *update scale* the agent exposes: noise with stddev
       // gamma*sigma on the model matches noising the gradient with sigma.
       dp::add_gaussian_noise(models_[i], env_.hp.gamma * env_.hp.sigma, agent_rngs_[i]);
-    }
+    });
   }
   // Gossip phase: K sweeps of x <- W x.
   for (std::size_t k = 0; k < std::max<std::size_t>(1, env_.hp.gossip_steps); ++k) {

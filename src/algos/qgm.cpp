@@ -2,6 +2,7 @@
 
 #include "common/vec_math.hpp"
 #include "dp/mechanism.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace pdsl::algos {
 
@@ -19,14 +20,14 @@ void DpQgm::run_round(std::size_t t) {
   std::vector<std::vector<float>> grads(m);
   {
     auto timer = phase(obs::Phase::kLocalGrad);
-    for (std::size_t i = 0; i < m; ++i) {
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       grads[i] = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
                                agent_rngs_[i]);
-    }
+    });
   }
   auto mixed = mix_vectors(models_, "x@" + std::to_string(t));
   auto timer = phase(obs::Phase::kAggregate);
-  for (std::size_t i = 0; i < m; ++i) {
+  runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     // Quasi-global momentum from the displacement of the *previous* round.
     auto& mbuf = momentum_[i];
     for (std::size_t k = 0; k < mbuf.size(); ++k) {
@@ -40,7 +41,7 @@ void DpQgm::run_round(std::size_t t) {
       mixed[i][k] -= gamma * (grads[i][k] + mbuf[k]);
     }
     models_[i] = std::move(mixed[i]);
-  }
+  });
 }
 
 }  // namespace pdsl::algos

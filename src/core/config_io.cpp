@@ -39,6 +39,7 @@ json::Value config_to_json(const ExperimentConfig& cfg) {
   o["epsilon"] = cfg.epsilon;
   o["delta"] = cfg.delta;
   o["phi_hat_min"] = cfg.phi_hat_min;
+  o["threads"] = cfg.threads;
   o["seed"] = cfg.seed;
   o["drop_prob"] = cfg.drop_prob;
   o["compression"] = cfg.compression;
@@ -58,8 +59,8 @@ ExperimentConfig config_from_json(const json::Value& v) {
       "shards_per_agent", "corrupt_agents", "byzantine_agents", "gamma", "alpha", "clip",
       "sigma",      "batch",     "shapley_permutations", "shapley_method",
       "validation_batch", "gossip_steps", "local_steps", "sigma_mode",
-      "noise_scale", "epsilon",  "delta",     "phi_hat_min",   "seed",
-      "drop_prob",  "compression", "test_subsample", "eval_every",
+      "noise_scale", "epsilon",  "delta",     "phi_hat_min",   "threads",
+      "seed",       "drop_prob",  "compression", "test_subsample", "eval_every",
       "profile",    "trace_out"};
   for (const auto& [key, value] : obj) {
     if (known.find(key) == known.end()) {
@@ -109,6 +110,7 @@ ExperimentConfig config_from_json(const json::Value& v) {
   num("epsilon", cfg.epsilon);
   num("delta", cfg.delta);
   num("phi_hat_min", cfg.phi_hat_min);
+  idx("threads", cfg.threads);
   if (v.contains("seed")) cfg.seed = static_cast<std::uint64_t>(v.at("seed").as_int());
   num("drop_prob", cfg.drop_prob);
   str("compression", cfg.compression);

@@ -19,6 +19,7 @@
 #include "nn/model_zoo.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace pdsl::core {
 
@@ -103,6 +104,9 @@ const std::vector<std::string>& paper_algorithms() {
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  // S-RT: configure the execution width for this run's per-agent phases.
+  runtime::set_global_threads(cfg.threads);
+
   Rng rng(cfg.seed);
 
   // Data: one synthetic pool split into train / validation (Q) / test.

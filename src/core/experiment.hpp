@@ -61,6 +61,11 @@ struct ExperimentConfig {
   double delta = 1e-3;
   double phi_hat_min = 0.1;  ///< Theorem-1 parameter
 
+  /// S-RT execution width for the per-agent phases: 1 = sequential (default),
+  /// 0 = auto-detect (hardware_concurrency), N = fixed pool of N threads.
+  /// Results are bit-identical at every setting; this is wall-clock only.
+  std::size_t threads = 1;
+
   std::uint64_t seed = 1;
   double drop_prob = 0.0;
   /// Lossy channel compression spec: "none", "topk:<fraction>", "quant:<bits>"

@@ -7,6 +7,7 @@
 #include "dp/mechanism.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/parallel_for.hpp"
 #include "shapley/game.hpp"
 #include "shapley/shapley.hpp"
 #include "shapley/weighting.hpp"
@@ -16,7 +17,6 @@ namespace pdsl::core {
 Pdsl::Pdsl(const algos::Env& env, Options options)
     : Algorithm(env),
       options_(options),
-      val_ws_(*env.model_template),
       val_rng_(splitmix64(env.seed ^ 0x5A11DA7E)) {
   if (env.validation == nullptr || env.validation->empty()) {
     throw std::invalid_argument("Pdsl: a non-empty validation dataset Q is required");
@@ -45,6 +45,14 @@ sim::FixedBatch Pdsl::draw_validation_batch() {
   return sim::FixedBatch::from(q, idx);
 }
 
+// Every phase below is a runtime::parallel_for over agents between the same
+// barriers the sequential loops had. Determinism at any width: each agent
+// draws only from its own pre-split RNG streams (agent_rngs_[i],
+// shapley_rngs_[i]), writes only slot i of pre-sized outputs, and moves data
+// exclusively through the thread-safe sim::Network. Scalar round reductions
+// (coalition-eval counts, the phi_hat minimum) go through per-agent slots and
+// are folded sequentially after the barrier so no float/int accumulation
+// order depends on scheduling.
 void Pdsl::run_round(std::size_t t) {
   const std::size_t m = num_agents();
   const std::string model_tag = "x@" + std::to_string(t);
@@ -57,18 +65,18 @@ void Pdsl::run_round(std::size_t t) {
   {
     auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
-    for (std::size_t i = 0; i < m; ++i) {
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       own_grad[i] =
           dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
                         agent_rngs_[i]);
       for (std::size_t j : neighbors(i)) net_.send(i, j, model_tag, models_[i]);
-    }
+    });
   }
 
   // ---- Lines 6-12: cross-gradients on received models, perturbed, returned ----
   {
     auto timer = phase(obs::Phase::kCrossGrad);
-    for (std::size_t i = 0; i < m; ++i) {
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       const bool byzantine = i < options_.byzantine_agents;
       for (std::size_t j : neighbors(i)) {
         auto xj = net_.receive(i, j, model_tag);
@@ -81,55 +89,56 @@ void Pdsl::run_round(std::size_t t) {
         }
         net_.send(i, j, xgrad_tag, std::move(g));
       }
-    }
+    });
   }
 
   // Shared validation batch for this round's characteristic function.
   const sim::FixedBatch val = draw_validation_batch();
 
-  // ---- Lines 13-20: virtual models, Shapley weights, aggregation, momentum ----
-  std::vector<std::vector<float>> u_hat(m);
-  std::vector<std::vector<float>> x_hat(m);
-  last_evals_ = 0;
-
-  for (std::size_t i = 0; i < m; ++i) {
-    const auto hood = closed_neighborhood(i);  // M_i, ascending, includes i
-    const std::size_t n = hood.size();
-
-    // Received perturbed gradients \hat g_{j,i}, aligned with `hood`.
-    std::vector<std::vector<float>> ghat(n);
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t j = hood[k];
-      if (j == i) {
-        ghat[k] = own_grad[i];
-      } else if (auto g = net_.receive(i, j, xgrad_tag)) {
-        ghat[k] = std::move(*g);
-      } else {
-        ghat[k] = own_grad[i];  // self-substitution under message loss
-      }
-    }
-
-    std::vector<double> pi;
-    {
-      auto timer = phase(obs::Phase::kShapley);
+  // ---- Lines 13-20: virtual models, Shapley weights ----
+  std::vector<std::vector<std::vector<float>>> ghat(m);  // \hat g_{j,i} per agent
+  std::vector<std::vector<double>> pi(m);
+  std::vector<std::size_t> agent_evals(m, 0);
+  std::vector<double> agent_phi_min(m, 1.0);
+  {
+    auto timer = phase(obs::Phase::kShapley);
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       PDSL_SPAN("shapley_eval", i, "shapley");
+      const auto hood = closed_neighborhood(i);  // M_i, ascending, includes i
+      const std::size_t n = hood.size();
+
+      // Received perturbed gradients \hat g_{j,i}, aligned with `hood`.
+      ghat[i].resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t j = hood[k];
+        if (j == i) {
+          ghat[i][k] = own_grad[i];
+        } else if (auto g = net_.receive(i, j, xgrad_tag)) {
+          ghat[i][k] = std::move(*g);
+        } else {
+          ghat[i][k] = own_grad[i];  // self-substitution under message loss
+        }
+      }
 
       // Eq. 15: one-step virtual models x_{i,j} = x_i - gamma * ghat_{j,i}.
       std::vector<std::vector<float>> virtual_models(n);
       for (std::size_t k = 0; k < n; ++k) {
         virtual_models[k] = models_[i];
-        axpy(virtual_models[k], ghat[k], static_cast<float>(-env_.hp.gamma));
+        axpy(virtual_models[k], ghat[i][k], static_cast<float>(-env_.hp.gamma));
       }
 
       // Eqs. 16-17: v(M') = validation accuracy of the coalition-average model
       // (or negative validation loss under Options::loss_characteristic).
+      // Agent i scores coalitions in its own worker's model workspace — idle
+      // between the gradient phases — so no two agents share a forward buffer.
+      nn::Model& ws = workers_[i].workspace();
       shapley::CachedGame game(n, [&](const std::vector<std::size_t>& coalition) {
         std::vector<const std::vector<float>*> members;
         members.reserve(coalition.size());
         for (std::size_t k : coalition) members.push_back(&virtual_models[k]);
         const auto avg = mean_of(members);
-        return options_.loss_characteristic ? -sim::loss_on(val_ws_, avg, val)
-                                            : sim::accuracy_on(val_ws_, avg, val);
+        return options_.loss_characteristic ? -sim::loss_on(ws, avg, val)
+                                            : sim::accuracy_on(ws, avg, val);
       });
 
       // Line 15 / Algorithm 2 (or an alternative estimator when requested).
@@ -153,10 +162,7 @@ void Pdsl::run_round(std::size_t t) {
         phi = shapley::monte_carlo_shapley(game, env_.hp.shapley_permutations,
                                            shapley_rngs_[i]);
       }
-      last_evals_ += game.evaluations();
-      static obs::Counter& evals =
-          obs::MetricsRegistry::global().counter("shapley.coalition_evals");
-      evals.add(game.evaluations());
+      agent_evals[i] = game.evaluations();
 
       // Eq. 19 normalization (or the robust ReLU variant), Eq. 20 weights.
       const std::vector<double> phi_hat =
@@ -166,22 +172,36 @@ void Pdsl::run_round(std::size_t t) {
                                              : shapley::minmax_normalize(phi));
       std::vector<double> w_row(n);
       for (std::size_t k = 0; k < n; ++k) w_row[k] = w(i, hood[k]);
-      pi = shapley::aggregation_weights(phi_hat, w_row);
+      pi[i] = shapley::aggregation_weights(phi_hat, w_row);
       for (double share : shapley::normalized_shares(phi_hat)) {
-        if (share > 0.0) observed_phi_hat_min_ = std::min(observed_phi_hat_min_, share);
+        if (share > 0.0) agent_phi_min[i] = std::min(agent_phi_min[i], share);
       }
-      last_phi_[i] = phi;
-      last_pi_[i] = pi;
+      last_phi_[i] = std::move(phi);
+      last_pi_[i] = pi[i];
+    });
+
+    // Sequential fold of the per-agent reductions (scheduling-independent).
+    last_evals_ = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      last_evals_ += agent_evals[i];
+      observed_phi_hat_min_ = std::min(observed_phi_hat_min_, agent_phi_min[i]);
     }
+    static obs::Counter& evals =
+        obs::MetricsRegistry::global().counter("shapley.coalition_evals");
+    evals.add(last_evals_);
+  }
 
-    {
-      auto timer = phase(obs::Phase::kAggregate);
-
+  // ---- Eqs. 21-23: aggregation, momentum step ----
+  std::vector<std::vector<float>> u_hat(m);
+  std::vector<std::vector<float>> x_hat(m);
+  {
+    auto timer = phase(obs::Phase::kAggregate);
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       // Eq. 21: weighted aggregate of the perturbed gradients.
       std::vector<const std::vector<float>*> gptrs;
-      gptrs.reserve(n);
-      for (const auto& g : ghat) gptrs.push_back(&g);
-      const auto g_bar = weighted_sum(gptrs, pi);
+      gptrs.reserve(ghat[i].size());
+      for (const auto& g : ghat[i]) gptrs.push_back(&g);
+      const auto g_bar = weighted_sum(gptrs, pi[i]);
 
       // Eqs. 22-23 + Line 21 broadcast.
       u_hat[i] = momentum_[i];
@@ -189,7 +209,7 @@ void Pdsl::run_round(std::size_t t) {
       axpy(u_hat[i], g_bar, 1.0f);
       x_hat[i] = models_[i];
       axpy(x_hat[i], u_hat[i], static_cast<float>(-env_.hp.gamma));
-    }
+    });
   }
 
   // ---- Lines 21-24: gossip-average momentum and model with W ----

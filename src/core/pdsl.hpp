@@ -76,7 +76,6 @@ class Pdsl final : public algos::Algorithm {
 
   Options options_;
   std::vector<std::vector<float>> momentum_;  ///< u_i
-  nn::Model val_ws_;                          ///< workspace for coalition scoring
   Rng val_rng_;                               ///< shared validation subsampling
   std::vector<Rng> shapley_rngs_;             ///< per-agent MC permutation streams,
                                               ///< separate from the DP noise streams so

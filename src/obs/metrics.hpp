@@ -6,6 +6,15 @@
 // Objects are owned by the registry and never move or die, so cached
 // references (`static obs::Counter& c = ...`) stay valid for the process
 // lifetime. Snapshots dump to JSON or CSV for offline analysis.
+//
+// Thread-safety (S-RT audit): everything here is safe from
+// runtime::parallel_for worker threads. Lookups (counter/gauge/histogram)
+// serialize on the registry mutex; updates (add/set/observe) are atomic; a
+// handle obtained on any thread — including a function-local
+// `static obs::Counter& c = ...` (magic statics are thread-safe) — may be
+// cached and updated from every thread. Counts are exact; Histogram's
+// cross-field invariants (count vs sum vs buckets) are only eventually
+// consistent under concurrent observe+snapshot, which is fine for reporting.
 
 #include <atomic>
 #include <cstdint>

@@ -50,6 +50,12 @@ std::string format_phase_table(const PhaseTimings& totals, std::size_t rounds);
 /// named after the phase. The stopwatch always runs (it feeds PhaseTimings,
 /// which RoundMetrics reports unconditionally); only the span is gated on
 /// tracing being enabled.
+///
+/// Thread-safety (S-RT): NOT safe to use concurrently — the destructor does a
+/// plain (non-atomic) `+=` on the shared PhaseTimings. Phase timers must live
+/// on the driver thread, wrapping a whole runtime::parallel_for region, never
+/// inside a parallel body. (Per-item spans inside a body are fine: use
+/// PDSL_SPAN, whose recorder is mutex-protected.)
 class PhaseScope {
  public:
   PhaseScope(PhaseTimings& acc, Phase p, std::int64_t round = -1)

@@ -8,6 +8,15 @@
 // atomic load and a null pointer — no lock, no allocation, no clock read —
 // so instrumentation can live permanently in hot loops. When enabled, each
 // span takes the recorder mutex once at destruction.
+//
+// Thread-safety (S-RT audit): the recorder is safe from
+// runtime::parallel_for worker threads — record/size/clear/to_json serialize
+// on one mutex, enable/enabled are atomic, and thread_id() hands each thread
+// a stable small id (so spans from pool workers land on distinct Chrome
+// rows). ScopedSpan objects are per-scope and never shared, so PDSL_SPAN is
+// fine inside parallel bodies. Only enable()/clear()/write() belong on the
+// driver thread, between parallel regions — toggling mid-region just makes a
+// ragged trace, it cannot corrupt state.
 
 #include <atomic>
 #include <chrono>

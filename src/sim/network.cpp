@@ -6,8 +6,14 @@
 
 namespace pdsl::sim {
 
-Network::Network(const graph::Topology& topo, Options opts)
-    : topo_(topo), opts_(opts), rng_(opts.seed) {
+namespace {
+/// Uniform [0,1) from the top 53 bits of a splitmix64-mixed word.
+double hash_uniform(std::uint64_t x) {
+  return static_cast<double>(splitmix64(x) >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+Network::Network(const graph::Topology& topo, Options opts) : topo_(topo), opts_(opts) {
   if (opts.drop_prob < 0.0 || opts.drop_prob >= 1.0) {
     throw std::invalid_argument("Network: drop_prob must be in [0,1)");
   }
@@ -24,33 +30,48 @@ bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
     throw std::invalid_argument("Network::send: (" + std::to_string(src) + "," +
                                 std::to_string(dst) + ") is not an edge");
   }
-  ++sent_;
   const bool lossy_channel = (src != dst) && opts_.compressor != nullptr;
+  // Compress outside the lock: apply() is const/stateless and can be the
+  // expensive part of a send under top-k or quantization.
   const std::size_t wire_bytes = lossy_channel ? opts_.compressor->wire_bytes(payload)
                                                : payload.size() * sizeof(float);
+  if (lossy_channel) payload = opts_.compressor->apply(payload);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++sent_;
   bytes_ += wire_bytes;
   auto& edge = edge_counts_[{src, dst}];
+  const std::size_t edge_index = edge.messages;  // nth message on this edge
   ++edge.messages;
   edge.bytes += wire_bytes;
   {
     // Process-wide totals; handles cached so the per-send cost is two
-    // relaxed fetch_adds.
+    // relaxed fetch_adds. Safe: registry instruments are atomic and the
+    // magic-static initialization is thread-safe.
     static obs::Counter& msgs = obs::MetricsRegistry::global().counter("net.msgs");
     static obs::Counter& bytes = obs::MetricsRegistry::global().counter("net.bytes");
     msgs.add(1);
     bytes.add(wire_bytes);
   }
-  if (src != dst && opts_.drop_prob > 0.0 && rng_.bernoulli(opts_.drop_prob)) {
-    ++dropped_;
-    return false;
+  if (src != dst && opts_.drop_prob > 0.0) {
+    // Drop decision as a pure function of (seed, edge, per-edge index): the
+    // same messages drop no matter how concurrent senders interleave, which
+    // is what makes fault injection reproducible across --threads settings.
+    const std::uint64_t h =
+        splitmix64(splitmix64(opts_.seed ^ (src + 1)) ^ ((dst + 1) * 0x9E3779B97F4A7C15ULL)) ^
+        edge_index;
+    if (hash_uniform(h) < opts_.drop_prob) {
+      ++dropped_;
+      return false;
+    }
   }
-  if (lossy_channel) payload = opts_.compressor->apply(payload);
   boxes_[Key{src, dst, tag}].push(std::move(payload));
   return true;
 }
 
 std::optional<std::vector<float>> Network::receive(std::size_t dst, std::size_t src,
                                                    const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = boxes_.find(Key{src, dst, tag});
   if (it == boxes_.end() || it->second.empty()) return std::nullopt;
   std::vector<float> payload = std::move(it->second.front());
@@ -60,11 +81,28 @@ std::optional<std::vector<float>> Network::receive(std::size_t dst, std::size_t 
 }
 
 bool Network::has_message(std::size_t dst, std::size_t src, const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = boxes_.find(Key{src, dst, tag});
   return it != boxes_.end() && !it->second.empty();
 }
 
+std::size_t Network::messages_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sent_;
+}
+
+std::size_t Network::messages_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::size_t Network::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
 std::vector<Network::EdgeTraffic> Network::edge_traffic() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<EdgeTraffic> out;
   out.reserve(edge_counts_.size());
   for (const auto& [edge, count] : edge_counts_) {
@@ -74,21 +112,24 @@ std::vector<Network::EdgeTraffic> Network::edge_traffic() const {
 }
 
 std::size_t Network::bytes_between(std::size_t src, std::size_t dst) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = edge_counts_.find({src, dst});
   return it == edge_counts_.end() ? 0 : it->second.bytes;
 }
 
 void Network::publish_edge_metrics(const std::string& prefix) const {
+  const auto edges = edge_traffic();  // snapshot under the lock, publish outside
   auto& reg = obs::MetricsRegistry::global();
-  for (const auto& [edge, count] : edge_counts_) {
+  for (const auto& e : edges) {
     const std::string suffix =
-        "{edge=" + std::to_string(edge.first) + "->" + std::to_string(edge.second) + "}";
-    reg.counter(prefix + ".bytes" + suffix).add(count.bytes);
-    reg.counter(prefix + ".msgs" + suffix).add(count.messages);
+        "{edge=" + std::to_string(e.src) + "->" + std::to_string(e.dst) + "}";
+    reg.counter(prefix + ".bytes" + suffix).add(e.bytes);
+    reg.counter(prefix + ".msgs" + suffix).add(e.messages);
   }
 }
 
 std::size_t Network::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (auto& [key, q] : boxes_) n += q.size();
   boxes_.clear();

@@ -5,9 +5,19 @@
 // messages/bytes, the "cost" axis of decentralized learning) even though
 // everything runs in one process. Optional loss injection models unreliable
 // links for the fault-tolerance tests.
+//
+// Thread-safety (S-RT): every public member is safe to call concurrently —
+// one mutex guards the mailboxes and all counters, so parallel per-agent
+// phases can send/receive without external locking. Determinism holds at any
+// execution width: each directed edge is written by exactly one agent per
+// phase (so per-mailbox FIFO order is fixed by that agent's own loop), and
+// drop decisions are a pure hash of (seed, src, dst, per-edge message index)
+// rather than draws from a shared sequential RNG stream, so the set of
+// dropped messages does not depend on the interleaving of senders.
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
@@ -54,9 +64,9 @@ class Network {
   /// bugs where a round leaves mail unread). Returns the number discarded.
   std::size_t clear();
 
-  [[nodiscard]] std::size_t messages_sent() const { return sent_; }
-  [[nodiscard]] std::size_t messages_dropped() const { return dropped_; }
-  [[nodiscard]] std::size_t bytes_sent() const { return bytes_; }
+  [[nodiscard]] std::size_t messages_sent() const;
+  [[nodiscard]] std::size_t messages_dropped() const;
+  [[nodiscard]] std::size_t bytes_sent() const;
   [[nodiscard]] const graph::Topology& topology() const { return topo_; }
 
   /// Per-edge traffic totals (S-OBS): every (src,dst) pair that ever sent,
@@ -92,7 +102,7 @@ class Network {
 
   graph::Topology topo_;  ///< owned copy: callers may pass temporaries
   Options opts_;
-  Rng rng_;
+  mutable std::mutex mu_;  ///< guards boxes_ and every counter below
   std::map<Key, std::queue<std::vector<float>>> boxes_;
   std::size_t sent_ = 0;
   std::size_t dropped_ = 0;

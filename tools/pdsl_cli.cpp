@@ -46,6 +46,7 @@ int usage() {
       "                    --clip --eps --delta --sigma_mode --noise_scale --seed\n"
       "                    --seeds 1,2,3 --compression --drop_prob --corrupt\n"
       "                    --csv <path> --save_model <path>\n"
+      "                    --threads N (parallel agents; 1=sequential, 0=auto-detect)\n"
       "                    --profile (per-phase timing table + key counters)\n"
       "                    --trace-out <t.json> (Chrome trace-event spans)\n"
       "                    --metrics-out <m.csv> (metrics registry dump)\n"
@@ -66,7 +67,7 @@ int cmd_run(int argc, const char* const* argv) {
                       "delta",     "sigma_mode", "noise_scale", "seed",  "seeds",
                       "compression", "drop_prob", "corrupt", "csv",      "save_model",
                       "mc_perms",  "valbatch", "hidden",  "config",      "json",
-                      "profile",   "trace-out", "trace_out", "metrics-out",
+                      "threads",   "profile",  "trace-out", "trace_out", "metrics-out",
                       "metrics_out"});
   core::ExperimentConfig cfg;
   if (args.has("config")) {
@@ -122,6 +123,8 @@ int cmd_run(int argc, const char* const* argv) {
       args.get_int("corrupt", static_cast<std::int64_t>(cfg.corrupt_agents)));
   cfg.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.threads = static_cast<std::size_t>(
+      args.get_int("threads", static_cast<std::int64_t>(cfg.threads)));
   if (cfg.metrics.eval_every == 1) cfg.metrics.eval_every = 5;
   cfg.profile = args.get_bool("profile", cfg.profile);
   cfg.trace_out =
