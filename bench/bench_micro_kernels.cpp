@@ -1,20 +1,242 @@
-// Microbenchmarks (google-benchmark) for the hot kernels underneath the
-// experiments: matmul, conv forward/backward, full model gradients, clipping
-// + Gaussian mechanism, Monte Carlo Shapley, the min-norm QP and gossip
-// mixing. These are throughput references, not paper artifacts.
+// Microbenchmarks for the hot kernels underneath the experiments. Two parts:
+//
+//  1. The S-KER naive-vs-blocked sweep (default): GEMM and convolution
+//     timings at the MNIST-CNN and CIFAR-CNN layer shapes, written as a
+//     speedup table to BENCH_kernels.json (override with --out). The
+//     acceptance signal is the conv forward+backward speedup at the
+//     CIFAR-CNN shapes. `--threads N` additionally times the blocked
+//     backend at an intra-op width of N (top-level kernels only; inside the
+//     round loop's per-agent phases kernels stay sequential).
+//     Flags: --out <path> --reps <n> --threads <n>
+//
+//  2. The original google-benchmark suite (matmul, model gradients, DP
+//     mechanism, Shapley, QP, gossip): pass --gbench to run it (with
+//     google-benchmark's default options).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
 #include "dp/mechanism.hpp"
 #include "graph/mixing.hpp"
+#include "kernels/backend.hpp"
+#include "kernels/gemm.hpp"
+#include "nn/conv2d.hpp"
 #include "nn/model_zoo.hpp"
 #include "optim/qp.hpp"
+#include "runtime/parallel_for.hpp"
 #include "shapley/game.hpp"
 #include "shapley/shapley.hpp"
 #include "tensor/ops.hpp"
 
 using namespace pdsl;
+
+// ---------------------------------------------------------------------------
+// S-KER sweep
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  rng.fill_normal(v, 0.0, 1.0);
+  return v;
+}
+
+/// Best-of-3 trials of `reps` calls each; returns ms per call.
+template <typename F>
+double time_ms(std::size_t reps, F&& fn) {
+  double best = 1e30;
+  for (int trial = 0; trial < 3; ++trial) {
+    Stopwatch sw;
+    for (std::size_t r = 0; r < reps; ++r) fn();
+    best = std::min(best, sw.elapsed_ms() / static_cast<double>(reps));
+  }
+  return best;
+}
+
+struct SweepRow {
+  std::string name;
+  std::string kind;   // "gemm" | "conv"
+  std::string shape;  // human-readable
+  double naive_ms = 0.0;
+  double blocked_ms = 0.0;
+  double blocked_mt_ms = 0.0;  // blocked at --threads width (0 = not run)
+};
+
+struct GemmShape {
+  const char* name;
+  std::size_t m, k, n;
+};
+
+struct ConvShape {
+  const char* name;
+  std::size_t batch, in_ch, out_ch, k, pad, image;
+};
+
+// The two CNNs of the paper's evaluation (model_zoo): conv layer geometries
+// at their bench batch size, plus the fully-connected heads as GEMM shapes.
+const GemmShape kGemmShapes[] = {
+    {"gemm_square_64", 64, 64, 64},
+    {"gemm_square_128", 128, 128, 128},
+    {"gemm_square_256", 256, 256, 256},
+    {"gemm_mnist_fc", 32, 144, 10},   // Linear(16*3*3 -> 10), batch 32
+    {"gemm_cifar_fc1", 32, 256, 64},  // Linear(16*4*4 -> 64), batch 32
+};
+
+const ConvShape kConvShapes[] = {
+    {"conv_mnist_l1", 32, 1, 8, 3, 1, 14},   // make_mnist_cnn(14): conv1
+    {"conv_mnist_l2", 32, 8, 16, 3, 1, 7},   // conv2 after pool
+    {"conv_cifar_l1", 32, 3, 8, 5, 2, 16},   // make_cifar_cnn(16): conv1
+    {"conv_cifar_l2", 32, 8, 16, 5, 2, 8},   // conv2 after pool
+};
+
+double run_gemm_once(const GemmShape& s, const std::vector<float>& a,
+                     const std::vector<float>& b, std::vector<float>& c) {
+  kernels::sgemm(s.m, s.k, s.n, a.data(), b.data(), c.data());
+  return static_cast<double>(c[0]);
+}
+
+SweepRow sweep_gemm(const GemmShape& s, std::size_t reps, std::size_t threads) {
+  const auto a = random_vec(s.m * s.k, 1);
+  const auto b = random_vec(s.k * s.n, 2);
+  std::vector<float> c(s.m * s.n);
+  SweepRow row;
+  row.name = s.name;
+  row.kind = "gemm";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%zux%zux%zu", s.m, s.k, s.n);
+  row.shape = buf;
+  runtime::set_global_threads(1);
+  kernels::set_backend(kernels::Backend::kNaive);
+  row.naive_ms = time_ms(reps, [&] { benchmark::DoNotOptimize(run_gemm_once(s, a, b, c)); });
+  kernels::set_backend(kernels::Backend::kBlocked);
+  row.blocked_ms = time_ms(reps, [&] { benchmark::DoNotOptimize(run_gemm_once(s, a, b, c)); });
+  if (threads > 1) {
+    runtime::set_global_threads(threads);
+    row.blocked_mt_ms =
+        time_ms(reps, [&] { benchmark::DoNotOptimize(run_gemm_once(s, a, b, c)); });
+    runtime::set_global_threads(1);
+  }
+  return row;
+}
+
+SweepRow sweep_conv(const ConvShape& s, std::size_t reps, std::size_t threads) {
+  nn::Conv2D conv(s.in_ch, s.out_ch, s.k, s.pad);
+  Rng rng(3);
+  conv.init(rng);
+  Tensor x(Shape{s.batch, s.in_ch, s.image, s.image},
+           random_vec(s.batch * s.in_ch * s.image * s.image, 4));
+  const Shape out_shape = conv.output_shape(x.shape());
+  Tensor gy(out_shape, random_vec(shape_numel(out_shape), 5));
+  // One rep = forward + backward, the unit of work every SGD step pays per
+  // layer. Parameter grads are cleared each rep so they cannot drift to inf.
+  auto step = [&] {
+    for (nn::Param* p : conv.params()) p->grad.zero();
+    const Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(conv.backward(gy));
+    benchmark::DoNotOptimize(y[0]);
+  };
+  SweepRow row;
+  row.name = s.name;
+  row.kind = "conv";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "b%zu %zux%zux%zu k%zu p%zu -> %zuch", s.batch, s.in_ch,
+                s.image, s.image, s.k, s.pad, s.out_ch);
+  row.shape = buf;
+  runtime::set_global_threads(1);
+  kernels::set_backend(kernels::Backend::kNaive);
+  row.naive_ms = time_ms(reps, step);
+  kernels::set_backend(kernels::Backend::kBlocked);
+  row.blocked_ms = time_ms(reps, step);
+  if (threads > 1) {
+    runtime::set_global_threads(threads);
+    row.blocked_mt_ms = time_ms(reps, step);
+    runtime::set_global_threads(1);
+  }
+  return row;
+}
+
+int run_kernel_sweep(const CliArgs& args) {
+  const std::string out_path = args.get_string("out", "BENCH_kernels.json");
+  const auto reps = static_cast<std::size_t>(args.get_int("reps", 20));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  const kernels::Backend entry_backend = kernels::backend();
+
+  std::printf("==== bench_micro_kernels: naive vs blocked (reps=%zu, threads=%zu) ====\n",
+              reps, threads);
+  std::printf("%-16s %-24s %12s %12s %9s\n", "kernel", "shape", "naive_ms", "blocked_ms",
+              "speedup");
+
+  std::vector<SweepRow> rows;
+  for (const auto& s : kGemmShapes) rows.push_back(sweep_gemm(s, reps, threads));
+  for (const auto& s : kConvShapes) rows.push_back(sweep_conv(s, reps, threads));
+  kernels::set_backend(entry_backend);
+
+  pdsl::json::Array json_rows;
+  double cifar_conv_min_speedup = 1e30;
+  for (const auto& r : rows) {
+    const double speedup = r.blocked_ms > 0 ? r.naive_ms / r.blocked_ms : 0.0;
+    if (r.name.rfind("conv_cifar", 0) == 0) {
+      cifar_conv_min_speedup = std::min(cifar_conv_min_speedup, speedup);
+    }
+    std::printf("%-16s %-24s %12.4f %12.4f %8.2fx\n", r.name.c_str(), r.shape.c_str(),
+                r.naive_ms, r.blocked_ms, speedup);
+    pdsl::json::Object o;
+    o["name"] = r.name;
+    o["kind"] = r.kind;
+    o["shape"] = r.shape;
+    o["naive_ms"] = r.naive_ms;
+    o["blocked_ms"] = r.blocked_ms;
+    o["speedup"] = speedup;
+    if (r.blocked_mt_ms > 0) {
+      o["blocked_mt_ms"] = r.blocked_mt_ms;
+      o["speedup_mt_vs_naive"] = r.naive_ms / r.blocked_mt_ms;
+    }
+    json_rows.push_back(pdsl::json::Value(std::move(o)));
+  }
+
+  pdsl::json::Object doc;
+  doc["bench"] = std::string("bench_micro_kernels");
+  // Like BENCH_threads.json: record the host's core count so numbers from a
+  // small CI box aren't mistaken for kernel regressions.
+  doc["host_hardware_concurrency"] =
+      static_cast<std::size_t>(std::thread::hardware_concurrency());
+  doc["reps"] = reps;
+  doc["threads"] = threads;
+  doc["conv_unit"] = std::string("forward+backward per batch");
+  doc["cifar_conv_min_speedup"] = cifar_conv_min_speedup;
+  doc["runs"] = pdsl::json::Value(std::move(json_rows));
+  const pdsl::json::Value v(std::move(doc));
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    const std::string s = v.dump(2);
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s (cifar conv min speedup: %.2fx)\n", out_path.c_str(),
+                cifar_conv_min_speedup);
+  } else {
+    std::fprintf(stderr, "bench_micro_kernels: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite (run with --gbench)
+// ---------------------------------------------------------------------------
 
 static void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -129,4 +351,15 @@ static void BM_GossipMix(benchmark::State& state) {
 }
 BENCHMARK(BM_GossipMix)->Arg(10)->Arg(50)->Arg(200);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv, {"out", "reps", "threads", "gbench"});
+  const int rc = run_kernel_sweep(args);
+  if (rc != 0) return rc;
+  if (args.get_bool("gbench", false)) {
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

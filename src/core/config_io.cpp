@@ -40,6 +40,7 @@ json::Value config_to_json(const ExperimentConfig& cfg) {
   o["delta"] = cfg.delta;
   o["phi_hat_min"] = cfg.phi_hat_min;
   o["threads"] = cfg.threads;
+  o["backend"] = cfg.backend;
   o["seed"] = cfg.seed;
   o["drop_prob"] = cfg.drop_prob;
   o["compression"] = cfg.compression;
@@ -60,7 +61,7 @@ ExperimentConfig config_from_json(const json::Value& v) {
       "sigma",      "batch",     "shapley_permutations", "shapley_method",
       "validation_batch", "gossip_steps", "local_steps", "sigma_mode",
       "noise_scale", "epsilon",  "delta",     "phi_hat_min",   "threads",
-      "seed",       "drop_prob",  "compression", "test_subsample", "eval_every",
+      "backend",    "seed",      "drop_prob",  "compression", "test_subsample", "eval_every",
       "profile",    "trace_out"};
   for (const auto& [key, value] : obj) {
     if (known.find(key) == known.end()) {
@@ -111,6 +112,7 @@ ExperimentConfig config_from_json(const json::Value& v) {
   num("delta", cfg.delta);
   num("phi_hat_min", cfg.phi_hat_min);
   idx("threads", cfg.threads);
+  str("backend", cfg.backend);
   if (v.contains("seed")) cfg.seed = static_cast<std::uint64_t>(v.at("seed").as_int());
   num("drop_prob", cfg.drop_prob);
   str("compression", cfg.compression);

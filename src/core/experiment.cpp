@@ -16,6 +16,7 @@
 #include "data/synthetic.hpp"
 #include "dp/calibration.hpp"
 #include "dp/mechanism.hpp"
+#include "kernels/backend.hpp"
 #include "nn/model_zoo.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -106,6 +107,10 @@ const std::vector<std::string>& paper_algorithms() {
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // S-RT: configure the execution width for this run's per-agent phases.
   runtime::set_global_threads(cfg.threads);
+  // S-KER: select the math backend; "" keeps the process default (env var).
+  if (!cfg.backend.empty()) {
+    kernels::set_backend(kernels::backend_from_string(cfg.backend));
+  }
 
   Rng rng(cfg.seed);
 

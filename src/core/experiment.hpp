@@ -66,6 +66,12 @@ struct ExperimentConfig {
   /// Results are bit-identical at every setting; this is wall-clock only.
   std::size_t threads = 1;
 
+  /// S-KER math backend: "" = keep the process default (PDSL_KERNEL_BACKEND
+  /// env var, else blocked), "blocked" | "naive" force one. The naive path is
+  /// the differential-testing reference; see DESIGN.md "S-KER" for the
+  /// cross-backend numerics contract.
+  std::string backend;
+
   std::uint64_t seed = 1;
   double drop_prob = 0.0;
   /// Lossy channel compression spec: "none", "topk:<fraction>", "quant:<bits>"

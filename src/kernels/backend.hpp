@@ -1,0 +1,42 @@
+#pragma once
+// S-KER backend registry. The hot math (GEMM, convolution) exists in two
+// implementations: the original naive loops, kept as a bit-for-bit reference
+// path for differential testing, and the cache-blocked/vectorizable kernels
+// that production runs use. The selection is process-wide:
+//
+//   - default: blocked;
+//   - env var PDSL_KERNEL_BACKEND=naive|blocked overrides the default at
+//     process start;
+//   - set_backend() (plumbed from `--backend` on the CLI and the "backend"
+//     JSON config key) overrides both.
+//
+// Determinism: for the GEMM family the blocked kernels preserve the naive
+// accumulation order per output element, so switching backends is
+// bit-neutral there; the im2col convolution path associates the reduction
+// differently from the direct loops and agrees only to rounding error (see
+// DESIGN.md "S-KER"). Within one backend, results are bit-identical at every
+// --threads width.
+
+#include <string>
+
+namespace pdsl::kernels {
+
+enum class Backend {
+  kNaive,    ///< reference loops (former tensor/ops + direct convolution)
+  kBlocked,  ///< register-tiled, cache-blocked, optionally intra-op parallel
+};
+
+/// Current process-wide backend (env-initialized on first use).
+[[nodiscard]] Backend backend() noexcept;
+
+/// Select the process-wide backend. Safe to call between runs; not meant to
+/// be raced against in-flight kernels.
+void set_backend(Backend b) noexcept;
+
+/// "naive" | "blocked" (throws std::invalid_argument otherwise).
+[[nodiscard]] Backend backend_from_string(const std::string& name);
+
+/// Inverse of backend_from_string.
+[[nodiscard]] const char* backend_name(Backend b) noexcept;
+
+}  // namespace pdsl::kernels

@@ -1,0 +1,76 @@
+#include "kernels/im2col.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pdsl::kernels {
+
+// Both directions walk one (ic, kr, kc) tap at a time. For a fixed tap the
+// source row index is xr = r + kr - pad, so the valid output rows are a
+// contiguous band and, within a row, the valid output columns are a
+// contiguous run — the interior copies are straight memcpy/axpy over `ow`
+// floats with zero-fill (im2col) or skip (col2im) at the borders.
+
+void im2col(const float* x, std::size_t in_ch, std::size_t ih, std::size_t iw, std::size_t k,
+            std::size_t pad, float* col) {
+  const std::size_t oh = ih + 2 * pad - k + 1;
+  const std::size_t ow = iw + 2 * pad - k + 1;
+  const std::ptrdiff_t ihs = static_cast<std::ptrdiff_t>(ih);
+  const std::ptrdiff_t iws = static_cast<std::ptrdiff_t>(iw);
+  float* out = col;
+  for (std::size_t ic = 0; ic < in_ch; ++ic) {
+    const float* plane = x + ic * ih * iw;
+    for (std::size_t kr = 0; kr < k; ++kr) {
+      for (std::size_t kc = 0; kc < k; ++kc) {
+        const std::ptrdiff_t dr = static_cast<std::ptrdiff_t>(kr) - static_cast<std::ptrdiff_t>(pad);
+        const std::ptrdiff_t dc = static_cast<std::ptrdiff_t>(kc) - static_cast<std::ptrdiff_t>(pad);
+        for (std::size_t r = 0; r < oh; ++r, out += ow) {
+          const std::ptrdiff_t xr = static_cast<std::ptrdiff_t>(r) + dr;
+          if (xr < 0 || xr >= ihs) {
+            std::memset(out, 0, ow * sizeof(float));
+            continue;
+          }
+          // Valid c range: 0 <= c + dc < iw  =>  max(0,-dc) <= c < min(ow, iw-dc).
+          const std::size_t c_lo = static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, -dc));
+          const std::size_t c_hi = static_cast<std::size_t>(
+              std::clamp<std::ptrdiff_t>(iws - dc, 0, static_cast<std::ptrdiff_t>(ow)));
+          if (c_lo > 0) std::memset(out, 0, c_lo * sizeof(float));
+          if (c_hi > c_lo) {
+            std::memcpy(out + c_lo, plane + xr * iws + (static_cast<std::ptrdiff_t>(c_lo) + dc),
+                        (c_hi - c_lo) * sizeof(float));
+          }
+          if (c_hi < ow) std::memset(out + c_hi, 0, (ow - c_hi) * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, std::size_t in_ch, std::size_t ih, std::size_t iw, std::size_t k,
+            std::size_t pad, float* x) {
+  const std::size_t oh = ih + 2 * pad - k + 1;
+  const std::size_t ow = iw + 2 * pad - k + 1;
+  const std::ptrdiff_t ihs = static_cast<std::ptrdiff_t>(ih);
+  const std::ptrdiff_t iws = static_cast<std::ptrdiff_t>(iw);
+  const float* in = col;
+  for (std::size_t ic = 0; ic < in_ch; ++ic) {
+    float* plane = x + ic * ih * iw;
+    for (std::size_t kr = 0; kr < k; ++kr) {
+      for (std::size_t kc = 0; kc < k; ++kc) {
+        const std::ptrdiff_t dr = static_cast<std::ptrdiff_t>(kr) - static_cast<std::ptrdiff_t>(pad);
+        const std::ptrdiff_t dc = static_cast<std::ptrdiff_t>(kc) - static_cast<std::ptrdiff_t>(pad);
+        for (std::size_t r = 0; r < oh; ++r, in += ow) {
+          const std::ptrdiff_t xr = static_cast<std::ptrdiff_t>(r) + dr;
+          if (xr < 0 || xr >= ihs) continue;
+          const std::size_t c_lo = static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, -dc));
+          const std::size_t c_hi = static_cast<std::size_t>(
+              std::clamp<std::ptrdiff_t>(iws - dc, 0, static_cast<std::ptrdiff_t>(ow)));
+          float* dst = plane + xr * iws + dc;
+          for (std::size_t c = c_lo; c < c_hi; ++c) dst[c] += in[c];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pdsl::kernels

@@ -1,0 +1,55 @@
+#pragma once
+// S-KER im2col / col2im for stride-1 convolution with symmetric zero padding
+// (the only geometry Conv2D supports). One image at a time:
+//
+//   im2col: x(in_ch, ih, iw)  ->  col(in_ch*k*k, oh*ow)
+//     row ((ic*k + kr)*k + kc), column (r*ow + c) holds
+//     x[ic][r + kr - pad][c + kc - pad], zero outside the image;
+//   col2im: the adjoint scatter-add, col(in_ch*k*k, oh*ow) += into
+//     x(in_ch, ih, iw) (entries that fell on padding are dropped).
+//
+// With this layout the convolution is a plain sgemm over the weight matrix
+// (out_ch, in_ch*k*k) and the column matrix, writing output maps directly in
+// their (oc, oh, ow) order. Buffers come from a caller-owned Arena so the
+// per-batch allocation cost is paid once per layer, not once per call.
+
+#include <cstddef>
+#include <vector>
+
+namespace pdsl::kernels {
+
+/// Grow-only scratch buffers keyed by slot index. A layer owns one Arena and
+/// reuses the same slots every forward/backward call; buffers only ever grow,
+/// so steady-state training performs no per-batch allocation. Contents are
+/// unspecified on entry — every kernel writing into a slot overwrites the
+/// range it uses. Not thread-safe: an Arena belongs to one layer instance,
+/// and layer instances are never shared across parallel_for slots.
+class Arena {
+ public:
+  /// Buffer for `slot` with capacity >= count floats (uninitialized).
+  float* buffer(std::size_t slot, std::size_t count) {
+    if (slots_.size() <= slot) slots_.resize(slot + 1);
+    if (slots_[slot].size() < count) slots_[slot].resize(count);
+    return slots_[slot].data();
+  }
+
+  /// Total floats currently held (observability / tests).
+  [[nodiscard]] std::size_t footprint() const {
+    std::size_t total = 0;
+    for (const auto& s : slots_) total += s.size();
+    return total;
+  }
+
+ private:
+  std::vector<std::vector<float>> slots_;
+};
+
+/// col(in_ch*k*k, oh*ow) <- patches of x(in_ch, ih, iw); oh = ih + 2*pad - k + 1.
+void im2col(const float* x, std::size_t in_ch, std::size_t ih, std::size_t iw, std::size_t k,
+            std::size_t pad, float* col);
+
+/// x(in_ch, ih, iw) += scatter of col(in_ch*k*k, oh*ow) (adjoint of im2col).
+void col2im(const float* col, std::size_t in_ch, std::size_t ih, std::size_t iw, std::size_t k,
+            std::size_t pad, float* x);
+
+}  // namespace pdsl::kernels

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/backend.hpp"
+#include "kernels/gemm.hpp"
+
 namespace pdsl::nn {
 
 Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
@@ -36,6 +39,93 @@ Shape Conv2D::output_shape(const Shape& input) const {
 Tensor Conv2D::forward(const Tensor& input) {
   const Shape out_shape = output_shape(input.shape());
   cached_input_ = input;
+  if (kernels::backend() == kernels::Backend::kBlocked) {
+    return forward_im2col(input, out_shape);
+  }
+  return forward_direct(input, out_shape);
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const Shape out_shape = output_shape(cached_input_.shape());
+  if (grad_output.shape() != out_shape) {
+    throw std::invalid_argument("Conv2D::backward: bad grad shape");
+  }
+  if (kernels::backend() == kernels::Backend::kBlocked) {
+    return backward_im2col(grad_output, out_shape);
+  }
+  return backward_direct(grad_output, out_shape);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked path: per image, lower to a column matrix and run GEMMs.
+//   forward:  Y_b(out_ch, oh*ow)  = W(out_ch, ickk) * col_b  (rows seeded
+//             with the bias, GEMM accumulates on top)
+//   backward: dW += dY_b * col_b^T ; dcol = W^T * dY_b ; dX_b = col2im(dcol)
+// ---------------------------------------------------------------------------
+
+Tensor Conv2D::forward_im2col(const Tensor& input, const Shape& out_shape) {
+  Tensor out(out_shape);
+  const std::size_t n = input.dim(0), ih = input.dim(2), iw = input.dim(3);
+  const std::size_t oh = out_shape[2], ow = out_shape[3];
+  const std::size_t npix = oh * ow;
+  const std::size_t ickk = in_ch_ * k_ * k_;
+  float* col = scratch_.buffer(0, ickk * npix);
+  const float* w = weight_.value.data();
+  for (std::size_t b = 0; b < n; ++b) {
+    kernels::im2col(input.data() + b * in_ch_ * ih * iw, in_ch_, ih, iw, k_, pad_, col);
+    float* y = out.data() + b * out_ch_ * npix;
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float bias = bias_.value[oc];
+      float* row = y + oc * npix;
+      for (std::size_t i = 0; i < npix; ++i) row[i] = bias;
+    }
+    kernels::sgemm(out_ch_, ickk, npix, w, col, y, /*accumulate=*/true);
+  }
+  return out;
+}
+
+Tensor Conv2D::backward_im2col(const Tensor& grad_output, const Shape& out_shape) {
+  const Shape in_shape = cached_input_.shape();
+  const std::size_t n = in_shape[0], ih = in_shape[2], iw = in_shape[3];
+  const std::size_t oh = out_shape[2], ow = out_shape[3];
+  const std::size_t npix = oh * ow;
+  const std::size_t ickk = in_ch_ * k_ * k_;
+  Tensor grad_input(in_shape);
+  float* col = scratch_.buffer(0, ickk * npix);
+  float* dcol = scratch_.buffer(1, ickk * npix);
+  const float* x = cached_input_.data();
+  const float* w = weight_.value.data();
+  const float* gy = grad_output.data();
+  float* gx = grad_input.data();
+  float* gw = weight_.grad.data();
+
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* gy_b = gy + b * out_ch_ * npix;
+    // Bias gradient: double-accumulated per map, like the direct path.
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float* gymap = gy_b + oc * npix;
+      double bias_acc = 0.0;
+      for (std::size_t i = 0; i < npix; ++i) bias_acc += gymap[i];
+      bias_.grad[oc] += static_cast<float>(bias_acc);
+    }
+    // Recompute the column matrix (cheaper than caching one per batch image).
+    kernels::im2col(x + b * in_ch_ * ih * iw, in_ch_, ih, iw, k_, pad_, col);
+    // dW(out_ch, ickk) += dY_b(out_ch, npix) * col(ickk, npix)^T.
+    kernels::sgemm_transpose_b(out_ch_, npix, ickk, gy_b, col, gw, /*accumulate=*/true);
+    // dcol(ickk, npix) = W(out_ch, ickk)^T * dY_b(out_ch, npix).
+    kernels::sgemm_transpose_a(out_ch_, ickk, npix, w, gy_b, dcol);
+    kernels::col2im(dcol, in_ch_, ih, iw, k_, pad_, gx + b * in_ch_ * ih * iw);
+  }
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// Naive path: the original direct loops, kept as the reference backend. The
+// former `g == 0.0f` skip in backward is gone — it silently dropped NaN/Inf
+// propagation from weights and activations.
+// ---------------------------------------------------------------------------
+
+Tensor Conv2D::forward_direct(const Tensor& input, const Shape& out_shape) {
   Tensor out(out_shape);
   const std::size_t n = input.dim(0), ih = input.dim(2), iw = input.dim(3);
   const std::size_t oh = out_shape[2], ow = out_shape[3];
@@ -74,12 +164,8 @@ Tensor Conv2D::forward(const Tensor& input) {
   return out;
 }
 
-Tensor Conv2D::backward(const Tensor& grad_output) {
+Tensor Conv2D::backward_direct(const Tensor& grad_output, const Shape& out_shape) {
   const Shape in_shape = cached_input_.shape();
-  const Shape out_shape = output_shape(in_shape);
-  if (grad_output.shape() != out_shape) {
-    throw std::invalid_argument("Conv2D::backward: bad grad shape");
-  }
   const std::size_t n = in_shape[0], ih = in_shape[2], iw = in_shape[3];
   const std::size_t oh = out_shape[2], ow = out_shape[3];
   Tensor grad_input(in_shape);
@@ -103,7 +189,6 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
         for (std::size_t r = 0; r < oh; ++r) {
           for (std::size_t c = 0; c < ow; ++c) {
             const float g = gymap[r * ow + c];
-            if (g == 0.0f) continue;
             for (std::size_t kr = 0; kr < k_; ++kr) {
               const std::ptrdiff_t xr = static_cast<std::ptrdiff_t>(r + kr) -
                                         static_cast<std::ptrdiff_t>(pad_);

@@ -1,8 +1,13 @@
 #pragma once
-// 2-D convolution (stride 1, symmetric zero padding). Direct (non-im2col)
-// implementation: at reproduction scale the models are small and the direct
-// loops are cache-friendly enough; clarity wins.
+// 2-D convolution (stride 1, symmetric zero padding). Two implementations,
+// selected by kernels::backend(): the blocked path lowers each image to an
+// im2col column matrix held in a per-layer scratch arena and runs the S-KER
+// GEMMs (forward, weight gradient, input gradient via col2im); the naive path
+// keeps the original direct six-loop form as a differential-testing
+// reference. Both paths agree to rounding error (the reductions associate
+// differently); each path is deterministic at every --threads width.
 
+#include "kernels/im2col.hpp"
 #include "nn/layer.hpp"
 
 namespace pdsl::nn {
@@ -22,6 +27,11 @@ class Conv2D final : public Layer {
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
 
  private:
+  Tensor forward_direct(const Tensor& input, const Shape& out_shape);
+  Tensor forward_im2col(const Tensor& input, const Shape& out_shape);
+  Tensor backward_direct(const Tensor& grad_output, const Shape& out_shape);
+  Tensor backward_im2col(const Tensor& grad_output, const Shape& out_shape);
+
   std::size_t in_ch_;
   std::size_t out_ch_;
   std::size_t k_;
@@ -29,6 +39,10 @@ class Conv2D final : public Layer {
   Param weight_;  // (out_ch, in_ch, k, k)
   Param bias_;    // (out_ch)
   Tensor cached_input_;
+  // Scratch for the im2col path (slot 0: column matrix, slot 1: column
+  // gradient). Grow-only and reused across batches; never cloned — a fresh
+  // layer starts with an empty arena and grows it on first use.
+  kernels::Arena scratch_;
 };
 
 }  // namespace pdsl::nn

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace pdsl::nn {
@@ -31,12 +32,16 @@ Shape Linear::output_shape(const Shape& input) const {
 Tensor Linear::forward(const Tensor& input) {
   (void)output_shape(input.shape());  // validates
   cached_input_ = input;
-  Tensor out = matmul_transpose_b(input, weight_.value);  // (N,in)*(out,in)^T
-  const std::size_t n = out.dim(0);
+  // Seed every output row with the bias, then let the GEMM accumulate
+  // X(N,in) * W(out,in)^T on top — one pass over the output instead of two.
+  const std::size_t n = input.dim(0);
+  Tensor out(Shape{n, out_});
   for (std::size_t r = 0; r < n; ++r) {
     float* row = out.data() + r * out_;
-    for (std::size_t c = 0; c < out_; ++c) row[c] += bias_.value[c];
+    for (std::size_t c = 0; c < out_; ++c) row[c] = bias_.value[c];
   }
+  kernels::sgemm_transpose_b(n, in_, out_, input.data(), weight_.value.data(), out.data(),
+                             /*accumulate=*/true);
   return out;
 }
 
@@ -44,10 +49,11 @@ Tensor Linear::backward(const Tensor& grad_output) {
   if (grad_output.rank() != 2 || grad_output.dim(1) != out_) {
     throw std::invalid_argument("Linear::backward: bad grad shape");
   }
-  // dW += dY^T X ; db += column sums of dY ; dX = dY W
-  Tensor dw = matmul_transpose_a(grad_output, cached_input_);
-  weight_.grad += dw;
+  // dW += dY^T X ; db += column sums of dY ; dX = dY W. The weight gradient
+  // accumulates straight into the param buffer — no (out,in) temporary.
   const std::size_t n = grad_output.dim(0);
+  kernels::sgemm_transpose_a(n, out_, in_, grad_output.data(), cached_input_.data(),
+                             weight_.grad.data(), /*accumulate=*/true);
   for (std::size_t r = 0; r < n; ++r) {
     const float* row = grad_output.data() + r * out_;
     for (std::size_t c = 0; c < out_; ++c) bias_.grad[c] += row[c];

@@ -28,6 +28,44 @@ Tensor MaxPool2D::forward(const Tensor& input) {
   const float* x = input.data();
   float* y = out.data();
   std::size_t oi = 0;
+  if (win_ == 2) {
+    // Fast path for the 2x2 window every model in the zoo uses: the four
+    // candidates are compared in the same (dr, dc) order as the generic loop
+    // with the same strict `>`, so results and argmax ties are bit-identical.
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t c = 0; c < ch; ++c) {
+        const std::size_t plane = (b * ch + c) * ih * iw;
+        for (std::size_t r = 0; r < oh; ++r) {
+          const float* row0 = x + plane + (2 * r) * iw;
+          const float* row1 = row0 + iw;
+          const std::size_t base = plane + (2 * r) * iw;
+          for (std::size_t col = 0; col < ow; ++col, ++oi) {
+            const std::size_t c0 = 2 * col;
+            float best = -1e30f;
+            std::size_t best_idx = base + c0;
+            if (row0[c0] > best) {
+              best = row0[c0];
+            }
+            if (row0[c0 + 1] > best) {
+              best = row0[c0 + 1];
+              best_idx = base + c0 + 1;
+            }
+            if (row1[c0] > best) {
+              best = row1[c0];
+              best_idx = base + iw + c0;
+            }
+            if (row1[c0 + 1] > best) {
+              best = row1[c0 + 1];
+              best_idx = base + iw + c0 + 1;
+            }
+            y[oi] = best;
+            argmax_[oi] = best_idx;
+          }
+        }
+      }
+    }
+    return out;
+  }
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t c = 0; c < ch; ++c) {
       const std::size_t plane = (b * ch + c) * ih * iw;

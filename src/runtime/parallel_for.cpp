@@ -19,10 +19,6 @@ GlobalRuntime& state() {
   return *s;
 }
 
-// Sequential fallback, sharing the nesting-rejection semantics with the pool
-// path so behavior does not depend on the configured width.
-thread_local bool t_in_inline_region = false;
-
 }  // namespace
 
 std::size_t resolve_threads(std::size_t requested) {
@@ -61,17 +57,19 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
     pool->parallel_for(begin, end, grain, body);
     return;
   }
-  if (t_in_inline_region) {
+  // Sequential fallback, sharing the nesting-rejection flag with the pool
+  // path so behavior (and in_parallel_region()) does not depend on width.
+  if (detail::t_in_parallel_region) {
     throw std::logic_error("parallel_for: nested call from inside a parallel_for body");
   }
-  t_in_inline_region = true;
+  detail::t_in_parallel_region = true;
   try {
     for (std::size_t i = begin; i < end; ++i) body(i);
   } catch (...) {
-    t_in_inline_region = false;
+    detail::t_in_parallel_region = false;
     throw;
   }
-  t_in_inline_region = false;
+  detail::t_in_parallel_region = false;
 }
 
 }  // namespace pdsl::runtime

@@ -7,12 +7,13 @@
 
 namespace pdsl::runtime {
 
-namespace {
-// Set while this thread executes a parallel_for chunk; guards against nested
-// parallelism, which the engine does not support (and which would deadlock a
-// fully-busy pool).
+namespace detail {
+// Guards against nested parallelism, which the engine does not support (and
+// which would deadlock a fully-busy pool); exposed read-only through
+// runtime::in_parallel_region() so kernels can degrade to sequential.
 thread_local bool t_in_parallel_region = false;
-}  // namespace
+}  // namespace detail
+using detail::t_in_parallel_region;
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) throw std::invalid_argument("ThreadPool: at least one worker required");
@@ -67,31 +68,40 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
   // Shared completion/error state for this one call. Chunks after the first
   // failure still "complete" (as no-ops would be wrong — they may be running
   // already), but their work is the caller's loss: the first exception wins.
+  //
+  // Join lives on the caller's stack: this frame outlives the barrier, and
+  // workers only ever touch it under its mutex. The notify happens while the
+  // lock is held so the last worker's final access to the condition variable
+  // completes before the caller can re-acquire the lock, observe
+  // remaining == 0 and unwind the frame. The closures queued on the pool
+  // capture only a raw pointer, so their (post-barrier) destruction on a
+  // worker thread frees nothing the caller still reads — in particular the
+  // error exception object is owned solely by this frame.
   struct Join {
     std::mutex mu;
     std::condition_variable cv;
     std::size_t remaining;
     std::exception_ptr error;
   };
-  auto join = std::make_shared<Join>();
-  join->remaining = num_chunks;
+  Join join;
+  join.remaining = num_chunks;
 
-  auto run_chunk = [this, begin, end, chunk, &body, join](std::size_t c) {
+  auto run_chunk = [begin, end, chunk, &body, pjoin = &join](std::size_t c) {
     t_in_parallel_region = true;
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     try {
       for (std::size_t i = lo; i < hi; ++i) body(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(join->mu);
-      if (!join->error) join->error = std::current_exception();
+      std::lock_guard<std::mutex> lock(pjoin->mu);
+      if (!pjoin->error) pjoin->error = std::current_exception();
     }
     t_in_parallel_region = false;
     {
-      std::lock_guard<std::mutex> lock(join->mu);
-      --join->remaining;
+      std::lock_guard<std::mutex> lock(pjoin->mu);
+      --pjoin->remaining;
+      pjoin->cv.notify_one();
     }
-    join->cv.notify_one();
   };
 
   // Enqueue every chunk and block: the configured width is exactly the
@@ -101,9 +111,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
     submit([run_chunk, c] { run_chunk(c); });
   }
   {
-    std::unique_lock<std::mutex> lock(join->mu);
-    join->cv.wait(lock, [&join] { return join->remaining == 0; });
-    if (join->error) std::rethrow_exception(join->error);
+    std::unique_lock<std::mutex> lock(join.mu);
+    join.cv.wait(lock, [&join] { return join.remaining == 0; });
+    if (join.error) std::rethrow_exception(join.error);
   }
 }
 

@@ -19,6 +19,22 @@
 
 namespace pdsl::runtime {
 
+namespace detail {
+/// Set while the calling thread executes a parallel_for body — both the pool
+/// worker chunks and the width-1 inline path in runtime::parallel_for flag
+/// themselves through this. Not part of the public surface; use
+/// in_parallel_region().
+extern thread_local bool t_in_parallel_region;
+}  // namespace detail
+
+/// True while the calling thread is inside a parallel_for body (at any
+/// configured width). Layers that offer optional intra-op parallelism — the
+/// S-KER kernels — consult this to run sequentially instead of tripping the
+/// nested-call rejection.
+[[nodiscard]] inline bool in_parallel_region() noexcept {
+  return detail::t_in_parallel_region;
+}
+
 /// Fixed-size worker pool over one blocking FIFO queue. Construction spawns
 /// the workers; destruction drains nothing — it wakes everyone, joins, and
 /// discards tasks still queued (submit after shutdown throws).

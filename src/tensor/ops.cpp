@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/gemm.hpp"
+
 namespace pdsl {
 
 namespace {
@@ -12,24 +14,19 @@ void require_2d(const Tensor& t, const char* what) {
 }
 }  // namespace
 
+// The matmul family validates shapes here and delegates the math to the
+// S-KER layer (src/kernels/), which dispatches on the selected backend. The
+// former in-place loops had `av == 0.0f` skip shortcuts that silently dropped
+// NaN/Inf propagation from the other operand; the kernel paths have no such
+// shortcut on either backend.
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   require_2d(a, "matmul");
   require_2d(b, "matmul");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dimension mismatch");
   Tensor c(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = pa[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + p * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::sgemm(m, k, n, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -39,18 +36,7 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != m) throw std::invalid_argument("matmul_transpose_a: dimension mismatch");
   Tensor c(Shape{k, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = pa[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + i * n;
-      float* crow = pc + p * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::sgemm_transpose_a(m, k, n, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -60,18 +46,7 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.dim(0), n = a.dim(1), k = b.dim(0);
   if (b.dim(1) != n) throw std::invalid_argument("matmul_transpose_b: dimension mismatch");
   Tensor c(Shape{m, k});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < k; ++j) {
-      const float* arow = pa + i * n;
-      const float* brow = pb + j * n;
-      double acc = 0.0;
-      for (std::size_t p = 0; p < n; ++p) acc += static_cast<double>(arow[p]) * brow[p];
-      pc[i * k + j] = static_cast<float>(acc);
-    }
-  }
+  kernels::sgemm_transpose_b(m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 

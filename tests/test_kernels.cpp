@@ -1,0 +1,346 @@
+// S-KER differential tests: blocked-vs-naive agreement for the GEMM family
+// (bit-identical — the blocked kernels preserve the naive accumulation order)
+// and the im2col convolution (tight tolerance — the reduction associates
+// differently), NaN/Inf propagation regressions for the removed zero-skip
+// shortcuts, and the intra-op determinism contract (bit-identical results at
+// any --threads width, including a full PDSL round loop on the blocked
+// backend with a CNN model).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "kernels/backend.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/im2col.hpp"
+#include "nn/conv2d.hpp"
+#include "runtime/parallel_for.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+using namespace pdsl;
+
+namespace {
+
+/// Restores the process-wide backend and width the test mutated.
+class KernelEnvGuard {
+ public:
+  KernelEnvGuard() : prev_(kernels::backend()) {}
+  ~KernelEnvGuard() {
+    kernels::set_backend(prev_);
+    runtime::set_global_threads(1);
+  }
+
+ private:
+  kernels::Backend prev_;
+};
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  rng.fill_normal(v, 0.0, 1.0);
+  return v;
+}
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+// Odd shapes on purpose: unit dims hit the register-tile remainders, 17/13/19
+// straddle the blocking, 0 exercises the empty range, 64s hit full tiles.
+const std::vector<GemmShape> kShapes = {
+    {1, 1, 1}, {1, 7, 3}, {5, 1, 4}, {4, 6, 1}, {2, 3, 2},
+    {17, 13, 19}, {32, 64, 32}, {64, 64, 64}, {0, 5, 7}, {5, 0, 7}, {5, 7, 0},
+};
+
+using RawGemm = void (*)(std::size_t, std::size_t, std::size_t, const float*, const float*,
+                         float*, bool);
+
+void expect_backends_bit_identical(RawGemm fn, std::size_t m, std::size_t k, std::size_t n,
+                                   std::size_t a_elems, std::size_t b_elems,
+                                   std::size_t c_elems, bool accumulate) {
+  const auto a = random_vec(a_elems, 11);
+  const auto b = random_vec(b_elems, 23);
+  const auto seed_c = random_vec(c_elems, 37);
+  std::vector<float> c_naive = accumulate ? seed_c : std::vector<float>(c_elems, -7.0f);
+  std::vector<float> c_blocked = c_naive;
+  kernels::set_backend(kernels::Backend::kNaive);
+  fn(m, k, n, a.data(), b.data(), c_naive.data(), accumulate);
+  kernels::set_backend(kernels::Backend::kBlocked);
+  fn(m, k, n, a.data(), b.data(), c_blocked.data(), accumulate);
+  EXPECT_EQ(c_naive, c_blocked) << "m=" << m << " k=" << k << " n=" << n
+                                << " accumulate=" << accumulate;
+}
+
+}  // namespace
+
+TEST(Kernels, BackendRegistry) {
+  KernelEnvGuard guard;
+  EXPECT_EQ(kernels::backend_from_string("naive"), kernels::Backend::kNaive);
+  EXPECT_EQ(kernels::backend_from_string("blocked"), kernels::Backend::kBlocked);
+  EXPECT_THROW(static_cast<void>(kernels::backend_from_string("fast")), std::invalid_argument);
+  kernels::set_backend(kernels::Backend::kNaive);
+  EXPECT_STREQ(kernels::backend_name(kernels::backend()), "naive");
+  kernels::set_backend(kernels::Backend::kBlocked);
+  EXPECT_STREQ(kernels::backend_name(kernels::backend()), "blocked");
+}
+
+TEST(Kernels, SgemmBlockedBitIdenticalToNaive) {
+  KernelEnvGuard guard;
+  for (const auto& s : kShapes) {
+    for (const bool acc : {false, true}) {
+      expect_backends_bit_identical(kernels::sgemm, s.m, s.k, s.n, s.m * s.k, s.k * s.n,
+                                    s.m * s.n, acc);
+    }
+  }
+}
+
+TEST(Kernels, SgemmTransposeABlockedBitIdenticalToNaive) {
+  KernelEnvGuard guard;
+  for (const auto& s : kShapes) {
+    for (const bool acc : {false, true}) {
+      expect_backends_bit_identical(kernels::sgemm_transpose_a, s.m, s.k, s.n, s.m * s.k,
+                                    s.m * s.n, s.k * s.n, acc);
+    }
+  }
+}
+
+TEST(Kernels, SgemmTransposeBBlockedBitIdenticalToNaive) {
+  KernelEnvGuard guard;
+  for (const auto& s : kShapes) {
+    for (const bool acc : {false, true}) {
+      // sgemm_transpose_b(m, n, k): A(m,n), B(k,n), C(m,k).
+      expect_backends_bit_identical(kernels::sgemm_transpose_b, s.m, s.k, s.n, s.m * s.k,
+                                    s.n * s.k, s.m * s.n, acc);
+    }
+  }
+}
+
+// The old in-place matmuls skipped the inner loop when an A element was
+// exactly 0, silently dropping NaN/Inf propagation from B. Both backends must
+// propagate.
+TEST(Kernels, MatmulPropagatesNanThroughZeroOperand) {
+  KernelEnvGuard guard;
+  const float nan = std::nanf("");
+  Tensor a(Shape{2, 2});  // all zeros
+  Tensor b(Shape{2, 2});
+  b.at2(0, 0) = nan;
+  for (const auto be : {kernels::Backend::kNaive, kernels::Backend::kBlocked}) {
+    kernels::set_backend(be);
+    const Tensor c = matmul(a, b);
+    EXPECT_TRUE(std::isnan(c.at2(0, 0))) << kernels::backend_name(be);
+    EXPECT_TRUE(std::isnan(c.at2(1, 0))) << kernels::backend_name(be);
+    const Tensor ct = matmul_transpose_a(a, b);
+    EXPECT_TRUE(std::isnan(ct.at2(0, 0))) << kernels::backend_name(be);
+    const Tensor inf_b = Tensor(Shape{2, 2}, std::vector<float>(4, HUGE_VALF));
+    const Tensor ci = matmul(a, inf_b);
+    EXPECT_TRUE(std::isnan(ci.at2(0, 0))) << "0 * inf must be NaN, "
+                                          << kernels::backend_name(be);
+  }
+}
+
+TEST(Kernels, ConvBackwardPropagatesNanThroughZeroGrad) {
+  KernelEnvGuard guard;
+  for (const auto be : {kernels::Backend::kNaive, kernels::Backend::kBlocked}) {
+    kernels::set_backend(be);
+    nn::Conv2D conv(1, 1, 1, 0);
+    Rng rng(3);
+    conv.init(rng);
+    conv.params()[0]->value.fill(std::nanf(""));  // weight = NaN
+    Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+    (void)conv.forward(x);
+    const Tensor zero_grad(Shape{1, 1, 2, 2});
+    const Tensor gx = conv.backward(zero_grad);
+    // gx += g * w with g == 0, w == NaN: the old skip returned zeros here.
+    for (std::size_t i = 0; i < gx.numel(); ++i) {
+      EXPECT_TRUE(std::isnan(gx[i])) << kernels::backend_name(be) << " index " << i;
+    }
+  }
+}
+
+TEST(Kernels, Im2colLaysOutPatchesRowMajor) {
+  const std::vector<float> x = {1, 2, 3, 4};  // 1 channel, 2x2
+  std::vector<float> col(4, -1.0f);
+  kernels::im2col(x.data(), 1, 2, 2, 2, 0, col.data());  // k=2, pad=0 -> 1 pixel
+  EXPECT_EQ(col, (std::vector<float>{1, 2, 3, 4}));
+  // With pad=1 the corner patch sees zeros outside the image.
+  std::vector<float> col_pad(4 * 9);
+  kernels::im2col(x.data(), 1, 2, 2, 2, 1, col_pad.data());  // oh=ow=3
+  // Tap (kr=0,kc=0) row: x[r-1][c-1] over the 3x3 output grid.
+  EXPECT_EQ(std::vector<float>(col_pad.begin(), col_pad.begin() + 9),
+            (std::vector<float>{0, 0, 0, 0, 1, 2, 0, 3, 4}));
+}
+
+TEST(Kernels, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), c> == <x, col2im(c)> for random x, c — the standard adjoint
+  // identity; validates the scatter against the gather including padding.
+  const std::size_t in_ch = 2, ih = 5, iw = 4, k = 3, pad = 1;
+  const std::size_t oh = ih + 2 * pad - k + 1, ow = iw + 2 * pad - k + 1;
+  const std::size_t cols = in_ch * k * k * oh * ow;
+  const auto x = random_vec(in_ch * ih * iw, 5);
+  const auto c = random_vec(cols, 7);
+  std::vector<float> gathered(cols);
+  kernels::im2col(x.data(), in_ch, ih, iw, k, pad, gathered.data());
+  std::vector<float> scattered(x.size(), 0.0f);
+  kernels::col2im(c.data(), in_ch, ih, iw, k, pad, scattered.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols; ++i) lhs += static_cast<double>(gathered[i]) * c[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += static_cast<double>(x[i]) * scattered[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::abs(lhs) + 1e-6);
+}
+
+namespace {
+
+struct ConvCase {
+  std::size_t batch, in_ch, out_ch, k, pad, ih, iw;
+};
+
+// k=1, pad>0, non-square, single-row output, empty batch.
+const std::vector<ConvCase> kConvCases = {
+    {2, 2, 3, 1, 0, 5, 7},   // 1x1 kernel
+    {3, 1, 8, 3, 1, 9, 9},   // MNIST-style "same" conv
+    {2, 3, 4, 5, 2, 8, 6},   // CIFAR-style, non-square
+    {1, 2, 2, 3, 0, 3, 11},  // oh == 1: single output row
+    {2, 1, 2, 3, 2, 1, 1},   // pad > spatial extent
+    {0, 1, 2, 3, 1, 4, 4},   // empty batch
+};
+
+void run_conv_both_backends(const ConvCase& cc, Tensor* fwd_out, Tensor* gx_out,
+                            std::vector<std::vector<float>>* grads,
+                            kernels::Backend backend) {
+  kernels::set_backend(backend);
+  nn::Conv2D conv(cc.in_ch, cc.out_ch, cc.k, cc.pad);
+  Rng rng(17);
+  conv.init(rng);
+  Tensor x(Shape{cc.batch, cc.in_ch, cc.ih, cc.iw},
+           random_vec(cc.batch * cc.in_ch * cc.ih * cc.iw, 29));
+  const Tensor y = conv.forward(x);
+  Tensor gy(y.shape(), random_vec(y.numel(), 31));
+  const Tensor gx = conv.backward(gy);
+  *fwd_out = y;
+  *gx_out = gx;
+  grads->clear();
+  for (nn::Param* p : conv.params()) grads->push_back(p->grad.vec());
+}
+
+}  // namespace
+
+TEST(Kernels, ConvIm2colAgreesWithDirectAcrossShapes) {
+  KernelEnvGuard guard;
+  for (const auto& cc : kConvCases) {
+    Tensor y_naive, gx_naive, y_blocked, gx_blocked;
+    std::vector<std::vector<float>> g_naive, g_blocked;
+    run_conv_both_backends(cc, &y_naive, &gx_naive, &g_naive, kernels::Backend::kNaive);
+    run_conv_both_backends(cc, &y_blocked, &gx_blocked, &g_blocked,
+                           kernels::Backend::kBlocked);
+    ASSERT_EQ(y_naive.shape(), y_blocked.shape());
+    const double tol = 1e-4;
+    for (std::size_t i = 0; i < y_naive.numel(); ++i) {
+      ASSERT_NEAR(y_naive[i], y_blocked[i], tol) << "forward, k=" << cc.k;
+    }
+    for (std::size_t i = 0; i < gx_naive.numel(); ++i) {
+      ASSERT_NEAR(gx_naive[i], gx_blocked[i], tol) << "grad_input, k=" << cc.k;
+    }
+    ASSERT_EQ(g_naive.size(), g_blocked.size());
+    for (std::size_t p = 0; p < g_naive.size(); ++p) {
+      ASSERT_EQ(g_naive[p].size(), g_blocked[p].size());
+      for (std::size_t i = 0; i < g_naive[p].size(); ++i) {
+        ASSERT_NEAR(g_naive[p][i], g_blocked[p][i], tol) << "param " << p << ", k=" << cc.k;
+      }
+    }
+  }
+}
+
+TEST(Kernels, ArenaReusesBuffersAcrossBatches) {
+  KernelEnvGuard guard;
+  kernels::set_backend(kernels::Backend::kBlocked);
+  nn::Conv2D conv(2, 4, 3, 1);
+  Rng rng(9);
+  conv.init(rng);
+  Tensor x(Shape{4, 2, 8, 8}, random_vec(4 * 2 * 8 * 8, 41));
+  const Tensor y = conv.forward(x);
+  Tensor gy(y.shape(), random_vec(y.numel(), 43));
+  (void)conv.backward(gy);
+  // Arena test via behavior: repeated forward/backward must not change
+  // results (scratch reuse is invisible) — run twice and compare.
+  nn::Conv2D conv2(2, 4, 3, 1);
+  Rng rng2(9);
+  conv2.init(rng2);
+  const Tensor y1 = conv2.forward(x);
+  const Tensor y2 = conv2.forward(x);
+  EXPECT_EQ(y1.vec(), y2.vec());
+  EXPECT_EQ(y1.vec(), y.vec());
+}
+
+TEST(Kernels, IntraOpGemmBitIdenticalAcrossWidths) {
+  KernelEnvGuard guard;
+  kernels::set_backend(kernels::Backend::kBlocked);
+  const std::size_t m = 37, k = 53, n = 41;
+  const auto a = random_vec(m * k, 51);
+  const auto b = random_vec(k * n, 53);
+  std::vector<std::vector<float>> results;
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4}}) {
+    runtime::set_global_threads(width);
+    std::vector<float> c(m * n);
+    kernels::sgemm(m, k, n, a.data(), b.data(), c.data());
+    std::vector<float> ct(k * n);
+    kernels::sgemm_transpose_a(m, k, n, a.data(), b.data(), ct.data());
+    std::vector<float> cb(m * m);
+    kernels::sgemm_transpose_b(m, k, m, a.data(), a.data(), cb.data());
+    c.insert(c.end(), ct.begin(), ct.end());
+    c.insert(c.end(), cb.begin(), cb.end());
+    results.push_back(std::move(c));
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(Kernels, KernelsInsideParallelForDegradeToSequential) {
+  KernelEnvGuard guard;
+  kernels::set_backend(kernels::Backend::kBlocked);
+  runtime::set_global_threads(4);
+  const std::size_t m = 16, k = 8, n = 8;
+  const auto a = random_vec(m * k, 61);
+  const auto b = random_vec(k * n, 67);
+  std::vector<float> reference(m * n);
+  kernels::sgemm(m, k, n, a.data(), b.data(), reference.data());
+  // From inside a parallel_for body the kernel must not attempt nested
+  // parallelism (which throws) and must produce the same bits.
+  std::vector<std::vector<float>> per_slot(4, std::vector<float>(m * n));
+  runtime::parallel_for(0, 4, 1, [&](std::size_t i) {
+    kernels::sgemm(m, k, n, a.data(), b.data(), per_slot[i].data());
+  });
+  for (const auto& c : per_slot) EXPECT_EQ(c, reference);
+}
+
+TEST(Kernels, PdslRoundLoopBitIdenticalAcrossWidthsOnBlockedBackend) {
+  KernelEnvGuard guard;
+  core::ExperimentConfig cfg;
+  cfg.algorithm = "pdsl";
+  cfg.dataset = "mnist_like";
+  cfg.model = "mnist_cnn";
+  cfg.backend = "blocked";
+  cfg.agents = 4;
+  cfg.rounds = 2;
+  cfg.train_samples = 160;
+  cfg.test_samples = 60;
+  cfg.validation_samples = 40;
+  cfg.image = 10;
+  cfg.hp.batch = 8;
+  cfg.hp.shapley_permutations = 2;
+  cfg.hp.validation_batch = 16;
+  cfg.metrics.eval_every = 0;
+  cfg.seed = 7;
+  cfg.threads = 1;
+  const auto seq = core::run_experiment(cfg);
+  cfg.threads = 4;
+  const auto par = core::run_experiment(cfg);
+  ASSERT_EQ(seq.average_model.size(), par.average_model.size());
+  EXPECT_EQ(seq.average_model, par.average_model);
+  ASSERT_EQ(seq.series.size(), par.series.size());
+  for (std::size_t i = 0; i < seq.series.size(); ++i) {
+    EXPECT_EQ(seq.series[i].avg_loss, par.series[i].avg_loss);
+  }
+}

@@ -47,6 +47,8 @@ int usage() {
       "                    --seeds 1,2,3 --compression --drop_prob --corrupt\n"
       "                    --csv <path> --save_model <path>\n"
       "                    --threads N (parallel agents; 1=sequential, 0=auto-detect)\n"
+      "                    --backend blocked|naive (S-KER math kernels; default\n"
+      "                      blocked, or the PDSL_KERNEL_BACKEND env var)\n"
       "                    --profile (per-phase timing table + key counters)\n"
       "                    --trace-out <t.json> (Chrome trace-event spans)\n"
       "                    --metrics-out <m.csv> (metrics registry dump)\n"
@@ -67,8 +69,8 @@ int cmd_run(int argc, const char* const* argv) {
                       "delta",     "sigma_mode", "noise_scale", "seed",  "seeds",
                       "compression", "drop_prob", "corrupt", "csv",      "save_model",
                       "mc_perms",  "valbatch", "hidden",  "config",      "json",
-                      "threads",   "profile",  "trace-out", "trace_out", "metrics-out",
-                      "metrics_out"});
+                      "threads",   "backend",  "profile",  "trace-out", "trace_out",
+                      "metrics-out", "metrics_out"});
   core::ExperimentConfig cfg;
   if (args.has("config")) {
     cfg = core::load_config(args.get_string("config", ""));
@@ -125,6 +127,7 @@ int cmd_run(int argc, const char* const* argv) {
       args.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
   cfg.threads = static_cast<std::size_t>(
       args.get_int("threads", static_cast<std::int64_t>(cfg.threads)));
+  cfg.backend = args.get_string("backend", cfg.backend);
   if (cfg.metrics.eval_every == 1) cfg.metrics.eval_every = 5;
   cfg.profile = args.get_bool("profile", cfg.profile);
   cfg.trace_out =
