@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "common/stopwatch.hpp"
@@ -126,6 +127,7 @@ int main(int argc, char** argv) {
   doc["rounds"] = cfg.rounds;
   doc["shapley_permutations"] = cfg.hp.shapley_permutations;
   doc["seed"] = cfg.seed;
+  doc["faults"] = pdsl::bench::fault_config_json(cfg);
   doc["bit_identical_across_widths"] = bitwise_ok;
   doc["runs"] = pdsl::json::Value(std::move(rows));
   const pdsl::json::Value v(std::move(doc));

@@ -139,6 +139,14 @@ std::string display_name(const std::string& algo_key) {
   return it == names.end() ? algo_key : it->second;
 }
 
+json::Value fault_config_json(const core::ExperimentConfig& cfg) {
+  // Report the plan a Network built from this config would actually run
+  // (the legacy drop_prob alias folded in), not the raw struct.
+  sim::FaultPlan plan = cfg.faults;
+  if (plan.drop_prob == 0.0) plan.drop_prob = cfg.drop_prob;
+  return sim::fault_plan_to_json(plan);
+}
+
 namespace {
 
 struct ParsedCommon {

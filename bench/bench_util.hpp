@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "core/experiment.hpp"
 
 namespace pdsl::bench {
@@ -63,5 +64,10 @@ int run_table_bench(int argc, const char* const* argv, SweepSpec spec,
 
 /// Pretty label used in printed headers ("PDSL", "DP-CGA", ...).
 std::string display_name(const std::string& algo_key);
+
+/// S-FAULT config of a run as JSON, for bench result files: the full
+/// FaultPlan (with the legacy drop_prob alias folded in) so a bench number
+/// can never be quoted without the fault regime it was measured under.
+json::Value fault_config_json(const core::ExperimentConfig& cfg);
 
 }  // namespace pdsl::bench

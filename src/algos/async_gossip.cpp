@@ -10,6 +10,7 @@ AsyncDpGossip::AsyncDpGossip(const Env& env)
 
 void AsyncDpGossip::wake(std::size_t i, std::size_t t) {
   ++events_;
+  if (!active(i)) return;  // churned out: the wake event fires into the void
   // Local privatized step at whatever (possibly stale) model i currently has.
   {
     auto timer = phase(obs::Phase::kLocalGrad);
@@ -30,11 +31,14 @@ void AsyncDpGossip::wake(std::size_t i, std::size_t t) {
   const std::size_t j = nbrs[static_cast<std::size_t>(
       clock_rng_.uniform_int(0, static_cast<std::int64_t>(nbrs.size()) - 1))];
   const std::string tag = "pair@" + std::to_string(t) + "." + std::to_string(events_);
-  if (!net_.send(i, j, tag, models_[i])) return;  // dropped: skip this exchange
-  if (!net_.send(j, i, tag, models_[j])) return;
+  // Send both halves and drain both mailboxes before deciding whether the
+  // exchange happened: bailing after one successful send would leave its
+  // payload unread, tripping the between-rounds leftover check.
+  net_.send(i, j, tag, models_[i]);
+  net_.send(j, i, tag, models_[j]);
   const auto from_j = net_.receive(i, j, tag);
   const auto from_i = net_.receive(j, i, tag);
-  if (!from_j || !from_i) return;
+  if (!from_j || !from_i) return;  // a dropped half aborts the pairwise average
   std::vector<float> avg = *from_j;
   axpy(avg, *from_i, 1.0f);
   scale_inplace(avg, 0.5f);
@@ -42,7 +46,7 @@ void AsyncDpGossip::wake(std::size_t i, std::size_t t) {
   models_[j] = std::move(avg);
 }
 
-void AsyncDpGossip::run_round(std::size_t t) {
+void AsyncDpGossip::round_impl(std::size_t t) {
   // M wake events per round, uniformly random agent each time — a discrete
   // simulation of independent Poisson clocks. Deliberately NOT converted to
   // runtime::parallel_for (S-RT): wake events are causally ordered (event e+1

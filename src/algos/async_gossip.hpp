@@ -16,7 +16,7 @@ class AsyncDpGossip final : public Algorithm {
  public:
   explicit AsyncDpGossip(const Env& env);
   [[nodiscard]] std::string name() const override { return "ASYNC-DP-GOSSIP"; }
-  void run_round(std::size_t t) override;
+  void round_impl(std::size_t t) override;
 
   /// Wake events executed so far (M per round).
   [[nodiscard]] std::size_t events() const { return events_; }

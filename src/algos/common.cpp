@@ -1,9 +1,12 @@
 #include "algos/common.hpp"
 
+#include <cassert>
+#include <optional>
 #include <stdexcept>
 
 #include "common/stopwatch.hpp"
 #include "common/vec_math.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 #include "sim/evaluate.hpp"
 
@@ -31,9 +34,10 @@ void validate_env(const Env& env) {
 Algorithm::Algorithm(const Env& env)
     : env_(env),
       net_(*env.topo, sim::Network::Options{env.drop_prob, splitmix64(env.seed ^ 0xAEAE),
-                                            true, env.compressor}) {
+                                            true, env.compressor, env.faults}) {
   validate_env(env);
   const std::size_t m = env.topo->size();
+  active_.assign(m, 1);
   Rng root(env.seed);
 
   // One shared initialization: the analysis assumes all columns of X^[0]
@@ -55,6 +59,41 @@ Algorithm::Algorithm(const Env& env)
 }
 
 std::vector<float> Algorithm::average_model() const { return sim::average_model(models_); }
+
+void Algorithm::run_round(std::size_t t) {
+  // Advance the fault clock first: churn decisions for round t key on it, and
+  // delayed messages that mature by t come back here rather than appearing in
+  // mailboxes (so the leftover check below stays exact).
+  std::vector<sim::LateMessage> late = net_.begin_round(t);
+  fault_stats_ = FaultRoundStats{};
+  refresh_active(t);
+  if (!late.empty()) absorb_late(std::move(late));
+  round_impl(t);
+  // A correct synchronous protocol reads every message it was sent within the
+  // round, faults or not (drops and delays never reach a mailbox). Leftovers
+  // mean a protocol bug; keep the evidence visible in release builds too.
+  const std::size_t leftover = net_.clear();
+  if (leftover != 0) {
+    unread_cleared_ += leftover;
+    obs::MetricsRegistry::global().counter("net.unread_cleared").add(leftover);
+  }
+  assert(leftover == 0 && "protocol bug: round_impl left unread mailbox messages");
+}
+
+void Algorithm::refresh_active(std::size_t t) {
+  const sim::FaultPlan& plan = net_.faults();
+  if (plan.churn_prob <= 0.0) return;  // mask stays all-online
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const bool off = plan.offline(i, t);
+    active_[i] = off ? 0 : 1;
+    if (off) ++fault_stats_.offline_agents;
+  }
+}
+
+void Algorithm::absorb_late(std::vector<sim::LateMessage> late) {
+  // Default: the payload arrived too late to be useful — count and discard.
+  obs::MetricsRegistry::global().counter("net.late_discarded").add(late.size());
+}
 
 void Algorithm::set_models(std::vector<std::vector<float>> models) {
   if (models.size() != models_.size()) {
@@ -79,23 +118,56 @@ std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::ve
   // Each agent writes only its own mailbox edges / output slot, so any
   // execution width produces the same result.
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+    if (!active(i)) return;  // offline agents generate no traffic
     for (std::size_t j : neighbors(i)) {
       net_.send(i, j, tag, in[i]);
     }
   });
   std::vector<std::vector<float>> out(m);
+  std::vector<unsigned char> renorm(m, 0);  // slot writes; folded after barrier
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+    if (!active(i)) {
+      out[i] = in[i];  // offline agents freeze their value
+      return;
+    }
+    const std::vector<std::size_t> nbrs = neighbors(i);
+    std::vector<std::optional<std::vector<float>>> got;
+    got.reserve(nbrs.size());
+    bool complete = true;
+    for (std::size_t j : nbrs) {
+      got.push_back(net_.receive(i, j, tag));
+      if (!got.back().has_value()) complete = false;
+    }
     std::vector<float> acc(in[i].size(), 0.0f);
-    axpy(acc, in[i], static_cast<float>(w(i, i)));
-    for (std::size_t j : neighbors(i)) {
-      auto msg = net_.receive(i, j, tag);
-      // A dropped message contributes the receiver's own value instead — the
-      // standard "self-substitution" fallback for unreliable gossip.
-      const std::vector<float>& v = msg ? *msg : in[i];
-      axpy(acc, v, static_cast<float>(w(i, j)));
+    if (complete) {
+      // Full participation: the exact historical accumulation order, so runs
+      // with every fault knob at zero stay bit-identical to pre-fault code.
+      axpy(acc, in[i], static_cast<float>(w(i, i)));
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        axpy(acc, *got[k], static_cast<float>(w(i, nbrs[k])));
+      }
+    } else {
+      // Degrade: renormalize this row of W over self + reachable neighbors
+      // (Eqs. 24-25 restricted to the surviving support), keeping the mixing
+      // step an average — weights still sum to 1 — instead of silently
+      // shrinking toward whatever arrived.
+      double wsum = w(i, i);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        if (got[k]) wsum += w(i, nbrs[k]);
+      }
+      if (wsum <= 0.0) {
+        acc = in[i];  // degenerate row: keep own value
+      } else {
+        axpy(acc, in[i], static_cast<float>(w(i, i) / wsum));
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          if (got[k]) axpy(acc, *got[k], static_cast<float>(w(i, nbrs[k]) / wsum));
+        }
+      }
+      renorm[i] = 1;
     }
     out[i] = std::move(acc);
   });
+  for (unsigned char r : renorm) fault_stats_.mix_renormalized += r;
   return out;
 }
 
@@ -144,6 +216,11 @@ std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t roun
     m.test_accuracy = last_acc;
     m.messages = alg.network().messages_sent();
     m.bytes = alg.network().bytes_sent();
+    m.dropped = alg.network().messages_dropped();
+    m.delayed = alg.network().messages_delayed();
+    m.offline = alg.fault_stats().offline_agents;
+    m.stale_reused = alg.fault_stats().stale_reused;
+    m.fallbacks = alg.fault_stats().self_fallbacks;
     m.elapsed_s = watch.elapsed_seconds();
     series.push_back(m);
   }

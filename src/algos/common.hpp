@@ -55,8 +55,18 @@ struct Env {
   const std::vector<std::vector<std::size_t>>* partition = nullptr;
   HyperParams hp;
   std::uint64_t seed = 1;
-  double drop_prob = 0.0;  ///< link-loss fault injection
+  double drop_prob = 0.0;  ///< legacy alias for faults.drop_prob
   const compress::Compressor* compressor = nullptr;  ///< optional lossy channel
+  sim::FaultPlan faults;  ///< S-FAULT: drop/delay/churn/staleness injection
+};
+
+/// Per-round graceful-degradation accounting (S-FAULT), reset at the top of
+/// every round and snapshotted by run_with_metrics into the CSV.
+struct FaultRoundStats {
+  std::size_t offline_agents = 0;   ///< agents churned out this round
+  std::size_t mix_renormalized = 0; ///< mixing rows renormalized over arrivals
+  std::size_t stale_reused = 0;     ///< cached cross-gradients substituted
+  std::size_t self_fallbacks = 0;   ///< agents that fell back to self-gradient
 };
 
 class Algorithm {
@@ -68,8 +78,12 @@ class Algorithm {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Execute one synchronous communication round (1-indexed t).
-  virtual void run_round(std::size_t t) = 0;
+  /// Execute one synchronous communication round (1-indexed t). Template
+  /// method: advances the network round clock (maturing delayed messages into
+  /// absorb_late), refreshes the churn activity mask, runs the algorithm's
+  /// round_impl, then clears the mailboxes — a non-zero leftover is a
+  /// protocol bug, counted in unread_cleared() and asserted in debug builds.
+  void run_round(std::size_t t);
 
   [[nodiscard]] std::size_t num_agents() const { return models_.size(); }
   [[nodiscard]] const std::vector<std::vector<float>>& models() const { return models_; }
@@ -89,7 +103,31 @@ class Algorithm {
   [[nodiscard]] const obs::PhaseTimings& phase_timings() const { return phases_; }
   void reset_phase_timings() { phases_ = obs::PhaseTimings{}; }
 
+  /// Is agent i online for the round most recently started? (Always true
+  /// without churn.) Offline agents freeze: no compute, no traffic.
+  [[nodiscard]] bool agent_active(std::size_t i) const { return active_[i] != 0; }
+
+  /// Degradation accounting for the round most recently run.
+  [[nodiscard]] const FaultRoundStats& fault_stats() const { return fault_stats_; }
+
+  /// Total mailbox messages a round_impl left unread (protocol-bug detector;
+  /// always 0 for a correct protocol, faulted or not).
+  [[nodiscard]] std::size_t unread_cleared() const { return unread_cleared_; }
+
  protected:
+  /// The algorithm-specific body of one round, called by run_round() after
+  /// fault bookkeeping. Implementations should skip compute for agents where
+  /// !active(i) (mix_vectors already freezes them).
+  virtual void round_impl(std::size_t t) = 0;
+
+  /// Hook for delayed messages that matured at the top of this round, in
+  /// deterministic (src, dst, tag, edge index) order. Default: discard them
+  /// (too late for protocols without a staleness story); Pdsl overrides to
+  /// feed its cross-gradient staleness cache.
+  virtual void absorb_late(std::vector<sim::LateMessage> late);
+
+  [[nodiscard]] bool active(std::size_t i) const { return active_[i] != 0; }
+
   [[nodiscard]] double w(std::size_t i, std::size_t j) const { return (*env_.mixing)(i, j); }
   [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i) const {
     return env_.topo->neighbors(i);
@@ -116,6 +154,13 @@ class Algorithm {
   std::vector<std::vector<float>> models_;  ///< x_i, flat
   std::vector<Rng> agent_rngs_;             ///< per-agent noise streams
   obs::PhaseTimings phases_;                ///< since last reset_phase_timings()
+  FaultRoundStats fault_stats_;             ///< reset at the top of each round
+  std::vector<unsigned char> active_;       ///< churn mask for the current round
+
+ private:
+  void refresh_active(std::size_t t);
+
+  std::size_t unread_cleared_ = 0;
 };
 
 struct MetricsOptions {

@@ -12,7 +12,7 @@ DpCga::DpCga(const Env& env) : Algorithm(env) {
   momentum_.assign(num_agents(), std::vector<float>(models_[0].size(), 0.0f));
 }
 
-void DpCga::run_round(std::size_t t) {
+void DpCga::round_impl(std::size_t t) {
   draw_all_batches();
   const std::size_t m = num_agents();
   const std::string model_tag = "x@" + std::to_string(t);
@@ -24,9 +24,11 @@ void DpCga::run_round(std::size_t t) {
   {
     auto timer = phase(obs::Phase::kCrossGrad);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) return;  // churned out: no traffic
       for (std::size_t j : neighbors(i)) net_.send(i, j, model_tag, models_[i]);
     });
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) return;
       for (std::size_t j : neighbors(i)) {
         auto xj = net_.receive(i, j, model_tag);
         if (!xj) continue;  // dropped link: owner falls back to remaining grads
@@ -44,6 +46,7 @@ void DpCga::run_round(std::size_t t) {
   {
     auto timer = phase(obs::Phase::kAggregate);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) return;  // directions[i] stays empty; update skipped below
       std::vector<std::vector<float>> bundle;
       bundle.push_back(dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
                                      env_.hp.sigma, agent_rngs_[i]));
@@ -62,6 +65,7 @@ void DpCga::run_round(std::size_t t) {
   auto timer = phase(obs::Phase::kAggregate);
   const auto a = static_cast<float>(env_.hp.alpha);
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+    if (!active(i)) return;  // churned out: model and momentum frozen
     auto& u = momentum_[i];
     for (std::size_t k = 0; k < u.size(); ++k) u[k] = a * u[k] + directions[i][k];
     axpy(mixed[i], u, static_cast<float>(-env_.hp.gamma));

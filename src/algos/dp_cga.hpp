@@ -16,7 +16,7 @@ class DpCga final : public Algorithm {
  public:
   explicit DpCga(const Env& env);
   [[nodiscard]] std::string name() const override { return "DP-CGA"; }
-  void run_round(std::size_t t) override;
+  void round_impl(std::size_t t) override;
 
   /// Last round's QP iterations (observability hook for tests/benches).
   [[nodiscard]] std::size_t last_qp_iterations() const { return last_qp_iters_; }

@@ -11,7 +11,7 @@ class DpDpsgd final : public Algorithm {
  public:
   explicit DpDpsgd(const Env& env) : Algorithm(env) {}
   [[nodiscard]] std::string name() const override { return "DP-DPSGD"; }
-  void run_round(std::size_t t) override;
+  void round_impl(std::size_t t) override;
 };
 
 }  // namespace pdsl::algos

@@ -14,7 +14,7 @@ DpNetFleet::DpNetFleet(const Env& env) : Algorithm(env) {
   prev_grad_.assign(num_agents(), std::vector<float>(d, 0.0f));
 }
 
-void DpNetFleet::run_round(std::size_t t) {
+void DpNetFleet::round_impl(std::size_t t) {
   const std::size_t m = num_agents();
 
   // Initialize the tracker with the first privatized local gradients: after
@@ -25,6 +25,7 @@ void DpNetFleet::run_round(std::size_t t) {
     auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) return;  // tracker stays 0 until the agent comes back
       prev_grad_[i] = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
                                     env_.hp.sigma, agent_rngs_[i]);
       tracker_[i] = prev_grad_[i];
@@ -37,6 +38,7 @@ void DpNetFleet::run_round(std::size_t t) {
     auto timer = phase(obs::Phase::kAggregate);
     const std::size_t steps = std::max<std::size_t>(1, env_.hp.local_steps);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) return;
       for (std::size_t k = 0; k + 1 < steps; ++k) {
         axpy(models_[i], tracker_[i], static_cast<float>(-env_.hp.gamma));
       }
@@ -55,6 +57,7 @@ void DpNetFleet::run_round(std::size_t t) {
   auto timer = phase(obs::Phase::kLocalGrad);
   draw_all_batches();
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+    if (!active(i)) return;  // churned out: tracker, prev grad and model frozen
     auto g = dp::privatize(workers_[i].gradient(mixed_model[i]), env_.hp.clip, env_.hp.sigma,
                            agent_rngs_[i]);
     auto& y = mixed_tracker[i];

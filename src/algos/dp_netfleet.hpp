@@ -19,7 +19,7 @@ class DpNetFleet final : public Algorithm {
  public:
   explicit DpNetFleet(const Env& env);
   [[nodiscard]] std::string name() const override { return "DP-NET-FLEET"; }
-  void run_round(std::size_t t) override;
+  void round_impl(std::size_t t) override;
 
  private:
   std::vector<std::vector<float>> tracker_;    ///< y_i

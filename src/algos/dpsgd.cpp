@@ -5,18 +5,20 @@
 
 namespace pdsl::algos {
 
-void DPSGD::run_round(std::size_t t) {
+void DPSGD::round_impl(std::size_t t) {
   const std::size_t m = num_agents();
   std::vector<std::vector<float>> grads(m);
   {
     auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
-    runtime::parallel_for(0, m, 1,
-                          [&](std::size_t i) { grads[i] = workers_[i].gradient(models_[i]); });
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (active(i)) grads[i] = workers_[i].gradient(models_[i]);
+    });
   }
   auto mixed = mix_vectors(models_, "x@" + std::to_string(t));
   auto timer = phase(obs::Phase::kAggregate);
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+    if (!active(i)) return;  // churned out: model frozen this round
     axpy(mixed[i], grads[i], static_cast<float>(-env_.hp.gamma));
     models_[i] = std::move(mixed[i]);
   });
@@ -26,19 +28,21 @@ DMSGD::DMSGD(const Env& env) : Algorithm(env) {
   momentum_.assign(num_agents(), std::vector<float>(models_[0].size(), 0.0f));
 }
 
-void DMSGD::run_round(std::size_t t) {
+void DMSGD::round_impl(std::size_t t) {
   const std::size_t m = num_agents();
   const auto a = static_cast<float>(env_.hp.alpha);
   std::vector<std::vector<float>> grads(m);
   {
     auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
-    runtime::parallel_for(0, m, 1,
-                          [&](std::size_t i) { grads[i] = workers_[i].gradient(models_[i]); });
+    runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (active(i)) grads[i] = workers_[i].gradient(models_[i]);
+    });
   }
   auto mixed = mix_vectors(models_, "x@" + std::to_string(t));
   auto timer = phase(obs::Phase::kAggregate);
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+    if (!active(i)) return;  // churned out: model and momentum frozen
     auto& u = momentum_[i];
     for (std::size_t k = 0; k < u.size(); ++k) u[k] = a * u[k] + grads[i][k];
     axpy(mixed[i], u, static_cast<float>(-env_.hp.gamma));

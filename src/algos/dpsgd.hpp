@@ -12,7 +12,7 @@ class DPSGD final : public Algorithm {
  public:
   explicit DPSGD(const Env& env) : Algorithm(env) {}
   [[nodiscard]] std::string name() const override { return "DPSGD"; }
-  void run_round(std::size_t t) override;
+  void round_impl(std::size_t t) override;
 };
 
 /// DMSGD round: u_i <- alpha u_i + g_i; x_i <- sum_j w_ij x_j - gamma u_i.
@@ -20,7 +20,7 @@ class DMSGD final : public Algorithm {
  public:
   explicit DMSGD(const Env& env);
   [[nodiscard]] std::string name() const override { return "DMSGD"; }
-  void run_round(std::size_t t) override;
+  void round_impl(std::size_t t) override;
 
  private:
   std::vector<std::vector<float>> momentum_;

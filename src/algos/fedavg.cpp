@@ -16,7 +16,7 @@ FedAvg::FedAvg(const Env& env) : Algorithm(env) {
   for (auto& w : shard_weights_) w /= total;
 }
 
-void FedAvg::run_round(std::size_t /*t*/) {
+void FedAvg::round_impl(std::size_t /*t*/) {
   const std::size_t m = num_agents();
   const auto steps = std::max<std::size_t>(1, env_.hp.local_steps);
 
@@ -24,6 +24,7 @@ void FedAvg::run_round(std::size_t /*t*/) {
   {
     auto timer = phase(obs::Phase::kLocalGrad);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) return;  // churned out: no local steps this round
       for (std::size_t k = 0; k < steps; ++k) {
         workers_[i].draw_batch();
         const auto g = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
@@ -33,14 +34,35 @@ void FedAvg::run_round(std::size_t /*t*/) {
     });
   }
 
-  // Server phase: shard-weighted average, redistributed to everyone.
+  // Server phase: shard-weighted average over participants, redistributed to
+  // them. Full participation takes the exact historical path (no renormalizing
+  // division), so zero-fault runs stay bit-identical.
   auto timer = phase(obs::Phase::kAggregate);
   std::vector<const std::vector<float>*> ptrs;
+  std::vector<double> weights;
   ptrs.reserve(m);
-  for (const auto& x : models_) ptrs.push_back(&x);
-  const auto global = weighted_sum(ptrs, shard_weights_);
+  weights.reserve(m);
+  double wsum = 0.0;
+  bool all_active = true;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!active(i)) {
+      all_active = false;
+      continue;
+    }
+    ptrs.push_back(&models_[i]);
+    weights.push_back(shard_weights_[i]);
+    wsum += shard_weights_[i];
+  }
+  if (ptrs.empty()) return;  // everyone offline: nothing to average
+  if (all_active) {
+    weights = shard_weights_;
+  } else {
+    for (auto& w : weights) w /= wsum;  // renormalize over participants
+  }
+  const auto global = weighted_sum(ptrs, weights);
   const std::size_t payload = global.size() * sizeof(float);
   for (std::size_t i = 0; i < m; ++i) {
+    if (!active(i)) continue;  // offline agents keep their stale model
     models_[i] = global;
     server_messages_ += 2;           // upload + download
     server_bytes_ += 2 * payload;

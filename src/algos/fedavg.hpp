@@ -17,7 +17,7 @@ class FedAvg final : public Algorithm {
   [[nodiscard]] std::string name() const override {
     return env_.hp.sigma > 0.0 ? "DP-FEDAVG" : "FEDAVG";
   }
-  void run_round(std::size_t t) override;
+  void round_impl(std::size_t t) override;
 
   [[nodiscard]] std::size_t server_messages() const { return server_messages_; }
   [[nodiscard]] std::size_t server_bytes() const { return server_bytes_; }

@@ -6,13 +6,14 @@
 
 namespace pdsl::algos {
 
-void Muffliato::run_round(std::size_t t) {
+void Muffliato::round_impl(std::size_t t) {
   const std::size_t m = num_agents();
   // Local step with clipped gradient, then noise injection on the shared value.
   {
     auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) return;  // churned out: no local step, no noise draw
       auto g = workers_[i].gradient(models_[i]);
       dp::clip_l2(g, env_.hp.clip);
       axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));

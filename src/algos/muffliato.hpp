@@ -12,7 +12,7 @@ class Muffliato final : public Algorithm {
  public:
   explicit Muffliato(const Env& env) : Algorithm(env) {}
   [[nodiscard]] std::string name() const override { return "MUFFLIATO"; }
-  void run_round(std::size_t t) override;
+  void round_impl(std::size_t t) override;
 };
 
 }  // namespace pdsl::algos

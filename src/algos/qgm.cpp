@@ -11,7 +11,7 @@ DpQgm::DpQgm(const Env& env) : Algorithm(env) {
   prev_model_ = models_;
 }
 
-void DpQgm::run_round(std::size_t t) {
+void DpQgm::round_impl(std::size_t t) {
   draw_all_batches();
   const std::size_t m = num_agents();
   const auto beta = static_cast<float>(env_.hp.alpha);  // reuse alpha as QGM's beta
@@ -21,6 +21,7 @@ void DpQgm::run_round(std::size_t t) {
   {
     auto timer = phase(obs::Phase::kLocalGrad);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) return;
       grads[i] = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
                                agent_rngs_[i]);
     });
@@ -28,6 +29,7 @@ void DpQgm::run_round(std::size_t t) {
   auto mixed = mix_vectors(models_, "x@" + std::to_string(t));
   auto timer = phase(obs::Phase::kAggregate);
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+    if (!active(i)) return;  // churned out: model, momentum, prev model frozen
     // Quasi-global momentum from the displacement of the *previous* round.
     auto& mbuf = momentum_[i];
     for (std::size_t k = 0; k < mbuf.size(); ++k) {

@@ -16,7 +16,7 @@ class DpQgm final : public Algorithm {
  public:
   explicit DpQgm(const Env& env);
   [[nodiscard]] std::string name() const override { return "DP-QGM"; }
-  void run_round(std::size_t t) override;
+  void round_impl(std::size_t t) override;
 
  private:
   std::vector<std::vector<float>> momentum_;    ///< m_i

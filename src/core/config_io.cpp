@@ -3,6 +3,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "sim/faults.hpp"
+
 namespace pdsl::core {
 
 json::Value config_to_json(const ExperimentConfig& cfg) {
@@ -43,6 +45,7 @@ json::Value config_to_json(const ExperimentConfig& cfg) {
   o["backend"] = cfg.backend;
   o["seed"] = cfg.seed;
   o["drop_prob"] = cfg.drop_prob;
+  o["faults"] = sim::fault_plan_to_json(cfg.faults);
   o["compression"] = cfg.compression;
   o["test_subsample"] = cfg.metrics.test_subsample;
   o["eval_every"] = cfg.metrics.eval_every;
@@ -61,8 +64,8 @@ ExperimentConfig config_from_json(const json::Value& v) {
       "sigma",      "batch",     "shapley_permutations", "shapley_method",
       "validation_batch", "gossip_steps", "local_steps", "sigma_mode",
       "noise_scale", "epsilon",  "delta",     "phi_hat_min",   "threads",
-      "backend",    "seed",      "drop_prob",  "compression", "test_subsample", "eval_every",
-      "profile",    "trace_out"};
+      "backend",    "seed",      "drop_prob",  "faults", "compression", "test_subsample",
+      "eval_every", "profile",   "trace_out"};
   for (const auto& [key, value] : obj) {
     if (known.find(key) == known.end()) {
       throw std::invalid_argument("config_from_json: unknown key '" + key + "'");
@@ -115,6 +118,7 @@ ExperimentConfig config_from_json(const json::Value& v) {
   str("backend", cfg.backend);
   if (v.contains("seed")) cfg.seed = static_cast<std::uint64_t>(v.at("seed").as_int());
   num("drop_prob", cfg.drop_prob);
+  if (v.contains("faults")) cfg.faults = sim::fault_plan_from_json(v.at("faults"));
   str("compression", cfg.compression);
   idx("test_subsample", cfg.metrics.test_subsample);
   idx("eval_every", cfg.metrics.eval_every);
@@ -139,6 +143,8 @@ json::Value result_to_json(const ExperimentResult& res) {
   o["model_dim"] = res.model_dim;
   o["messages"] = res.messages;
   o["bytes"] = res.bytes;
+  o["dropped"] = res.dropped;
+  o["delayed"] = res.delayed;
   json::Object phases;
   phases["local_grad_s"] = res.phase_totals.local_grad_s;
   phases["crossgrad_s"] = res.phase_totals.crossgrad_s;

@@ -176,6 +176,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   env.hp = hp;
   env.seed = cfg.seed;
   env.drop_prob = cfg.drop_prob;
+  env.faults = cfg.faults;
+  env.faults.validate();
   const auto compressor = compress::make_compressor(cfg.compression);
   if (cfg.compression != "none" && !cfg.compression.empty()) env.compressor = compressor.get();
 
@@ -198,6 +200,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.model_dim = model_template.num_params();
   res.messages = alg->network().messages_sent();
   res.bytes = alg->network().bytes_sent();
+  res.dropped = alg->network().messages_dropped();
+  res.delayed = alg->network().messages_delayed();
   res.average_model = alg->average_model();
   for (const auto& rm : series) res.phase_totals += rm.phases;
   res.series = std::move(series);

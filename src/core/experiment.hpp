@@ -73,7 +73,10 @@ struct ExperimentConfig {
   std::string backend;
 
   std::uint64_t seed = 1;
-  double drop_prob = 0.0;
+  double drop_prob = 0.0;  ///< legacy alias for faults.drop_prob
+  /// S-FAULT: deterministic drop/delay/churn injection plus the staleness
+  /// bound. drop_prob above is folded in when faults.drop_prob is 0.
+  sim::FaultPlan faults;
   /// Lossy channel compression spec: "none", "topk:<fraction>", "quant:<bits>"
   /// (extension experiment; see src/compress/).
   std::string compression = "none";
@@ -99,6 +102,8 @@ struct ExperimentResult {
   std::size_t model_dim = 0;
   std::size_t messages = 0;
   std::size_t bytes = 0;
+  std::size_t dropped = 0;           ///< messages lost to faults (drops + churn)
+  std::size_t delayed = 0;           ///< messages that arrived late
   std::vector<float> average_model;  ///< consensus model after the last round
   obs::PhaseTimings phase_totals;    ///< per-phase seconds summed over rounds
 };

@@ -27,6 +27,30 @@ Pdsl::Pdsl(const algos::Env& env, Options options)
   for (std::size_t i = 0; i < num_agents(); ++i) shapley_rngs_.push_back(shapley_root.split(i));
   last_phi_.assign(num_agents(), {});
   last_pi_.assign(num_agents(), {});
+  xgrad_cache_.resize(num_agents());
+}
+
+void Pdsl::absorb_late(std::vector<sim::LateMessage> late) {
+  // Runs sequentially at the top of a round (before any parallel phase), so
+  // plain writes into the per-agent caches are safe. Only cross-gradients are
+  // worth keeping — a stale model/momentum/x-hat payload has no consumer —
+  // and only when the staleness bound allows reuse at all.
+  const std::size_t bound = net_.faults().staleness_rounds;
+  std::size_t discarded = 0;
+  for (auto& msg : late) {
+    if (bound == 0 || msg.tag.rfind("xg@", 0) != 0) {
+      ++discarded;
+      continue;
+    }
+    CachedXGrad& slot = xgrad_cache_[msg.dst][msg.src];
+    if (slot.grad.empty() || slot.round <= msg.sent_round) {
+      slot.grad = std::move(msg.payload);
+      slot.round = msg.sent_round;
+    }
+  }
+  if (discarded != 0) {
+    obs::MetricsRegistry::global().counter("net.late_discarded").add(discarded);
+  }
 }
 
 sim::FixedBatch Pdsl::draw_validation_batch() {
@@ -53,8 +77,9 @@ sim::FixedBatch Pdsl::draw_validation_batch() {
 // (coalition-eval counts, the phi_hat minimum) go through per-agent slots and
 // are folded sequentially after the barrier so no float/int accumulation
 // order depends on scheduling.
-void Pdsl::run_round(std::size_t t) {
+void Pdsl::round_impl(std::size_t t) {
   const std::size_t m = num_agents();
+  const sim::FaultPlan& plan = net_.faults();
   const std::string model_tag = "x@" + std::to_string(t);
   const std::string xgrad_tag = "xg@" + std::to_string(t);
   const std::string uhat_tag = "u@" + std::to_string(t);
@@ -66,6 +91,7 @@ void Pdsl::run_round(std::size_t t) {
     auto timer = phase(obs::Phase::kLocalGrad);
     draw_all_batches();
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) return;  // churned out: frozen, silent
       own_grad[i] =
           dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
                         agent_rngs_[i]);
@@ -77,10 +103,11 @@ void Pdsl::run_round(std::size_t t) {
   {
     auto timer = phase(obs::Phase::kCrossGrad);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) return;
       const bool byzantine = i < options_.byzantine_agents;
       for (std::size_t j : neighbors(i)) {
         auto xj = net_.receive(i, j, model_tag);
-        if (!xj) continue;  // dropped link; j falls back to its local gradient
+        if (!xj) continue;  // dropped link; j degrades (renormalize/stale/self)
         auto g = dp::privatize(workers_[i].gradient(*xj), env_.hp.clip, env_.hp.sigma,
                                agent_rngs_[i]);
         if (byzantine) {
@@ -96,33 +123,78 @@ void Pdsl::run_round(std::size_t t) {
   const sim::FixedBatch val = draw_validation_batch();
 
   // ---- Lines 13-20: virtual models, Shapley weights ----
-  std::vector<std::vector<std::vector<float>>> ghat(m);  // \hat g_{j,i} per agent
-  std::vector<std::vector<double>> pi(m);
+  // Under faults each agent plays the Shapley game over the *present* subset
+  // of its closed neighborhood: members whose perturbed cross-gradient is
+  // available fresh, from the bounded-staleness cache, or (always) itself.
+  // With every neighbor present this is exactly the historical full-hood
+  // computation, so zero-fault runs stay bit-identical.
+  std::vector<std::vector<std::vector<float>>> ghat(m);  // \hat g_{j,i}, present-aligned
+  std::vector<std::vector<double>> pi(m);                // present-aligned
   std::vector<std::size_t> agent_evals(m, 0);
   std::vector<double> agent_phi_min(m, 1.0);
+  std::vector<std::size_t> agent_stale(m, 0);      // slot-written, folded below
+  std::vector<unsigned char> agent_fallback(m, 0);
   {
     auto timer = phase(obs::Phase::kShapley);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) return;  // churned out: no update this round
       PDSL_SPAN("shapley_eval", i, "shapley");
       const auto hood = closed_neighborhood(i);  // M_i, ascending, includes i
       const std::size_t n = hood.size();
+      auto& cache = xgrad_cache_[i];
 
-      // Received perturbed gradients \hat g_{j,i}, aligned with `hood`.
-      ghat[i].resize(n);
+      // Gather \hat g_{j,i} for every reachable member, remembering which
+      // hood positions made it.
+      std::vector<std::size_t> present;  // indices into hood, ascending
+      present.reserve(n);
+      ghat[i].reserve(n);
       for (std::size_t k = 0; k < n; ++k) {
         const std::size_t j = hood[k];
         if (j == i) {
-          ghat[i][k] = own_grad[i];
-        } else if (auto g = net_.receive(i, j, xgrad_tag)) {
-          ghat[i][k] = std::move(*g);
-        } else {
-          ghat[i][k] = own_grad[i];  // self-substitution under message loss
+          present.push_back(k);
+          ghat[i].push_back(own_grad[i]);
+          continue;
         }
+        if (auto g = net_.receive(i, j, xgrad_tag)) {
+          if (plan.staleness_rounds > 0) {
+            cache[j] = CachedXGrad{*g, t};  // refresh the staleness cache
+          }
+          present.push_back(k);
+          ghat[i].push_back(std::move(*g));
+          continue;
+        }
+        if (plan.staleness_rounds > 0) {
+          const auto it = cache.find(j);
+          if (it != cache.end()) {
+            if (t - it->second.round <= plan.staleness_rounds) {
+              present.push_back(k);
+              ghat[i].push_back(it->second.grad);
+              ++agent_stale[i];
+              continue;
+            }
+            cache.erase(it);  // expired: prune so the cache stays bounded
+          }
+        }
+        // Absent: excluded from this round's game and aggregation.
       }
 
+      last_phi_[i].assign(n, 0.0);
+      last_pi_[i].assign(n, 0.0);
+
+      if (present.size() == 1) {
+        // Every neighbor failed: fall back to the pure self-gradient step
+        // (g_bar = own gradient, no 1/w amplification).
+        pi[i] = {1.0};
+        last_phi_[i][present[0]] = 1.0;
+        last_pi_[i][present[0]] = 1.0;
+        agent_fallback[i] = 1;
+        return;
+      }
+      const std::size_t p = present.size();
+
       // Eq. 15: one-step virtual models x_{i,j} = x_i - gamma * ghat_{j,i}.
-      std::vector<std::vector<float>> virtual_models(n);
-      for (std::size_t k = 0; k < n; ++k) {
+      std::vector<std::vector<float>> virtual_models(p);
+      for (std::size_t k = 0; k < p; ++k) {
         virtual_models[k] = models_[i];
         axpy(virtual_models[k], ghat[i][k], static_cast<float>(-env_.hp.gamma));
       }
@@ -132,7 +204,7 @@ void Pdsl::run_round(std::size_t t) {
       // Agent i scores coalitions in its own worker's model workspace — idle
       // between the gradient phases — so no two agents share a forward buffer.
       nn::Model& ws = workers_[i].workspace();
-      shapley::CachedGame game(n, [&](const std::vector<std::size_t>& coalition) {
+      shapley::CachedGame game(p, [&](const std::vector<std::size_t>& coalition) {
         std::vector<const std::vector<float>*> members;
         members.reserve(coalition.size());
         for (std::size_t k : coalition) members.push_back(&virtual_models[k]);
@@ -146,8 +218,8 @@ void Pdsl::run_round(std::size_t t) {
       const std::string& method =
           env_.hp.exact_shapley ? std::string("exact") : env_.hp.shapley_method;
       if (options_.uniform_weights) {
-        phi.assign(n, 1.0);
-      } else if (method == "exact" && n <= 20) {
+        phi.assign(p, 1.0);
+      } else if (method == "exact" && p <= 20) {
         phi = shapley::exact_shapley(game);
       } else if (method == "tmc") {
         shapley::TruncatedMcOptions topts;
@@ -165,30 +237,46 @@ void Pdsl::run_round(std::size_t t) {
       agent_evals[i] = game.evaluations();
 
       // Eq. 19 normalization (or the robust ReLU variant), Eq. 20 weights.
+      // Restricting to `present` renormalizes pi over the survivors: the
+      // shares already sum to 1 over the members that arrived.
       const std::vector<double> phi_hat =
           options_.uniform_weights
               ? phi
               : (options_.relu_normalization ? shapley::relu_normalize(phi)
                                              : shapley::minmax_normalize(phi));
-      std::vector<double> w_row(n);
-      for (std::size_t k = 0; k < n; ++k) w_row[k] = w(i, hood[k]);
+      std::vector<double> w_row(p);
+      for (std::size_t k = 0; k < p; ++k) w_row[k] = w(i, hood[present[k]]);
       pi[i] = shapley::aggregation_weights(phi_hat, w_row);
       for (double share : shapley::normalized_shares(phi_hat)) {
         if (share > 0.0) agent_phi_min[i] = std::min(agent_phi_min[i], share);
       }
-      last_phi_[i] = std::move(phi);
-      last_pi_[i] = pi[i];
+      for (std::size_t k = 0; k < p; ++k) {
+        last_phi_[i][present[k]] = phi[k];
+        last_pi_[i][present[k]] = pi[i][k];
+      }
     });
 
     // Sequential fold of the per-agent reductions (scheduling-independent).
     last_evals_ = 0;
+    std::size_t stale = 0;
+    std::size_t fallbacks = 0;
     for (std::size_t i = 0; i < m; ++i) {
       last_evals_ += agent_evals[i];
       observed_phi_hat_min_ = std::min(observed_phi_hat_min_, agent_phi_min[i]);
+      stale += agent_stale[i];
+      fallbacks += agent_fallback[i];
     }
     static obs::Counter& evals =
         obs::MetricsRegistry::global().counter("shapley.coalition_evals");
     evals.add(last_evals_);
+    if (stale != 0) {
+      fault_stats_.stale_reused += stale;
+      obs::MetricsRegistry::global().counter("pdsl.stale_reused").add(stale);
+    }
+    if (fallbacks != 0) {
+      fault_stats_.self_fallbacks += fallbacks;
+      obs::MetricsRegistry::global().counter("pdsl.self_fallbacks").add(fallbacks);
+    }
   }
 
   // ---- Eqs. 21-23: aggregation, momentum step ----
@@ -197,6 +285,12 @@ void Pdsl::run_round(std::size_t t) {
   {
     auto timer = phase(obs::Phase::kAggregate);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
+      if (!active(i)) {
+        // Frozen: gossip passes the current state through unchanged.
+        u_hat[i] = momentum_[i];
+        x_hat[i] = models_[i];
+        return;
+      }
       // Eq. 21: weighted aggregate of the perturbed gradients.
       std::vector<const std::vector<float>*> gptrs;
       gptrs.reserve(ghat[i].size());

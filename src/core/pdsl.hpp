@@ -11,6 +11,8 @@
 //      aggregates the perturbed gradients (Eq. 21), takes a momentum step
 //      (Eqs. 22-23) and gossip-averages momentum and model (Eqs. 24-25).
 
+#include <map>
+
 #include "algos/common.hpp"
 #include "sim/evaluate.hpp"
 
@@ -53,12 +55,11 @@ class Pdsl final : public algos::Algorithm {
   [[nodiscard]] std::string name() const override {
     return options_.uniform_weights ? "PDSL-uniform" : "PDSL";
   }
-  void run_round(std::size_t t) override;
-
   /// ---- observability hooks (tests, ablation benches) ----
 
   /// Raw Shapley values from the last round; [agent][k] aligned with
-  /// closed_neighborhood(agent).
+  /// closed_neighborhood(agent). Under faults, neighbors whose
+  /// cross-gradient never arrived hold 0 (they were excluded from the game).
   [[nodiscard]] const std::vector<std::vector<double>>& last_shapley() const {
     return last_phi_;
   }
@@ -70,9 +71,26 @@ class Pdsl final : public algos::Algorithm {
   /// counterpart of Theorem 1's phi_hat_min).
   [[nodiscard]] double observed_phi_hat_min() const { return observed_phi_hat_min_; }
 
+ protected:
+  void round_impl(std::size_t t) override;
+
+  /// S-FAULT: matured delayed cross-gradients feed the staleness cache
+  /// (stamped with the round they were computed in); everything else is too
+  /// late to use and is discarded.
+  void absorb_late(std::vector<sim::LateMessage> late) override;
+
  private:
   /// Round-shared validation batch (same subsample of Q on every agent).
   sim::FixedBatch draw_validation_batch();
+
+  /// A neighbor's last successfully received cross-gradient, kept so a
+  /// missing fresh one can be substituted for up to
+  /// FaultPlan::staleness_rounds rounds (Eq. 21 with a bounded-staleness
+  /// relaxation). `round` is when the gradient was computed.
+  struct CachedXGrad {
+    std::vector<float> grad;
+    std::size_t round = 0;
+  };
 
   Options options_;
   std::vector<std::vector<float>> momentum_;  ///< u_i
@@ -84,6 +102,10 @@ class Pdsl final : public algos::Algorithm {
   std::vector<std::vector<double>> last_pi_;
   std::size_t last_evals_ = 0;
   double observed_phi_hat_min_ = 1.0;
+  /// xgrad_cache_[i][j]: agent i's cached cross-gradient from neighbor j.
+  /// Written only by agent i's phase body (slot discipline) or the sequential
+  /// absorb_late hook, so no synchronization is needed.
+  std::vector<std::map<std::size_t, CachedXGrad>> xgrad_cache_;
 };
 
 }  // namespace pdsl::core

@@ -1,0 +1,172 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace pdsl::sim {
+
+namespace {
+
+/// Uniform [0,1) from the top 53 bits of a splitmix64-mixed word.
+double hash_uniform(std::uint64_t x) {
+  return static_cast<double>(splitmix64(x) >> 11) * 0x1.0p-53;
+}
+
+/// Per-message word for directed edge (src,dst) and per-edge index. This is
+/// byte-for-byte the hash sim::Network always used for drop decisions; the
+/// delay/churn streams salt the seed so the three decision families are
+/// independent.
+std::uint64_t edge_message_hash(std::uint64_t seed, std::size_t src, std::size_t dst,
+                                std::uint64_t edge_index) {
+  return splitmix64(splitmix64(seed ^ (src + 1)) ^ ((dst + 1) * 0x9E3779B97F4A7C15ULL)) ^
+         edge_index;
+}
+
+constexpr std::uint64_t kDelaySalt = 0xDE1A7ED0C0FFEEULL;
+constexpr std::uint64_t kChurnSalt = 0xC4012ACE5ULL;
+
+void check_prob(double p, const char* name) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + name + " must be in [0,1)");
+  }
+}
+
+}  // namespace
+
+bool FaultPlan::any() const {
+  return drop_prob > 0.0 || !edge_rules.empty() || (delay_prob > 0.0 && delay_rounds > 0) ||
+         churn_prob > 0.0;
+}
+
+void FaultPlan::validate() const {
+  check_prob(drop_prob, "drop_prob");
+  check_prob(delay_prob, "delay_prob");
+  check_prob(churn_prob, "churn_prob");
+  if (churn_prob > 0.0 && churn_interval == 0) {
+    throw std::invalid_argument("FaultPlan: churn_interval must be >= 1");
+  }
+  for (const auto& r : edge_rules) {
+    if (r.drop_prob < 0.0 || r.drop_prob > 1.0) {
+      throw std::invalid_argument("FaultPlan: edge rule drop_prob must be in [0,1]");
+    }
+    if (r.until_round <= r.from_round) {
+      throw std::invalid_argument("FaultPlan: edge rule until_round must exceed from_round");
+    }
+  }
+}
+
+double FaultPlan::effective_drop_prob(std::size_t src, std::size_t dst,
+                                      std::size_t round) const {
+  double p = drop_prob;
+  for (const auto& r : edge_rules) {
+    if (r.applies(src, dst, round)) p = std::max(p, r.drop_prob);
+  }
+  return p;
+}
+
+bool FaultPlan::drop(std::size_t src, std::size_t dst, std::uint64_t edge_index,
+                     std::size_t round) const {
+  const double p = effective_drop_prob(src, dst, round);
+  if (p <= 0.0) return false;
+  return hash_uniform(edge_message_hash(seed, src, dst, edge_index)) < p;
+}
+
+std::size_t FaultPlan::delay(std::size_t src, std::size_t dst,
+                             std::uint64_t edge_index) const {
+  if (delay_prob <= 0.0 || delay_rounds == 0) return 0;
+  const std::uint64_t h =
+      splitmix64(edge_message_hash(seed ^ kDelaySalt, src, dst, edge_index));
+  if (hash_uniform(h) >= delay_prob) return 0;
+  // Second mix for the amount, so "is delayed" and "by how much" decorrelate.
+  return 1 + static_cast<std::size_t>(splitmix64(h ^ kDelaySalt) % delay_rounds);
+}
+
+bool FaultPlan::offline(std::size_t agent, std::size_t round) const {
+  if (churn_prob <= 0.0 || round == 0) return false;
+  const std::size_t interval = (round - 1) / std::max<std::size_t>(1, churn_interval);
+  const std::uint64_t h =
+      splitmix64(splitmix64(seed ^ kChurnSalt ^ (agent + 1)) ^
+                 (static_cast<std::uint64_t>(interval) + 1) * 0x9E3779B97F4A7C15ULL);
+  return hash_uniform(h) < churn_prob;
+}
+
+json::Value fault_plan_to_json(const FaultPlan& plan) {
+  json::Object o;
+  o["drop_prob"] = plan.drop_prob;
+  o["delay_prob"] = plan.delay_prob;
+  o["delay_rounds"] = plan.delay_rounds;
+  o["churn_prob"] = plan.churn_prob;
+  o["churn_interval"] = plan.churn_interval;
+  o["staleness_rounds"] = plan.staleness_rounds;
+  o["seed"] = static_cast<std::int64_t>(plan.seed);
+  if (!plan.edge_rules.empty()) {
+    json::Array edges;
+    for (const auto& r : plan.edge_rules) {
+      json::Object e;
+      e["src"] = r.src;
+      e["dst"] = r.dst;
+      e["drop_prob"] = r.drop_prob;
+      e["from_round"] = r.from_round;
+      if (r.until_round != kNoRoundLimit) e["until_round"] = r.until_round;
+      edges.push_back(json::Value(std::move(e)));
+    }
+    o["edges"] = json::Value(std::move(edges));
+  }
+  return json::Value(std::move(o));
+}
+
+FaultPlan fault_plan_from_json(const json::Value& v) {
+  static const std::set<std::string> known = {"drop_prob",     "delay_prob",
+                                              "delay_rounds",  "churn_prob",
+                                              "churn_interval", "staleness_rounds",
+                                              "seed",          "edges"};
+  static const std::set<std::string> edge_known = {"src", "dst", "drop_prob", "from_round",
+                                                   "until_round"};
+  for (const auto& [key, value] : v.as_object()) {
+    if (known.find(key) == known.end()) {
+      throw std::invalid_argument("fault_plan_from_json: unknown key '" + key + "'");
+    }
+  }
+  FaultPlan plan;
+  auto num = [&](const char* k, double& dst) {
+    if (v.contains(k)) dst = v.at(k).as_number();
+  };
+  auto idx = [&](const char* k, std::size_t& dst) {
+    if (v.contains(k)) dst = static_cast<std::size_t>(v.at(k).as_int());
+  };
+  num("drop_prob", plan.drop_prob);
+  num("delay_prob", plan.delay_prob);
+  idx("delay_rounds", plan.delay_rounds);
+  num("churn_prob", plan.churn_prob);
+  idx("churn_interval", plan.churn_interval);
+  idx("staleness_rounds", plan.staleness_rounds);
+  if (v.contains("seed")) plan.seed = static_cast<std::uint64_t>(v.at("seed").as_int());
+  if (v.contains("edges")) {
+    for (const auto& ev : v.at("edges").as_array()) {
+      for (const auto& [key, value] : ev.as_object()) {
+        if (edge_known.find(key) == edge_known.end()) {
+          throw std::invalid_argument("fault_plan_from_json: unknown edge key '" + key + "'");
+        }
+      }
+      EdgeFaultRule r;
+      r.src = static_cast<std::size_t>(ev.at("src").as_int());
+      r.dst = static_cast<std::size_t>(ev.at("dst").as_int());
+      if (ev.contains("drop_prob")) r.drop_prob = ev.at("drop_prob").as_number();
+      if (ev.contains("from_round")) {
+        r.from_round = static_cast<std::size_t>(ev.at("from_round").as_int());
+      }
+      if (ev.contains("until_round")) {
+        r.until_round = static_cast<std::size_t>(ev.at("until_round").as_int());
+      }
+      plan.edge_rules.push_back(r);
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace pdsl::sim

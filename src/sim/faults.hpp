@@ -1,0 +1,103 @@
+#pragma once
+// Deterministic fault injection (S-FAULT). A FaultPlan describes every fault
+// axis an experiment can turn on — link loss (global probability plus
+// per-edge scheduled rules), bounded message delay measured in rounds, and
+// agent churn (agents offline for whole round intervals) — together with the
+// consumer-side staleness bound that governs how long a cached cross-gradient
+// may substitute for a missing fresh one.
+//
+// Determinism contract (S-RT): every decision is a pure hash of
+// (seed, identity, index) — drop/delay hash (seed, src, dst, per-edge message
+// index), churn hashes (seed, agent, round-interval index). No shared RNG
+// stream is ever advanced, so the injected fault set is bit-identical at any
+// --threads width, across reruns with the same seed, and independent of the
+// order in which decisions are queried. The drop hash is exactly the one
+// sim::Network historically used for NetworkOptions::drop_prob, so legacy
+// drop-only configurations reproduce the same drop sets.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace pdsl::sim {
+
+/// Sentinel for "rule never expires".
+inline constexpr std::size_t kNoRoundLimit = static_cast<std::size_t>(-1);
+
+/// Per-edge drop override: directed edge src->dst drops with `drop_prob`
+/// during rounds [from_round, until_round) (1-indexed, until exclusive).
+/// Where a rule applies, the *larger* of rule and global probability wins.
+struct EdgeFaultRule {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double drop_prob = 1.0;
+  std::size_t from_round = 0;
+  std::size_t until_round = kNoRoundLimit;
+
+  [[nodiscard]] bool applies(std::size_t src_, std::size_t dst_, std::size_t round) const {
+    return src == src_ && dst == dst_ && round >= from_round && round < until_round;
+  }
+};
+
+struct FaultPlan {
+  /// Probability an inter-agent message is silently lost (self-sends are
+  /// never faulted).
+  double drop_prob = 0.0;
+  /// Per-edge scheduled overrides on top of drop_prob.
+  std::vector<EdgeFaultRule> edge_rules;
+
+  /// Probability a surviving inter-agent message is delayed; a delayed
+  /// payload surfaces on a later round, uniformly 1..delay_rounds late.
+  /// Both knobs must be set for delay to be active.
+  double delay_prob = 0.0;
+  std::size_t delay_rounds = 0;
+
+  /// Agent churn: per (agent, interval) the agent is offline with
+  /// churn_prob, where interval k covers rounds [1+k*churn_interval,
+  /// 1+(k+1)*churn_interval). Offline agents freeze (no compute, no traffic);
+  /// messages to/from them count as dropped.
+  double churn_prob = 0.0;
+  std::size_t churn_interval = 5;
+
+  /// Consumer-side degradation: a receiver may reuse the last cross-gradient
+  /// it got from a neighbor if it is at most this many rounds old (0 = never
+  /// reuse; fall straight through to renormalization / self-fallback).
+  std::size_t staleness_rounds = 0;
+
+  /// Seed for every hash decision; 0 = derive from the experiment seed
+  /// (Algorithm fills it in, preserving the legacy Network drop stream).
+  std::uint64_t seed = 0;
+
+  /// True if any *network-level* fault can fire (drop, delay, churn or an
+  /// edge rule). staleness_rounds alone injects nothing.
+  [[nodiscard]] bool any() const;
+
+  /// Throws std::invalid_argument on out-of-range knobs.
+  void validate() const;
+
+  /// Effective drop probability on directed edge src->dst at `round`.
+  [[nodiscard]] double effective_drop_prob(std::size_t src, std::size_t dst,
+                                           std::size_t round) const;
+
+  /// Should the edge_index-th message ever sent on src->dst be dropped?
+  [[nodiscard]] bool drop(std::size_t src, std::size_t dst, std::uint64_t edge_index,
+                          std::size_t round) const;
+
+  /// Rounds of delay for the edge_index-th message on src->dst: 0 = deliver
+  /// within the sending round, d >= 1 = surface d rounds later.
+  [[nodiscard]] std::size_t delay(std::size_t src, std::size_t dst,
+                                  std::uint64_t edge_index) const;
+
+  /// Is `agent` offline for the interval containing `round`?
+  [[nodiscard]] bool offline(std::size_t agent, std::size_t round) const;
+};
+
+/// Serialize every field (including defaults); `edges` only when non-empty.
+json::Value fault_plan_to_json(const FaultPlan& plan);
+
+/// Strict parse: unknown keys throw std::invalid_argument, as config_io does.
+FaultPlan fault_plan_from_json(const json::Value& v);
+
+}  // namespace pdsl::sim

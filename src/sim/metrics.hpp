@@ -23,6 +23,13 @@ struct RoundMetrics {
   double elapsed_s = 0.0;       ///< cumulative run wall time after this round
   double round_s = 0.0;         ///< wall time of this round's run_round alone
   obs::PhaseTimings phases;     ///< where round_s went (S-OBS breakdown)
+  // S-FAULT: dropped/delayed are cumulative network totals (like
+  // messages/bytes); the rest are this round's degradation events.
+  std::size_t dropped = 0;      ///< cumulative messages lost (drops + churn)
+  std::size_t delayed = 0;      ///< cumulative messages delayed in flight
+  std::size_t offline = 0;      ///< agents churned out this round
+  std::size_t stale_reused = 0; ///< cached cross-gradients substituted this round
+  std::size_t fallbacks = 0;    ///< self-gradient fallbacks this round
 };
 
 /// Mean over agents of ||x_i - mean_j x_j||.
@@ -32,8 +39,9 @@ double consensus_distance(const std::vector<std::vector<float>>& models);
 std::vector<float> average_model(const std::vector<std::vector<float>>& models);
 
 /// Write a metrics series to CSV (columns: round, avg_loss, test_accuracy,
-/// consensus, grad_norm, messages, bytes, elapsed_s, round_s, then one
-/// <phase>_s column per obs::Phase).
+/// consensus, grad_norm, messages, bytes, dropped, delayed, offline,
+/// stale_reused, fallbacks, elapsed_s, round_s, then one <phase>_s column per
+/// obs::Phase).
 void write_metrics_csv(const std::string& path, const std::string& run_label,
                        const std::vector<RoundMetrics>& series);
 

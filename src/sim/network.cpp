@@ -1,22 +1,46 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 
 namespace pdsl::sim {
 
-namespace {
-/// Uniform [0,1) from the top 53 bits of a splitmix64-mixed word.
-double hash_uniform(std::uint64_t x) {
-  return static_cast<double>(splitmix64(x) >> 11) * 0x1.0p-53;
-}
-}  // namespace
-
-Network::Network(const graph::Topology& topo, Options opts) : topo_(topo), opts_(opts) {
-  if (opts.drop_prob < 0.0 || opts.drop_prob >= 1.0) {
+Network::Network(const graph::Topology& topo, Options opts)
+    : topo_(topo), opts_(std::move(opts)) {
+  if (opts_.drop_prob < 0.0 || opts_.drop_prob >= 1.0) {
     throw std::invalid_argument("Network: drop_prob must be in [0,1)");
   }
+  // Fold the legacy scalar knobs into the plan so there is exactly one source
+  // of truth for fault decisions. Plan fields win when set; the fallback to
+  // opts_.seed keeps the historical drop stream for drop_prob-only configs.
+  if (opts_.faults.drop_prob == 0.0) opts_.faults.drop_prob = opts_.drop_prob;
+  if (opts_.faults.seed == 0) opts_.faults.seed = opts_.seed;
+  opts_.faults.validate();
+}
+
+std::vector<LateMessage> Network::begin_round(std::size_t t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = t;
+  std::vector<LateMessage> matured;
+  std::vector<Pending> still_pending;
+  std::vector<Pending> ready;
+  for (auto& p : pending_) {
+    (p.mature_round <= t ? ready : still_pending).push_back(std::move(p));
+  }
+  pending_ = std::move(still_pending);
+  // Concurrent senders insert into pending_ in schedule-dependent order; a
+  // total order over (src, dst, tag, per-edge index) restores determinism.
+  std::sort(ready.begin(), ready.end(), [](const Pending& a, const Pending& b) {
+    if (a.msg.src != b.msg.src) return a.msg.src < b.msg.src;
+    if (a.msg.dst != b.msg.dst) return a.msg.dst < b.msg.dst;
+    if (a.msg.tag != b.msg.tag) return a.msg.tag < b.msg.tag;
+    return a.edge_index < b.edge_index;
+  });
+  matured.reserve(ready.size());
+  for (auto& p : ready) matured.push_back(std::move(p.msg));
+  return matured;
 }
 
 bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
@@ -53,16 +77,33 @@ bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
     msgs.add(1);
     bytes.add(wire_bytes);
   }
-  if (src != dst && opts_.drop_prob > 0.0) {
+  if (src != dst) {
+    const FaultPlan& plan = opts_.faults;
+    // Churn: traffic to or from an offline agent is lost on the wire. The
+    // decision keys on the round clock, so algorithms that never call
+    // begin_round() (clock 0) see no churn.
+    if (plan.offline(src, clock_) || plan.offline(dst, clock_)) {
+      ++dropped_;
+      static obs::Counter& off = obs::MetricsRegistry::global().counter("net.offline_drops");
+      off.add(1);
+      return false;
+    }
     // Drop decision as a pure function of (seed, edge, per-edge index): the
     // same messages drop no matter how concurrent senders interleave, which
     // is what makes fault injection reproducible across --threads settings.
-    const std::uint64_t h =
-        splitmix64(splitmix64(opts_.seed ^ (src + 1)) ^ ((dst + 1) * 0x9E3779B97F4A7C15ULL)) ^
-        edge_index;
-    if (hash_uniform(h) < opts_.drop_prob) {
+    if (plan.drop(src, dst, edge_index, clock_)) {
       ++dropped_;
+      static obs::Counter& drops = obs::MetricsRegistry::global().counter("net.dropped");
+      drops.add(1);
       return false;
+    }
+    if (const std::size_t d = plan.delay(src, dst, edge_index); d > 0) {
+      ++delayed_;
+      static obs::Counter& late = obs::MetricsRegistry::global().counter("net.delayed");
+      late.add(1);
+      pending_.push_back(Pending{LateMessage{src, dst, tag, std::move(payload), clock_},
+                                 clock_ + d, edge_index});
+      return true;  // sent, just slow — it surfaces via a later begin_round()
     }
   }
   boxes_[Key{src, dst, tag}].push(std::move(payload));
@@ -96,9 +137,24 @@ std::size_t Network::messages_dropped() const {
   return dropped_;
 }
 
+std::size_t Network::messages_delayed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delayed_;
+}
+
+std::size_t Network::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
 std::size_t Network::bytes_sent() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bytes_;
+}
+
+std::size_t Network::round() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_;
 }
 
 std::vector<Network::EdgeTraffic> Network::edge_traffic() const {

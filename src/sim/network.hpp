@@ -3,17 +3,20 @@
 // between agents through send/receive on an edge of the topology — this keeps
 // implementations honest about what is communicated (and lets us count
 // messages/bytes, the "cost" axis of decentralized learning) even though
-// everything runs in one process. Optional loss injection models unreliable
-// links for the fault-tolerance tests.
+// everything runs in one process. Fault injection (S-FAULT) models unreliable
+// links (drops, per-edge schedules), slow links (bounded delay in rounds) and
+// agent churn, all driven by a deterministic FaultPlan.
 //
 // Thread-safety (S-RT): every public member is safe to call concurrently —
 // one mutex guards the mailboxes and all counters, so parallel per-agent
 // phases can send/receive without external locking. Determinism holds at any
 // execution width: each directed edge is written by exactly one agent per
 // phase (so per-mailbox FIFO order is fixed by that agent's own loop), and
-// drop decisions are a pure hash of (seed, src, dst, per-edge message index)
+// drop/delay/churn decisions are a pure hash of (seed, identity, index)
 // rather than draws from a shared sequential RNG stream, so the set of
-// dropped messages does not depend on the interleaving of senders.
+// faulted messages does not depend on the interleaving of senders.
+// begin_round() sorts matured delayed messages by (src, dst, tag, per-edge
+// index), erasing any trace of concurrent insertion order.
 
 #include <cstdint>
 #include <map>
@@ -27,17 +30,34 @@
 #include "common/rng.hpp"
 #include "compress/compressor.hpp"
 #include "graph/topology.hpp"
+#include "sim/faults.hpp"
 
 namespace pdsl::sim {
 
 struct NetworkOptions {
-  double drop_prob = 0.0;     ///< probability a message is silently lost
-  std::uint64_t seed = 7;     ///< for drop decisions
+  /// Legacy alias for faults.drop_prob (kept so existing call sites and
+  /// configs keep working); merged into `faults` by the constructor when
+  /// faults.drop_prob is unset.
+  double drop_prob = 0.0;
+  std::uint64_t seed = 7;  ///< fault decision seed (faults.seed = 0 uses this)
   bool allow_self_send = true;
   /// Optional lossy channel compression (borrowed; must outlive the
   /// Network). Applied to every inter-agent payload; bytes_sent() then
   /// counts wire bytes under the scheme instead of dense floats.
   const compress::Compressor* compressor = nullptr;
+  /// S-FAULT: deterministic drop/delay/churn injection.
+  FaultPlan faults;
+};
+
+/// A delayed payload that matured: begin_round() hands these back to the
+/// caller instead of injecting them into mailboxes, so mailboxes stay a
+/// strictly intra-round structure and clear() keeps catching protocol bugs.
+struct LateMessage {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::string tag;
+  std::vector<float> payload;
+  std::size_t sent_round = 0;
 };
 
 class Network {
@@ -46,28 +66,45 @@ class Network {
 
   explicit Network(const graph::Topology& topo, Options opts = {});
 
+  /// Advance the round clock to `t` (1-indexed) and collect every delayed
+  /// message that matures by round t, in deterministic (src, dst, tag,
+  /// per-edge index) order. Churn decisions for sends during round t are
+  /// evaluated against this clock.
+  std::vector<LateMessage> begin_round(std::size_t t);
+
   /// Enqueue a payload from src to dst under `tag`. Throws if (src,dst) is
   /// not an edge (or self without allow_self_send). Returns false if the
-  /// message was dropped by fault injection.
+  /// message was lost to fault injection (drop or an offline endpoint);
+  /// returns true for delayed messages — they were sent, they just surface
+  /// via a later begin_round().
   bool send(std::size_t src, std::size_t dst, const std::string& tag,
             std::vector<float> payload);
 
   /// Dequeue the oldest message from src to dst under `tag`; nullopt if none
-  /// arrived (never sent, or dropped).
+  /// arrived this round (never sent, dropped, or still in flight).
   std::optional<std::vector<float>> receive(std::size_t dst, std::size_t src,
                                             const std::string& tag);
 
   /// True if a message is waiting.
   [[nodiscard]] bool has_message(std::size_t dst, std::size_t src, const std::string& tag) const;
 
-  /// Drop any undelivered messages (call between rounds to catch protocol
-  /// bugs where a round leaves mail unread). Returns the number discarded.
+  /// Drop any undelivered mailbox messages (call between rounds to catch
+  /// protocol bugs where a round leaves mail unread). Returns the number
+  /// discarded. In-flight *delayed* messages are legitimately in transit:
+  /// they are neither counted nor discarded (see in_flight()).
   std::size_t clear();
 
   [[nodiscard]] std::size_t messages_sent() const;
   [[nodiscard]] std::size_t messages_dropped() const;
+  [[nodiscard]] std::size_t messages_delayed() const;
+  /// Delayed messages not yet matured by the last begin_round().
+  [[nodiscard]] std::size_t in_flight() const;
   [[nodiscard]] std::size_t bytes_sent() const;
   [[nodiscard]] const graph::Topology& topology() const { return topo_; }
+  /// The merged fault plan actually in effect (legacy drop_prob folded in).
+  [[nodiscard]] const FaultPlan& faults() const { return opts_.faults; }
+  /// Round clock as of the last begin_round() (0 before the first round).
+  [[nodiscard]] std::size_t round() const;
 
   /// Per-edge traffic totals (S-OBS): every (src,dst) pair that ever sent,
   /// including dropped messages (they consumed the wire).
@@ -100,12 +137,21 @@ class Network {
     }
   };
 
+  struct Pending {
+    LateMessage msg;
+    std::size_t mature_round = 0;  ///< first round the payload is visible
+    std::uint64_t edge_index = 0;  ///< deterministic tiebreak for sorting
+  };
+
   graph::Topology topo_;  ///< owned copy: callers may pass temporaries
   Options opts_;
-  mutable std::mutex mu_;  ///< guards boxes_ and every counter below
+  mutable std::mutex mu_;  ///< guards boxes_, pending_ and every counter below
   std::map<Key, std::queue<std::vector<float>>> boxes_;
+  std::vector<Pending> pending_;  ///< delayed, not yet matured
+  std::size_t clock_ = 0;         ///< current round (set by begin_round)
   std::size_t sent_ = 0;
   std::size_t dropped_ = 0;
+  std::size_t delayed_ = 0;
   std::size_t bytes_ = 0;
   struct EdgeCount {
     std::size_t messages = 0;

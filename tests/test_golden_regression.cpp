@@ -1,0 +1,171 @@
+// Golden regression suite (ctest -L golden): byte-exact guard over the
+// numeric columns of the per-round metrics CSV for every algorithm, fault-free
+// and under seeded fault injection. Any change to the math — kernels, RNG
+// consumption order, aggregation, fault hashing — shows up here as a cell
+// diff, with tolerance ZERO: the S-RT contract says same seed + same config
+// is the same bits, so the only legitimate diff is an intentional numerics
+// change.
+//
+// Timing columns (elapsed_s, round_s and the per-phase *_s breakdown) are
+// wall-clock and excluded from comparison.
+//
+// Fixtures live in tests/golden/ (path injected by CMake as PDSL_GOLDEN_DIR).
+// After an INTENTIONAL numerics change, regenerate and commit them:
+//
+//   ./build/tests/test_golden_regression --regenerate
+//
+// and explain the diff in the commit message.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "core/experiment.hpp"
+#include "sim/metrics.hpp"
+
+#ifndef PDSL_GOLDEN_DIR
+#error "PDSL_GOLDEN_DIR must be defined by the build (path to tests/golden)"
+#endif
+
+using pdsl::core::ExperimentConfig;
+using pdsl::core::ExperimentResult;
+
+namespace {
+
+struct Scenario {
+  std::string name;  ///< fixture file stem and CSV run label
+  ExperimentConfig cfg;
+};
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.dataset = "mnist_like";
+  cfg.model = "mlp";
+  cfg.topology = "full";
+  cfg.agents = 4;
+  cfg.rounds = 3;
+  cfg.train_samples = 300;
+  cfg.test_samples = 100;
+  cfg.validation_samples = 80;
+  cfg.image = 8;
+  cfg.hidden = 16;
+  cfg.hp.batch = 8;
+  cfg.hp.gamma = 0.05;
+  cfg.hp.alpha = 0.5;
+  cfg.hp.clip = 5.0;
+  cfg.hp.shapley_permutations = 2;
+  cfg.hp.validation_batch = 24;
+  cfg.sigma_mode = "dpsgd";  // exercises the DP noise streams too
+  cfg.noise_scale = 0.05;
+  cfg.seed = 5;
+  cfg.threads = 1;
+  cfg.metrics.eval_every = 1;
+  cfg.metrics.test_subsample = 100;
+  return cfg;
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  // Fault-free fixture per algorithm: with every fault knob at zero each of
+  // these must stay bit-identical across refactors of the fault machinery.
+  for (const char* algo :
+       {"pdsl", "pdsl_uniform", "dp_dpsgd", "muffliato", "dp_cga", "dp_netfleet",
+        "async_dp_gossip", "dp_qgm", "fedavg", "dpsgd", "dmsgd"}) {
+    ExperimentConfig cfg = base_config();
+    cfg.algorithm = algo;
+    out.push_back({std::string(algo) + "_clean", cfg});
+  }
+  {
+    ExperimentConfig cfg = base_config();
+    cfg.algorithm = "pdsl";
+    cfg.faults.drop_prob = 0.1;
+    out.push_back({"pdsl_drop10", cfg});
+  }
+  {
+    ExperimentConfig cfg = base_config();
+    cfg.algorithm = "pdsl";
+    cfg.faults.drop_prob = 0.2;
+    cfg.faults.delay_prob = 0.25;
+    cfg.faults.delay_rounds = 1;
+    cfg.faults.churn_prob = 0.2;
+    cfg.faults.churn_interval = 2;
+    cfg.faults.staleness_rounds = 2;
+    out.push_back({"pdsl_chaos", cfg});
+  }
+  return out;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(PDSL_GOLDEN_DIR) + "/" + name + ".csv";
+}
+
+std::string candidate_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("pdsl_golden_" + name + ".csv"))
+      .string();
+}
+
+void run_scenario_to_csv(const Scenario& s, const std::string& path) {
+  const ExperimentResult res = pdsl::core::run_experiment(s.cfg);
+  pdsl::sim::write_metrics_csv(path, s.name, res.series);
+}
+
+bool is_timing_column(const std::string& name) {
+  return name.size() > 2 && name.compare(name.size() - 2, 2, "_s") == 0;
+}
+
+void compare_csv(const std::string& golden, const std::string& candidate) {
+  const auto want = pdsl::read_csv(golden);
+  const auto got = pdsl::read_csv(candidate);
+  ASSERT_FALSE(want.empty()) << golden;
+  ASSERT_FALSE(got.empty()) << candidate;
+  ASSERT_EQ(got[0], want[0]) << "CSV schema changed — regenerate the fixtures "
+                                "if intentional";
+  ASSERT_EQ(got.size(), want.size()) << "row count changed";
+  const auto& header = want[0];
+  for (std::size_t r = 1; r < want.size(); ++r) {
+    ASSERT_EQ(got[r].size(), header.size()) << "row " << r;
+    ASSERT_EQ(want[r].size(), header.size()) << "row " << r;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      if (is_timing_column(header[c])) continue;  // wall-clock, not numerics
+      EXPECT_EQ(got[r][c], want[r][c])
+          << "cell (" << r << ", " << header[c] << ") of " << golden;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(GoldenRegression, MetricsSeriesMatchFixtures) {
+  for (const Scenario& s : scenarios()) {
+    SCOPED_TRACE(s.name);
+    const std::string golden = golden_path(s.name);
+    ASSERT_TRUE(std::filesystem::exists(golden))
+        << "missing fixture " << golden
+        << " — run: test_golden_regression --regenerate";
+    const std::string candidate = candidate_path(s.name);
+    run_scenario_to_csv(s, candidate);
+    compare_csv(golden, candidate);
+    std::filesystem::remove(candidate);
+  }
+}
+
+// Custom main so the same binary can regenerate its fixtures; the object
+// file's main wins over the one in the static gtest_main library.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regenerate") {
+      std::filesystem::create_directories(PDSL_GOLDEN_DIR);
+      for (const Scenario& s : scenarios()) {
+        run_scenario_to_csv(s, golden_path(s.name));
+        std::printf("regenerated %s\n", golden_path(s.name).c_str());
+      }
+      return 0;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -46,6 +46,13 @@ int usage() {
       "                    --clip --eps --delta --sigma_mode --noise_scale --seed\n"
       "                    --seeds 1,2,3 --compression --drop_prob --corrupt\n"
       "                    --csv <path> --save_model <path>\n"
+      "                    --drop-prob P (alias of --drop_prob: lossy links)\n"
+      "                    --delay-rounds D --delay-prob P (S-FAULT: delayed\n"
+      "                      messages surface 1..D rounds late)\n"
+      "                    --churn P --churn-interval K (agents offline with\n"
+      "                      prob P per K-round interval)\n"
+      "                    --staleness S (reuse a neighbor's cached\n"
+      "                      cross-gradient up to S rounds old)\n"
       "                    --threads N (parallel agents; 1=sequential, 0=auto-detect)\n"
       "                    --backend blocked|naive (S-KER math kernels; default\n"
       "                      blocked, or the PDSL_KERNEL_BACKEND env var)\n"
@@ -67,10 +74,14 @@ int cmd_run(int argc, const char* const* argv) {
                       "rounds",    "train",    "image",   "mu",          "partition",
                       "batch",     "gamma",    "alpha",   "clip",        "eps",
                       "delta",     "sigma_mode", "noise_scale", "seed",  "seeds",
-                      "compression", "drop_prob", "corrupt", "csv",      "save_model",
+                      "compression", "drop_prob", "drop-prob", "corrupt", "csv",
+                      "save_model",
                       "mc_perms",  "valbatch", "hidden",  "config",      "json",
                       "threads",   "backend",  "profile",  "trace-out", "trace_out",
-                      "metrics-out", "metrics_out"});
+                      "metrics-out", "metrics_out",
+                      "delay-rounds", "delay_rounds", "delay-prob", "delay_prob",
+                      "churn", "churn-interval", "churn_interval",
+                      "staleness"});
   core::ExperimentConfig cfg;
   if (args.has("config")) {
     cfg = core::load_config(args.get_string("config", ""));
@@ -120,7 +131,25 @@ int cmd_run(int argc, const char* const* argv) {
   cfg.sigma_mode = args.get_string("sigma_mode", cfg.sigma_mode);
   cfg.noise_scale = args.get_double("noise_scale", cfg.noise_scale);
   cfg.compression = args.get_string("compression", cfg.compression);
-  cfg.drop_prob = args.get_double("drop_prob", cfg.drop_prob);
+  cfg.drop_prob = args.get_double("drop-prob", args.get_double("drop_prob", cfg.drop_prob));
+  // S-FAULT knobs (dash and underscore spellings accepted, like trace-out).
+  cfg.faults.delay_rounds = static_cast<std::size_t>(args.get_int(
+      "delay-rounds",
+      args.get_int("delay_rounds", static_cast<std::int64_t>(cfg.faults.delay_rounds))));
+  cfg.faults.delay_prob =
+      args.get_double("delay-prob", args.get_double("delay_prob", cfg.faults.delay_prob));
+  // --delay-rounds without --delay-prob gets a visible default rate, so the
+  // single-flag quickstart actually injects delays.
+  if (cfg.faults.delay_rounds > 0 && cfg.faults.delay_prob == 0.0) {
+    cfg.faults.delay_prob = 0.25;
+  }
+  cfg.faults.churn_prob = args.get_double("churn", cfg.faults.churn_prob);
+  cfg.faults.churn_interval = static_cast<std::size_t>(args.get_int(
+      "churn-interval",
+      args.get_int("churn_interval", static_cast<std::int64_t>(cfg.faults.churn_interval))));
+  cfg.faults.staleness_rounds = static_cast<std::size_t>(args.get_int(
+      "staleness", static_cast<std::int64_t>(cfg.faults.staleness_rounds)));
+  cfg.faults.validate();
   cfg.corrupt_agents = static_cast<std::size_t>(
       args.get_int("corrupt", static_cast<std::int64_t>(cfg.corrupt_agents)));
   cfg.seed = static_cast<std::uint64_t>(
@@ -162,6 +191,9 @@ int cmd_run(int argc, const char* const* argv) {
   }
   std::printf("final: loss=%.4f acc=%.3f messages=%zu bytes=%.1fMB\n", res.final_loss,
               res.final_accuracy, res.messages, static_cast<double>(res.bytes) / 1e6);
+  if (res.dropped != 0 || res.delayed != 0) {
+    std::printf("faults: dropped=%zu delayed=%zu\n", res.dropped, res.delayed);
+  }
 
   if (cfg.profile) {
     auto& reg = obs::MetricsRegistry::global();
