@@ -33,11 +33,13 @@ void AsyncDpGossip::wake(std::size_t i, std::size_t t) {
   const std::string tag = "pair@" + std::to_string(t) + "." + std::to_string(events_);
   // Send both halves and drain both mailboxes before deciding whether the
   // exchange happened: bailing after one successful send would leave its
-  // payload unread, tripping the between-rounds leftover check.
-  net_.send(i, j, tag, models_[i]);
-  net_.send(j, i, tag, models_[j]);
-  const auto from_j = net_.receive(i, j, tag);
-  const auto from_i = net_.receive(j, i, tag);
+  // payload unread, tripping the between-rounds leftover check. The model IS
+  // the update carrier here, so both halves ride the contribution channel; a
+  // half rejected by sanitization aborts the exchange like a dropped one.
+  net_.send(i, j, tag, models_[i], sim::Channel::kContribution);
+  net_.send(j, i, tag, models_[j], sim::Channel::kContribution);
+  const auto from_j = receive_checked(i, j, tag, /*reclip=*/false);
+  const auto from_i = receive_checked(j, i, tag, /*reclip=*/false);
   if (!from_j || !from_i) return;  // a dropped half aborts the pairwise average
   std::vector<float> avg = *from_j;
   axpy(avg, *from_i, 1.0f);

@@ -1,16 +1,51 @@
 #include "algos/common.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <optional>
 #include <stdexcept>
 
 #include "common/stopwatch.hpp"
 #include "common/vec_math.hpp"
+#include "dp/mechanism.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 #include "sim/evaluate.hpp"
 
 namespace pdsl::algos {
+
+const char* robust_agg_to_string(DefenseOptions::RobustAgg agg) {
+  switch (agg) {
+    case DefenseOptions::RobustAgg::kNone: return "none";
+    case DefenseOptions::RobustAgg::kTrimmedMean: return "trimmed_mean";
+    case DefenseOptions::RobustAgg::kMedian: return "median";
+  }
+  return "none";
+}
+
+DefenseOptions::RobustAgg robust_agg_from_string(const std::string& name) {
+  if (name == "none") return DefenseOptions::RobustAgg::kNone;
+  if (name == "trimmed_mean") return DefenseOptions::RobustAgg::kTrimmedMean;
+  if (name == "median") return DefenseOptions::RobustAgg::kMedian;
+  throw std::invalid_argument("unknown robust aggregation mode: " + name);
+}
+
+const char* sanitize_to_string(DefenseOptions::Sanitize s) {
+  switch (s) {
+    case DefenseOptions::Sanitize::kAuto: return "auto";
+    case DefenseOptions::Sanitize::kOn: return "on";
+    case DefenseOptions::Sanitize::kOff: return "off";
+  }
+  return "auto";
+}
+
+DefenseOptions::Sanitize sanitize_from_string(const std::string& name) {
+  if (name == "auto") return DefenseOptions::Sanitize::kAuto;
+  if (name == "on") return DefenseOptions::Sanitize::kOn;
+  if (name == "off") return DefenseOptions::Sanitize::kOff;
+  throw std::invalid_argument("unknown sanitize mode: " + name);
+}
 
 namespace {
 void validate_env(const Env& env) {
@@ -28,14 +63,24 @@ void validate_env(const Env& env) {
   if (env.hp.alpha < 0.0 || env.hp.alpha >= 1.0) {
     throw std::invalid_argument("Algorithm: alpha must be in [0,1)");
   }
+  if (env.defense.trim_frac < 0.0 || env.defense.trim_frac >= 0.5) {
+    throw std::invalid_argument("Algorithm: defense.trim_frac must be in [0, 0.5)");
+  }
 }
 }  // namespace
 
 Algorithm::Algorithm(const Env& env)
     : env_(env),
       net_(*env.topo, sim::Network::Options{env.drop_prob, splitmix64(env.seed ^ 0xAEAE),
-                                            true, env.compressor, env.faults}) {
+                                            true, env.compressor, env.faults, env.adversary}) {
   validate_env(env);
+  // Sanitization defaults to "exactly when it could matter": an adversary in
+  // play or robust aggregation requested. Clean kAuto runs take the untouched
+  // receive path and stay bit-identical to pre-defense binaries.
+  sanitize_ = env.defense.sanitize == DefenseOptions::Sanitize::kOn ||
+              (env.defense.sanitize == DefenseOptions::Sanitize::kAuto &&
+               (env.adversary.any() ||
+                env.defense.robust_agg != DefenseOptions::RobustAgg::kNone));
   const std::size_t m = env.topo->size();
   active_.assign(m, 1);
   Rng root(env.seed);
@@ -66,9 +111,15 @@ void Algorithm::run_round(std::size_t t) {
   // mailboxes (so the leftover check below stays exact).
   std::vector<sim::LateMessage> late = net_.begin_round(t);
   fault_stats_ = FaultRoundStats{};
+  rejected_.store(0, std::memory_order_relaxed);
+  reclipped_.store(0, std::memory_order_relaxed);
   refresh_active(t);
   if (!late.empty()) absorb_late(std::move(late));
   round_impl(t);
+  // Fold the atomic sanitization tallies into the plain per-round snapshot
+  // (absorb_late runs after the reset, so late-payload screening is counted).
+  fault_stats_.msgs_rejected = rejected_.load(std::memory_order_relaxed);
+  fault_stats_.msgs_reclipped = reclipped_.load(std::memory_order_relaxed);
   // A correct synchronous protocol reads every message it was sent within the
   // round, faults or not (drops and delays never reach a mailbox). Leftovers
   // mean a protocol bug; keep the evidence visible in release builds too.
@@ -107,20 +158,86 @@ void Algorithm::set_models(std::vector<std::vector<float>> models) {
   models_ = std::move(models);
 }
 
+namespace {
+/// Coordinate-wise robust center of `cols` (self + arrived neighbors). The
+/// comparator orders non-finite values last so a NaN that slipped past
+/// sanitization cannot make std::sort UB; with trimming it usually lands in
+/// the discarded tail.
+std::vector<float> robust_center(const std::vector<const std::vector<float>*>& cols,
+                                 DefenseOptions::RobustAgg mode, double trim_frac) {
+  const std::size_t dim = cols.front()->size();
+  const std::size_t n = cols.size();
+  std::vector<float> out(dim, 0.0f);
+  std::vector<float> vals(n);
+  const auto nan_last = [](float a, float b) {
+    if (std::isnan(b)) return !std::isnan(a);
+    if (std::isnan(a)) return false;
+    return a < b;
+  };
+  const std::size_t k =
+      std::min(static_cast<std::size_t>(trim_frac * static_cast<double>(n)), (n - 1) / 2);
+  for (std::size_t d = 0; d < dim; ++d) {
+    for (std::size_t c = 0; c < n; ++c) vals[c] = (*cols[c])[d];
+    std::sort(vals.begin(), vals.end(), nan_last);
+    if (mode == DefenseOptions::RobustAgg::kMedian) {
+      out[d] = (n % 2 == 1) ? vals[n / 2] : 0.5f * (vals[n / 2 - 1] + vals[n / 2]);
+    } else {  // trimmed mean over vals[k .. n-k)
+      double acc = 0.0;
+      for (std::size_t c = k; c < n - k; ++c) acc += vals[c];
+      out[d] = static_cast<float>(acc / static_cast<double>(n - 2 * k));
+    }
+  }
+  return out;
+}
+}  // namespace
+
+bool Algorithm::sanitize_payload(std::vector<float>& payload, bool reclip) {
+  if (!sanitize_) return true;
+  for (float x : payload) {
+    if (!std::isfinite(x)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& rej = obs::MetricsRegistry::global().counter("defense.rejected");
+      rej.add(1);
+      return false;
+    }
+  }
+  if (reclip && env_.hp.clip > 0.0) {
+    // Bounded-injection defense: whatever a sender claims, a received gradient
+    // contributes at most norm C — the same bound DP clipping promised.
+    if (dp::clip_l2(payload, env_.hp.clip) > env_.hp.clip) {
+      reclipped_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& rc = obs::MetricsRegistry::global().counter("defense.reclipped");
+      rc.add(1);
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<float>> Algorithm::receive_checked(std::size_t dst, std::size_t src,
+                                                             const std::string& tag,
+                                                             bool reclip) {
+  std::optional<std::vector<float>> payload = net_.receive(dst, src, tag);
+  if (payload && !sanitize_payload(*payload, reclip)) return std::nullopt;
+  return payload;
+}
+
 std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::vector<float>>& in,
-                                                       const std::string& tag) {
+                                                       const std::string& tag,
+                                                       sim::Channel channel) {
   // Every algorithm's mixing-matrix averaging flows through here, so this one
   // scope accounts the gossip phase for the whole family.
   auto timer = phase(obs::Phase::kGossip);
   const std::size_t m = num_agents();
   if (in.size() != m) throw std::invalid_argument("mix_vectors: arity mismatch");
+  const bool robust = env_.defense.robust_agg != DefenseOptions::RobustAgg::kNone &&
+                      channel == sim::Channel::kContribution;
   // Broadcast, then (phase barrier between the two parallel_fors) accumulate.
   // Each agent writes only its own mailbox edges / output slot, so any
   // execution width produces the same result.
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     if (!active(i)) return;  // offline agents generate no traffic
     for (std::size_t j : neighbors(i)) {
-      net_.send(i, j, tag, in[i]);
+      net_.send(i, j, tag, in[i], channel);
     }
   });
   std::vector<std::vector<float>> out(m);
@@ -136,7 +253,26 @@ std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::ve
     bool complete = true;
     for (std::size_t j : nbrs) {
       got.push_back(net_.receive(i, j, tag));
+      // A rejected (non-finite) payload degrades exactly like a dropped one:
+      // the row renormalizes over what survived screening.
+      if (got.back() && !sanitize_payload(*got.back(), /*reclip=*/false)) {
+        got.back().reset();
+      }
       if (!got.back().has_value()) complete = false;
+    }
+    if (robust) {
+      // Screening defense for the mixing-matrix baselines: W weights are
+      // ignored and each coordinate takes a trimmed-mean/median over
+      // {self} + arrivals, so a minority of outliers cannot steer the center.
+      std::vector<const std::vector<float>*> cols;
+      cols.reserve(nbrs.size() + 1);
+      cols.push_back(&in[i]);
+      for (const auto& g : got) {
+        if (g) cols.push_back(&*g);
+      }
+      out[i] = robust_center(cols, env_.defense.robust_agg, env_.defense.trim_frac);
+      if (!complete) renorm[i] = 1;
+      return;
     }
     std::vector<float> acc(in[i].size(), 0.0f);
     if (complete) {
@@ -221,6 +357,14 @@ std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t roun
     m.offline = alg.fault_stats().offline_agents;
     m.stale_reused = alg.fault_stats().stale_reused;
     m.fallbacks = alg.fault_stats().self_fallbacks;
+    m.byz_active = alg.network().adversary().active_count(alg.num_agents(), t);
+    m.corrupted = alg.network().messages_corrupted();
+    m.rejected = alg.fault_stats().msgs_rejected;
+    m.reclipped = alg.fault_stats().msgs_reclipped;
+    if (const auto split = alg.attacker_honest_weight_split()) {
+      m.pi_attacker = split->first;
+      m.pi_honest = split->second;
+    }
     m.elapsed_s = watch.elapsed_seconds();
     series.push_back(m);
   }

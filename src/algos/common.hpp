@@ -4,8 +4,11 @@
 // algorithm, and the Algorithm base class (per-agent workers + models +
 // message-passing network + synchronized metric hooks).
 
+#include <atomic>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -44,6 +47,34 @@ struct HyperParams {
   std::size_t local_steps = 3;  ///< local updates between communication rounds
 };
 
+/// S-BYZ consumer-side defense screening: what every receiver does to
+/// incoming payloads before trusting them. These are the generic defenses any
+/// gossip protocol can run; PDSL's Shapley weighting is the *native* defense
+/// layered on top (it needs no robust aggregation — poisoned cross-gradients
+/// score at the bottom of every coalition and are zeroed by Eq. 19).
+struct DefenseOptions {
+  /// Incoming-message sanitization: reject non-finite payloads and re-clip
+  /// received cross-gradients to the DP threshold C (models are only checked
+  /// for finiteness — their norm is legitimately unbounded). kAuto turns it
+  /// on exactly when an adversary or robust aggregation is configured, so
+  /// clean runs stay bit-identical to pre-defense code.
+  enum class Sanitize { kAuto, kOn, kOff };
+  Sanitize sanitize = Sanitize::kAuto;
+
+  /// Robust replacement for the W-weighted average in mix_vectors, applied
+  /// coordinate-wise over {self} + arrived neighbors (W weights ignored):
+  /// the screening defense for the mixing-matrix baselines.
+  enum class RobustAgg { kNone, kTrimmedMean, kMedian };
+  RobustAgg robust_agg = RobustAgg::kNone;
+  double trim_frac = 0.25;  ///< per-side trim fraction for kTrimmedMean
+};
+
+[[nodiscard]] const char* robust_agg_to_string(DefenseOptions::RobustAgg agg);
+/// Throws std::invalid_argument on an unknown name.
+[[nodiscard]] DefenseOptions::RobustAgg robust_agg_from_string(const std::string& name);
+[[nodiscard]] const char* sanitize_to_string(DefenseOptions::Sanitize s);
+[[nodiscard]] DefenseOptions::Sanitize sanitize_from_string(const std::string& name);
+
 /// Borrowed views of everything one experiment run shares across algorithms.
 /// All pointers must outlive the Algorithm.
 struct Env {
@@ -58,6 +89,8 @@ struct Env {
   double drop_prob = 0.0;  ///< legacy alias for faults.drop_prob
   const compress::Compressor* compressor = nullptr;  ///< optional lossy channel
   sim::FaultPlan faults;  ///< S-FAULT: drop/delay/churn/staleness injection
+  sim::AdversaryPlan adversary;  ///< S-BYZ: Byzantine roles (empty = honest fleet)
+  DefenseOptions defense;        ///< S-BYZ: consumer-side screening
 };
 
 /// Per-round graceful-degradation accounting (S-FAULT), reset at the top of
@@ -67,6 +100,8 @@ struct FaultRoundStats {
   std::size_t mix_renormalized = 0; ///< mixing rows renormalized over arrivals
   std::size_t stale_reused = 0;     ///< cached cross-gradients substituted
   std::size_t self_fallbacks = 0;   ///< agents that fell back to self-gradient
+  std::size_t msgs_rejected = 0;    ///< non-finite payloads refused (S-BYZ)
+  std::size_t msgs_reclipped = 0;   ///< received gradients re-clipped to C (S-BYZ)
 };
 
 class Algorithm {
@@ -114,6 +149,19 @@ class Algorithm {
   /// always 0 for a correct protocol, faulted or not).
   [[nodiscard]] std::size_t unread_cleared() const { return unread_cleared_; }
 
+  /// S-BYZ: mean aggregation weight a defense assigns to attacker-origin vs
+  /// honest-origin contributions, measured over honest receivers only, for
+  /// the last round run. nullopt when the algorithm has no per-edge weights
+  /// to report (the base default) or no adversary is configured; Pdsl
+  /// overrides with its Shapley-derived pi split.
+  [[nodiscard]] virtual std::optional<std::pair<double, double>>
+  attacker_honest_weight_split() const {
+    return std::nullopt;
+  }
+
+  /// Is incoming-payload sanitization in effect for this run?
+  [[nodiscard]] bool sanitizing() const { return sanitize_; }
+
  protected:
   /// The algorithm-specific body of one round, called by run_round() after
   /// fault bookkeeping. Implementations should skip compute for agents where
@@ -138,8 +186,28 @@ class Algorithm {
 
   /// Gossip-average a per-agent family of vectors with W:
   /// out_i = sum_j w_ij in_j, exchanged through the network under `tag`.
-  std::vector<std::vector<float>> mix_vectors(const std::vector<std::vector<float>>& in,
-                                              const std::string& tag);
+  /// For the mixing-matrix baselines this traffic IS the update carrier, so
+  /// it defaults to the adversary's contribution channel; PDSL passes kState
+  /// for its momentum/model gossip (its contribution channel is the
+  /// cross-gradient exchange). Incoming payloads are sanitized (finiteness
+  /// only — no re-clip; see DefenseOptions), and when robust_agg is set the
+  /// W-average is replaced by a coordinate-wise trimmed-mean/median over
+  /// {self} + arrivals.
+  std::vector<std::vector<float>> mix_vectors(
+      const std::vector<std::vector<float>>& in, const std::string& tag,
+      sim::Channel channel = sim::Channel::kContribution);
+
+  /// receive() + sanitization (S-BYZ): nullopt if nothing arrived or the
+  /// payload was rejected as non-finite. `reclip` re-clips gradient-kind
+  /// payloads to the DP threshold C. A no-op passthrough when sanitization
+  /// is off, so clean runs stay bit-identical.
+  std::optional<std::vector<float>> receive_checked(std::size_t dst, std::size_t src,
+                                                    const std::string& tag, bool reclip);
+
+  /// The sanitization half of receive_checked, for payloads that arrive by
+  /// other paths (the staleness cache, absorb_late). Returns false (and
+  /// counts a rejection) if the payload must be discarded.
+  bool sanitize_payload(std::vector<float>& payload, bool reclip);
 
   /// Draw this round's mini-batch on every worker.
   void draw_all_batches();
@@ -161,6 +229,12 @@ class Algorithm {
   void refresh_active(std::size_t t);
 
   std::size_t unread_cleared_ = 0;
+  bool sanitize_ = false;  ///< resolved DefenseOptions::sanitize for this run
+  /// Per-round sanitization counters; atomics because receive_checked runs
+  /// inside parallel per-agent bodies. Reset with fault_stats_, folded into
+  /// it after round_impl.
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> reclipped_{0};
 };
 
 struct MetricsOptions {

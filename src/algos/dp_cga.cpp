@@ -30,11 +30,12 @@ void DpCga::round_impl(std::size_t t) {
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       if (!active(i)) return;
       for (std::size_t j : neighbors(i)) {
-        auto xj = net_.receive(i, j, model_tag);
+        auto xj = receive_checked(i, j, model_tag, /*reclip=*/false);
         if (!xj) continue;  // dropped link: owner falls back to remaining grads
         auto g = dp::privatize(workers_[i].gradient(*xj), env_.hp.clip, env_.hp.sigma,
                                agent_rngs_[i]);
-        net_.send(i, j, xgrad_tag, std::move(g));
+        // The returned cross-gradient steers j's update: contribution channel.
+        net_.send(i, j, xgrad_tag, std::move(g), sim::Channel::kContribution);
       }
     });
   }
@@ -51,7 +52,9 @@ void DpCga::round_impl(std::size_t t) {
       bundle.push_back(dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
                                      env_.hp.sigma, agent_rngs_[i]));
       for (std::size_t j : neighbors(i)) {
-        if (auto g = net_.receive(i, j, xgrad_tag)) bundle.push_back(std::move(*g));
+        if (auto g = receive_checked(i, j, xgrad_tag, /*reclip=*/true)) {
+          bundle.push_back(std::move(*g));
+        }
       }
       const auto res = solver_.solve(bundle);
       qp_iters[i] = res.iterations;

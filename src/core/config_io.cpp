@@ -7,6 +7,35 @@
 
 namespace pdsl::core {
 
+namespace {
+
+json::Value defense_to_json(const algos::DefenseOptions& d) {
+  json::Object o;
+  o["sanitize"] = std::string(algos::sanitize_to_string(d.sanitize));
+  o["robust_agg"] = std::string(algos::robust_agg_to_string(d.robust_agg));
+  o["trim_frac"] = d.trim_frac;
+  return json::Value(std::move(o));
+}
+
+algos::DefenseOptions defense_from_json(const json::Value& v) {
+  const auto& obj = v.as_object();
+  static const std::set<std::string> known = {"sanitize", "robust_agg", "trim_frac"};
+  for (const auto& [key, value] : obj) {
+    if (known.find(key) == known.end()) {
+      throw std::invalid_argument("defense_from_json: unknown key '" + key + "'");
+    }
+  }
+  algos::DefenseOptions d;
+  if (v.contains("sanitize")) d.sanitize = algos::sanitize_from_string(v.at("sanitize").as_string());
+  if (v.contains("robust_agg")) {
+    d.robust_agg = algos::robust_agg_from_string(v.at("robust_agg").as_string());
+  }
+  if (v.contains("trim_frac")) d.trim_frac = v.at("trim_frac").as_number();
+  return d;
+}
+
+}  // namespace
+
 json::Value config_to_json(const ExperimentConfig& cfg) {
   json::Object o;
   o["algorithm"] = cfg.algorithm;
@@ -46,6 +75,8 @@ json::Value config_to_json(const ExperimentConfig& cfg) {
   o["seed"] = cfg.seed;
   o["drop_prob"] = cfg.drop_prob;
   o["faults"] = sim::fault_plan_to_json(cfg.faults);
+  o["adversary"] = sim::adversary_plan_to_json(cfg.adversary);
+  o["defense"] = defense_to_json(cfg.defense);
   o["compression"] = cfg.compression;
   o["test_subsample"] = cfg.metrics.test_subsample;
   o["eval_every"] = cfg.metrics.eval_every;
@@ -64,8 +95,8 @@ ExperimentConfig config_from_json(const json::Value& v) {
       "sigma",      "batch",     "shapley_permutations", "shapley_method",
       "validation_batch", "gossip_steps", "local_steps", "sigma_mode",
       "noise_scale", "epsilon",  "delta",     "phi_hat_min",   "threads",
-      "backend",    "seed",      "drop_prob",  "faults", "compression", "test_subsample",
-      "eval_every", "profile",   "trace_out"};
+      "backend",    "seed",      "drop_prob",  "faults", "adversary", "defense",
+      "compression", "test_subsample", "eval_every", "profile",   "trace_out"};
   for (const auto& [key, value] : obj) {
     if (known.find(key) == known.end()) {
       throw std::invalid_argument("config_from_json: unknown key '" + key + "'");
@@ -119,6 +150,10 @@ ExperimentConfig config_from_json(const json::Value& v) {
   if (v.contains("seed")) cfg.seed = static_cast<std::uint64_t>(v.at("seed").as_int());
   num("drop_prob", cfg.drop_prob);
   if (v.contains("faults")) cfg.faults = sim::fault_plan_from_json(v.at("faults"));
+  if (v.contains("adversary")) {
+    cfg.adversary = sim::adversary_plan_from_json(v.at("adversary"));
+  }
+  if (v.contains("defense")) cfg.defense = defense_from_json(v.at("defense"));
   str("compression", cfg.compression);
   idx("test_subsample", cfg.metrics.test_subsample);
   idx("eval_every", cfg.metrics.eval_every);
@@ -145,6 +180,9 @@ json::Value result_to_json(const ExperimentResult& res) {
   o["bytes"] = res.bytes;
   o["dropped"] = res.dropped;
   o["delayed"] = res.delayed;
+  o["corrupted"] = res.corrupted;
+  o["rejected"] = res.rejected;
+  o["reclipped"] = res.reclipped;
   json::Object phases;
   phases["local_grad_s"] = res.phase_totals.local_grad_s;
   phases["crossgrad_s"] = res.phase_totals.crossgrad_s;
@@ -159,6 +197,12 @@ json::Value result_to_json(const ExperimentResult& res) {
     row["avg_loss"] = m.avg_loss;
     row["test_accuracy"] = m.test_accuracy;
     row["consensus"] = m.consensus;
+    if (m.byz_active > 0) {
+      row["byzantine_active"] = m.byz_active;
+      row["msgs_rejected"] = m.rejected;
+      row["pi_attacker"] = m.pi_attacker;
+      row["pi_honest"] = m.pi_honest;
+    }
     series.push_back(json::Value(std::move(row)));
   }
   o["series"] = json::Value(std::move(series));

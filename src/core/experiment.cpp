@@ -67,10 +67,8 @@ double calibrate_sigma(const ExperimentConfig& cfg, const graph::MixingMatrix& w
 }
 
 std::unique_ptr<algos::Algorithm> make_algorithm(const std::string& name,
-                                                 const algos::Env& env,
-                                                 std::size_t byzantine_agents) {
+                                                 const algos::Env& env) {
   Pdsl::Options popts;
-  popts.byzantine_agents = byzantine_agents;
   if (name == "pdsl") return std::make_unique<Pdsl>(env, popts);
   if (name == "pdsl_uniform") {
     popts.uniform_weights = true;
@@ -178,6 +176,20 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   env.drop_prob = cfg.drop_prob;
   env.faults = cfg.faults;
   env.faults.validate();
+  env.adversary = cfg.adversary;
+  // Legacy byzantine_agents knob: explicit sign_flip roles at the historical
+  // x3 amplification, unless a real plan is already configured.
+  if (cfg.byzantine_agents > 0 && !env.adversary.any()) {
+    if (cfg.byzantine_agents >= cfg.agents) {
+      throw std::invalid_argument("run_experiment: byzantine_agents must be < agents");
+    }
+    for (std::size_t a = 0; a < cfg.byzantine_agents; ++a) {
+      env.adversary.roles.push_back(
+          sim::ByzRole{a, sim::ByzMode::kSignFlip, 3.0, 1, sim::kNoRoundLimit});
+    }
+  }
+  env.adversary.validate();
+  env.defense = cfg.defense;
   const auto compressor = compress::make_compressor(cfg.compression);
   if (cfg.compression != "none" && !cfg.compression.empty()) env.compressor = compressor.get();
 
@@ -187,7 +199,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (!cfg.trace_out.empty()) obs::TraceRecorder::global().enable(true);
   obs::MetricsRegistry::global().gauge("dp.sigma").set(hp.sigma);
 
-  auto alg = make_algorithm(cfg.algorithm, env, cfg.byzantine_agents);
+  auto alg = make_algorithm(cfg.algorithm, env);
   auto series = algos::run_with_metrics(*alg, cfg.rounds, test, cfg.metrics);
 
   ExperimentResult res;
@@ -202,6 +214,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.bytes = alg->network().bytes_sent();
   res.dropped = alg->network().messages_dropped();
   res.delayed = alg->network().messages_delayed();
+  res.corrupted = alg->network().messages_corrupted();
+  for (const auto& rm : series) {
+    res.rejected += rm.rejected;
+    res.reclipped += rm.reclipped;
+  }
   res.average_model = alg->average_model();
   for (const auto& rm : series) res.phase_totals += rm.phases;
   res.series = std::move(series);

@@ -37,8 +37,10 @@ struct ExperimentConfig {
   /// (extension experiment: Shapley weighting should suppress their
   /// cross-gradient contributions; uniform averaging cannot).
   std::size_t corrupt_agents = 0;
-  /// Byzantine gradient-poisoning agents (PDSL variants only): the first
-  /// `byzantine_agents` flip+amplify the cross-gradients they send.
+  /// Legacy alias for the S-BYZ adversary: the first `byzantine_agents` run a
+  /// sign_flip role at the historical x3 amplification. Folded into
+  /// `adversary` by run_experiment when the plan is otherwise empty (now
+  /// applies to every algorithm, not only the PDSL variants).
   std::size_t byzantine_agents = 0;
 
   algos::HyperParams hp;
@@ -77,6 +79,9 @@ struct ExperimentConfig {
   /// S-FAULT: deterministic drop/delay/churn injection plus the staleness
   /// bound. drop_prob above is folded in when faults.drop_prob is 0.
   sim::FaultPlan faults;
+  /// S-BYZ: Byzantine roles (who attacks, how, when) + defense screening.
+  sim::AdversaryPlan adversary;
+  algos::DefenseOptions defense;
   /// Lossy channel compression spec: "none", "topk:<fraction>", "quant:<bits>"
   /// (extension experiment; see src/compress/).
   std::string compression = "none";
@@ -104,6 +109,9 @@ struct ExperimentResult {
   std::size_t bytes = 0;
   std::size_t dropped = 0;           ///< messages lost to faults (drops + churn)
   std::size_t delayed = 0;           ///< messages that arrived late
+  std::size_t corrupted = 0;         ///< payloads corrupted by Byzantine senders
+  std::size_t rejected = 0;          ///< payloads refused by sanitization (total)
+  std::size_t reclipped = 0;         ///< received gradients re-clipped to C (total)
   std::vector<float> average_model;  ///< consensus model after the last round
   obs::PhaseTimings phase_totals;    ///< per-phase seconds summed over rounds
 };
@@ -112,10 +120,9 @@ struct ExperimentResult {
 double calibrate_sigma(const ExperimentConfig& cfg, const graph::MixingMatrix& w);
 
 /// Build the algorithm by name over a prepared Env (PDSL lives here; baselines
-/// come from pdsl_algos). `byzantine_agents` applies to the PDSL variants.
+/// come from pdsl_algos). Adversary/defense wiring rides in env.
 std::unique_ptr<algos::Algorithm> make_algorithm(const std::string& name,
-                                                 const algos::Env& env,
-                                                 std::size_t byzantine_agents = 0);
+                                                 const algos::Env& env);
 
 /// End-to-end: build everything from the config, run, summarize.
 ExperimentResult run_experiment(const ExperimentConfig& cfg);

@@ -34,11 +34,13 @@ void Pdsl::absorb_late(std::vector<sim::LateMessage> late) {
   // Runs sequentially at the top of a round (before any parallel phase), so
   // plain writes into the per-agent caches are safe. Only cross-gradients are
   // worth keeping — a stale model/momentum/x-hat payload has no consumer —
-  // and only when the staleness bound allows reuse at all.
+  // and only when the staleness bound allows reuse at all. Late payloads get
+  // the same screening as fresh ones (a delayed NaN bomb is still a NaN bomb).
   const std::size_t bound = net_.faults().staleness_rounds;
   std::size_t discarded = 0;
   for (auto& msg : late) {
-    if (bound == 0 || msg.tag.rfind("xg@", 0) != 0) {
+    if (bound == 0 || msg.tag.rfind("xg@", 0) != 0 ||
+        !sanitize_payload(msg.payload, /*reclip=*/true)) {
       ++discarded;
       continue;
     }
@@ -100,21 +102,19 @@ void Pdsl::round_impl(std::size_t t) {
   }
 
   // ---- Lines 6-12: cross-gradients on received models, perturbed, returned ----
+  // The returned cross-gradient is the payload that steers neighbor j's
+  // update, so it rides the adversary's contribution channel; the model
+  // broadcast above is protocol state a stealthy attacker keeps honest.
   {
     auto timer = phase(obs::Phase::kCrossGrad);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       if (!active(i)) return;
-      const bool byzantine = i < options_.byzantine_agents;
       for (std::size_t j : neighbors(i)) {
-        auto xj = net_.receive(i, j, model_tag);
+        auto xj = receive_checked(i, j, model_tag, /*reclip=*/false);
         if (!xj) continue;  // dropped link; j degrades (renormalize/stale/self)
         auto g = dp::privatize(workers_[i].gradient(*xj), env_.hp.clip, env_.hp.sigma,
                                agent_rngs_[i]);
-        if (byzantine) {
-          // Gradient-poisoning adversary: flip and amplify what it sends out.
-          scale_inplace(g, static_cast<float>(-options_.byzantine_scale));
-        }
-        net_.send(i, j, xgrad_tag, std::move(g));
+        net_.send(i, j, xgrad_tag, std::move(g), sim::Channel::kContribution);
       }
     });
   }
@@ -155,7 +155,7 @@ void Pdsl::round_impl(std::size_t t) {
           ghat[i].push_back(own_grad[i]);
           continue;
         }
-        if (auto g = net_.receive(i, j, xgrad_tag)) {
+        if (auto g = receive_checked(i, j, xgrad_tag, /*reclip=*/true)) {
           if (plan.staleness_rounds > 0) {
             cache[j] = CachedXGrad{*g, t};  // refresh the staleness cache
           }
@@ -307,8 +307,37 @@ void Pdsl::round_impl(std::size_t t) {
   }
 
   // ---- Lines 21-24: gossip-average momentum and model with W ----
-  momentum_ = mix_vectors(u_hat, uhat_tag);
-  models_ = mix_vectors(x_hat, xhat_tag);
+  // State channel: PDSL's contribution channel is the cross-gradient exchange
+  // above; the momentum/model gossip is bookkeeping the attacker keeps honest.
+  momentum_ = mix_vectors(u_hat, uhat_tag, sim::Channel::kState);
+  models_ = mix_vectors(x_hat, xhat_tag, sim::Channel::kState);
+}
+
+std::optional<std::pair<double, double>> Pdsl::attacker_honest_weight_split() const {
+  const sim::AdversaryPlan& plan = net_.adversary();
+  const std::size_t m = num_agents();
+  if (!plan.any()) return std::nullopt;
+  double att_sum = 0.0, hon_sum = 0.0;
+  std::size_t att_n = 0, hon_n = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (plan.is_byzantine(i, m)) continue;  // measure honest receivers only
+    const auto hood = closed_neighborhood(i);
+    if (last_pi_[i].size() != hood.size()) continue;  // agent never ran a round
+    for (std::size_t k = 0; k < hood.size(); ++k) {
+      const std::size_t j = hood[k];
+      if (j == i) continue;  // self edge says nothing about the defense
+      if (plan.is_byzantine(j, m)) {
+        att_sum += last_pi_[i][k];
+        ++att_n;
+      } else {
+        hon_sum += last_pi_[i][k];
+        ++hon_n;
+      }
+    }
+  }
+  if (att_n == 0 || hon_n == 0) return std::nullopt;
+  return std::make_pair(att_sum / static_cast<double>(att_n),
+                        hon_sum / static_cast<double>(hon_n));
 }
 
 }  // namespace pdsl::core

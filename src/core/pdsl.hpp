@@ -23,13 +23,11 @@ struct PdslOptions {
   /// (plain W-weighted averaging of the perturbed gradients).
   bool uniform_weights = false;
 
-  /// Byzantine fault injection: agents with id < byzantine_agents send
-  /// *negated and amplified* cross-gradients to their neighbors (a gradient
-  /// poisoning attack), while following the protocol otherwise. The Shapley
-  /// weighting is PDSL's built-in defense: such contributions score at the
-  /// bottom of every coalition and are zeroed by the min-max normalization.
-  std::size_t byzantine_agents = 0;
-  double byzantine_scale = 3.0;  ///< amplification of the flipped gradient
+  // Byzantine injection moved to sim::AdversaryPlan (Env::adversary): the
+  // network corrupts outgoing contribution payloads, so every algorithm faces
+  // the same attacker. The Shapley weighting is PDSL's built-in defense:
+  // poisoned contributions score at the bottom of every coalition and are
+  // zeroed by the min-max normalization.
 
   /// Extension: replace Eq. 19's min-max normalization with ReLU
   /// normalization (shapley::relu_normalize), which zeroes *every*
@@ -70,6 +68,12 @@ class Pdsl final : public algos::Algorithm {
   /// Smallest normalized Shapley share observed so far (empirical
   /// counterpart of Theorem 1's phi_hat_min).
   [[nodiscard]] double observed_phi_hat_min() const { return observed_phi_hat_min_; }
+
+  /// S-BYZ: mean pi an *honest* receiver assigned to attacker-origin vs
+  /// honest-origin hood members (self edges excluded) in the last round.
+  /// nullopt when no adversary is configured or either class is empty.
+  [[nodiscard]] std::optional<std::pair<double, double>>
+  attacker_honest_weight_split() const override;
 
  protected:
   void round_impl(std::size_t t) override;

@@ -1,5 +1,6 @@
 #include "io/checkpoint.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -7,6 +8,46 @@
 namespace pdsl::io {
 
 namespace {
+
+/// Crash-safe writer: stream into a `.tmp` sibling, then std::rename over the
+/// destination once the bytes are durably written. A crash mid-save leaves the
+/// previous checkpoint intact (plus at worst a stale .tmp the next successful
+/// save overwrites); a reader can never observe a half-written file.
+class AtomicFile {
+ public:
+  AtomicFile(const std::string& path, const char* who)
+      : path_(path), tmp_(path + ".tmp"), who_(who), out_(tmp_, std::ios::binary) {
+    if (!out_) throw std::runtime_error(std::string(who_) + ": cannot open " + tmp_);
+  }
+
+  ~AtomicFile() {
+    if (!committed_) {
+      out_.close();
+      std::remove(tmp_.c_str());  // failed save: don't leave the partial file
+    }
+  }
+
+  std::ofstream& stream() { return out_; }
+
+  /// Flush, verify the stream, and rename into place. Throws on any failure
+  /// (the destructor then cleans up the tmp and the old checkpoint survives).
+  void commit() {
+    out_.flush();
+    if (!out_) throw std::runtime_error(std::string(who_) + ": write failed for " + path_);
+    out_.close();
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+      throw std::runtime_error(std::string(who_) + ": cannot rename " + tmp_ + " to " + path_);
+    }
+    committed_ = true;
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  const char* who_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
 
 constexpr std::uint64_t kMagicSingle = 0x5044534C'4D4F4431ULL;  // "PDSLMOD1"
 constexpr std::uint64_t kMagicFleet = 0x5044534C'464C5431ULL;   // "PDSLFLT1"
@@ -47,13 +88,13 @@ std::uint64_t fnv1a(const std::vector<float>& data) {
 }
 
 void save_params(const std::string& path, const std::vector<float>& params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+  AtomicFile file(path, "save_params");
+  std::ofstream& out = file.stream();
   write_u64(out, kMagicSingle);
   write_u64(out, params.size());
   write_u64(out, fnv1a(params));
   write_floats(out, params);
-  if (!out) throw std::runtime_error("save_params: write failed for " + path);
+  file.commit();
 }
 
 std::vector<float> load_params(const std::string& path) {
@@ -77,8 +118,8 @@ void save_fleet(const std::string& path, const std::vector<std::vector<float>>& 
   for (const auto& m : models) {
     if (m.size() != dim) throw std::invalid_argument("save_fleet: ragged fleet");
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_fleet: cannot open " + path);
+  AtomicFile file(path, "save_fleet");
+  std::ofstream& out = file.stream();
   write_u64(out, kMagicFleet);
   write_u64(out, models.size());
   write_u64(out, dim);
@@ -86,7 +127,7 @@ void save_fleet(const std::string& path, const std::vector<std::vector<float>>& 
     write_u64(out, fnv1a(m));
     write_floats(out, m);
   }
-  if (!out) throw std::runtime_error("save_fleet: write failed for " + path);
+  file.commit();
 }
 
 std::vector<std::vector<float>> load_fleet(const std::string& path) {

@@ -4,6 +4,11 @@
 // magic header, dimension metadata and a FNV-1a content checksum so that a
 // truncated or corrupted file fails loudly instead of producing silently
 // wrong models.
+//
+// Saves are crash-safe: bytes stream into a `<path>.tmp` sibling which is
+// std::rename'd over the destination only after a verified flush, so a crash
+// mid-save never clobbers the previous checkpoint and readers never see a
+// half-written file. A failed save removes its own .tmp.
 
 #include <cstdint>
 #include <string>

@@ -1,6 +1,8 @@
 #include "sim/faults.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -28,6 +30,7 @@ std::uint64_t edge_message_hash(std::uint64_t seed, std::size_t src, std::size_t
 
 constexpr std::uint64_t kDelaySalt = 0xDE1A7ED0C0FFEEULL;
 constexpr std::uint64_t kChurnSalt = 0xC4012ACE5ULL;
+constexpr std::uint64_t kByzSalt = 0xB12A47EF00DULL;
 
 void check_prob(double p, const char* name) {
   if (p < 0.0 || p >= 1.0) {
@@ -163,6 +166,225 @@ FaultPlan fault_plan_from_json(const json::Value& v) {
         r.until_round = static_cast<std::size_t>(ev.at("until_round").as_int());
       }
       plan.edge_rules.push_back(r);
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// S-BYZ: AdversaryPlan
+// ---------------------------------------------------------------------------
+
+const char* byz_mode_to_string(ByzMode mode) {
+  switch (mode) {
+    case ByzMode::kNone: return "none";
+    case ByzMode::kSignFlip: return "sign_flip";
+    case ByzMode::kScale: return "scale";
+    case ByzMode::kNoise: return "noise";
+    case ByzMode::kNanBomb: return "nan_bomb";
+    case ByzMode::kStaleReplay: return "stale_replay";
+  }
+  return "none";
+}
+
+ByzMode byz_mode_from_string(const std::string& name) {
+  if (name == "none") return ByzMode::kNone;
+  if (name == "sign_flip") return ByzMode::kSignFlip;
+  if (name == "scale") return ByzMode::kScale;
+  if (name == "noise") return ByzMode::kNoise;
+  if (name == "nan_bomb") return ByzMode::kNanBomb;
+  if (name == "stale_replay") return ByzMode::kStaleReplay;
+  throw std::invalid_argument(
+      "byz_mode_from_string: unknown mode '" + name +
+      "' (none|sign_flip|scale|noise|nan_bomb|stale_replay)");
+}
+
+bool AdversaryPlan::any() const {
+  return (frac > 0.0 && mode != ByzMode::kNone) || !roles.empty();
+}
+
+void AdversaryPlan::validate() const {
+  if (frac < 0.0 || frac >= 1.0) {
+    throw std::invalid_argument("AdversaryPlan: frac must be in [0,1)");
+  }
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    throw std::invalid_argument("AdversaryPlan: scale must be positive and finite");
+  }
+  if (onset == 0) {
+    throw std::invalid_argument("AdversaryPlan: onset must be >= 1 (rounds are 1-indexed)");
+  }
+  if (until_round <= onset) {
+    throw std::invalid_argument("AdversaryPlan: until_round must exceed onset");
+  }
+  for (const auto& r : roles) {
+    if (!(r.scale > 0.0) || !std::isfinite(r.scale)) {
+      throw std::invalid_argument("AdversaryPlan: role scale must be positive and finite");
+    }
+    if (r.from_round == 0) {
+      throw std::invalid_argument("AdversaryPlan: role from_round must be >= 1");
+    }
+    if (r.until_round <= r.from_round) {
+      throw std::invalid_argument("AdversaryPlan: role until_round must exceed from_round");
+    }
+  }
+}
+
+std::size_t AdversaryPlan::num_default_attackers(std::size_t m) const {
+  if (frac <= 0.0 || mode == ByzMode::kNone) return 0;
+  // Round half-up, but always leave at least one honest agent.
+  const auto n = static_cast<std::size_t>(frac * static_cast<double>(m) + 0.5);
+  return m == 0 ? 0 : std::min(n, m - 1);
+}
+
+bool AdversaryPlan::is_byzantine(std::size_t agent, std::size_t m) const {
+  for (const auto& r : roles) {
+    if (r.agent == agent) return r.mode != ByzMode::kNone;
+  }
+  return agent < num_default_attackers(m);
+}
+
+ByzRole AdversaryPlan::role(std::size_t agent, std::size_t m, std::size_t round) const {
+  bool has_explicit = false;
+  for (const auto& r : roles) {
+    if (r.agent != agent) continue;
+    has_explicit = true;
+    if (round >= r.from_round && round < r.until_round) return r;
+  }
+  ByzRole honest;
+  honest.agent = agent;
+  honest.mode = ByzMode::kNone;
+  // An explicitly scheduled agent is honest outside its windows; the frac
+  // default never applies to it.
+  if (has_explicit) return honest;
+  if (agent < num_default_attackers(m) && round >= onset && round < until_round) {
+    ByzRole r;
+    r.agent = agent;
+    r.mode = mode;
+    r.scale = scale;
+    r.from_round = onset;
+    r.until_round = until_round;
+    return r;
+  }
+  return honest;
+}
+
+std::size_t AdversaryPlan::active_count(std::size_t m, std::size_t round) const {
+  if (!any()) return 0;
+  std::size_t n = 0;
+  for (std::size_t a = 0; a < m; ++a) {
+    if (role(a, m, round).mode != ByzMode::kNone) ++n;
+  }
+  return n;
+}
+
+std::uint64_t hash_tag(const std::string& tag) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : tag) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+void corrupt_payload(const ByzRole& role, std::uint64_t seed, std::size_t src,
+                     std::size_t dst, std::uint64_t tag_hash, std::vector<float>& payload) {
+  switch (role.mode) {
+    case ByzMode::kNone:
+    case ByzMode::kStaleReplay:  // handled by the Network's replay history
+      return;
+    case ByzMode::kSignFlip: {
+      const auto s = static_cast<float>(-role.scale);
+      for (auto& x : payload) x *= s;
+      return;
+    }
+    case ByzMode::kScale: {
+      const auto s = static_cast<float>(role.scale);
+      for (auto& x : payload) x *= s;
+      return;
+    }
+    case ByzMode::kNoise: {
+      // Same hash family as drop/delay/churn, salted: the stream is a pure
+      // function of (seed, src, dst, tag), never a shared sequential RNG.
+      Rng rng(edge_message_hash(seed ^ kByzSalt, src, dst, tag_hash));
+      for (auto& x : payload) {
+        x += static_cast<float>(role.scale * rng.normal());
+      }
+      return;
+    }
+    case ByzMode::kNanBomb: {
+      for (std::size_t k = 0; k < payload.size(); ++k) {
+        payload[k] = (k % 3 == 0) ? std::numeric_limits<float>::quiet_NaN()
+                                  : (k % 3 == 1 ? std::numeric_limits<float>::infinity()
+                                                : -std::numeric_limits<float>::infinity());
+      }
+      return;
+    }
+  }
+}
+
+json::Value adversary_plan_to_json(const AdversaryPlan& plan) {
+  json::Object o;
+  o["frac"] = plan.frac;
+  o["mode"] = std::string(byz_mode_to_string(plan.mode));
+  o["scale"] = plan.scale;
+  o["onset"] = plan.onset;
+  if (plan.until_round != kNoRoundLimit) o["until_round"] = plan.until_round;
+  o["seed"] = static_cast<std::int64_t>(plan.seed);
+  if (!plan.roles.empty()) {
+    json::Array roles;
+    for (const auto& r : plan.roles) {
+      json::Object e;
+      e["agent"] = r.agent;
+      e["mode"] = std::string(byz_mode_to_string(r.mode));
+      e["scale"] = r.scale;
+      e["from_round"] = r.from_round;
+      if (r.until_round != kNoRoundLimit) e["until_round"] = r.until_round;
+      roles.push_back(json::Value(std::move(e)));
+    }
+    o["roles"] = json::Value(std::move(roles));
+  }
+  return json::Value(std::move(o));
+}
+
+AdversaryPlan adversary_plan_from_json(const json::Value& v) {
+  static const std::set<std::string> known = {"frac",        "mode",  "scale", "onset",
+                                              "until_round", "roles", "seed"};
+  static const std::set<std::string> role_known = {"agent", "mode", "scale", "from_round",
+                                                   "until_round"};
+  for (const auto& [key, value] : v.as_object()) {
+    if (known.find(key) == known.end()) {
+      throw std::invalid_argument("adversary_plan_from_json: unknown key '" + key + "'");
+    }
+  }
+  AdversaryPlan plan;
+  if (v.contains("frac")) plan.frac = v.at("frac").as_number();
+  if (v.contains("mode")) plan.mode = byz_mode_from_string(v.at("mode").as_string());
+  if (v.contains("scale")) plan.scale = v.at("scale").as_number();
+  if (v.contains("onset")) plan.onset = static_cast<std::size_t>(v.at("onset").as_int());
+  if (v.contains("until_round")) {
+    plan.until_round = static_cast<std::size_t>(v.at("until_round").as_int());
+  }
+  if (v.contains("seed")) plan.seed = static_cast<std::uint64_t>(v.at("seed").as_int());
+  if (v.contains("roles")) {
+    for (const auto& rv : v.at("roles").as_array()) {
+      for (const auto& [key, value] : rv.as_object()) {
+        if (role_known.find(key) == role_known.end()) {
+          throw std::invalid_argument("adversary_plan_from_json: unknown role key '" + key +
+                                      "'");
+        }
+      }
+      ByzRole r;
+      r.agent = static_cast<std::size_t>(rv.at("agent").as_int());
+      if (rv.contains("mode")) r.mode = byz_mode_from_string(rv.at("mode").as_string());
+      if (rv.contains("scale")) r.scale = rv.at("scale").as_number();
+      if (rv.contains("from_round")) {
+        r.from_round = static_cast<std::size_t>(rv.at("from_round").as_int());
+      }
+      if (rv.contains("until_round")) {
+        r.until_round = static_cast<std::size_t>(rv.at("until_round").as_int());
+      }
+      plan.roles.push_back(r);
     }
   }
   plan.validate();

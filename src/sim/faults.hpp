@@ -100,4 +100,90 @@ json::Value fault_plan_to_json(const FaultPlan& plan);
 /// Strict parse: unknown keys throw std::invalid_argument, as config_io does.
 FaultPlan fault_plan_from_json(const json::Value& v);
 
+// ---------------------------------------------------------------------------
+// S-BYZ: Byzantine adversary injection. Where FaultPlan models *benign*
+// failures (lost/slow links, churn), an AdversaryPlan assigns some agents an
+// adversarial role: they follow the protocol but corrupt the payloads they
+// send on the contribution channel (see sim::Channel). Like every fault axis,
+// who attacks and with what is a pure function of (seed, agent, round) plus
+// the message identity, so attack traces are bit-identical at any --threads.
+// ---------------------------------------------------------------------------
+
+/// What a Byzantine sender does to an outgoing contribution payload.
+enum class ByzMode {
+  kNone = 0,     ///< honest (the resolved role of a non-attacker)
+  kSignFlip,     ///< g -> -scale * g (gradient poisoning; legacy PDSL attack)
+  kScale,        ///< g -> +scale * g (boosted/inflated contribution)
+  kNoise,        ///< g += N(0, scale^2) per coordinate (large-Gaussian attack)
+  kNanBomb,      ///< payload replaced by alternating NaN / +-Inf
+  kStaleReplay,  ///< resend the first payload ever sent on this (edge, tag kind)
+};
+
+[[nodiscard]] const char* byz_mode_to_string(ByzMode mode);
+/// Throws std::invalid_argument on an unknown name.
+[[nodiscard]] ByzMode byz_mode_from_string(const std::string& name);
+
+/// One agent's adversarial assignment, active during [from_round, until_round).
+struct ByzRole {
+  std::size_t agent = 0;
+  ByzMode mode = ByzMode::kSignFlip;
+  double scale = 3.0;  ///< amplification / noise stddev (ignored by nan_bomb/replay)
+  std::size_t from_round = 1;
+  std::size_t until_round = kNoRoundLimit;
+};
+
+/// Who attacks, how, and when. Two layers: a global default (the first
+/// round(frac * m) agents run `mode` from `onset`) plus explicit per-agent
+/// `roles` overrides. An agent with any explicit role entry is governed by
+/// those entries alone (honest outside their windows), so a plan can schedule
+/// onset/offset attacks or mix modes across agents.
+struct AdversaryPlan {
+  double frac = 0.0;  ///< fraction of agents (lowest ids) attacking by default
+  ByzMode mode = ByzMode::kSignFlip;
+  double scale = 3.0;
+  std::size_t onset = 1;  ///< first attacked round (1-indexed)
+  std::size_t until_round = kNoRoundLimit;
+  std::vector<ByzRole> roles;  ///< explicit per-agent overrides
+  /// Seed for the noise-mode streams; 0 = derive from the merged FaultPlan
+  /// seed (Network fills it in, salting internally).
+  std::uint64_t seed = 0;
+
+  /// True if any agent can ever attack (frac > 0 or explicit roles).
+  [[nodiscard]] bool any() const;
+
+  /// Throws std::invalid_argument on out-of-range knobs.
+  void validate() const;
+
+  /// How many agents the frac default covers in an m-agent fleet.
+  [[nodiscard]] std::size_t num_default_attackers(std::size_t m) const;
+
+  /// Is `agent` ever Byzantine (in any round) under this plan?
+  [[nodiscard]] bool is_byzantine(std::size_t agent, std::size_t m) const;
+
+  /// The role `agent` plays at `round` (mode == kNone when honest then).
+  [[nodiscard]] ByzRole role(std::size_t agent, std::size_t m, std::size_t round) const;
+
+  /// Number of agents attacking at `round`.
+  [[nodiscard]] std::size_t active_count(std::size_t m, std::size_t round) const;
+};
+
+/// FNV-1a over the tag bytes: the per-message identity word for corruption
+/// decisions. Tags embed the round (and sweep/event indices where a protocol
+/// sends repeatedly), so (src, dst, tag) names each message uniquely without
+/// any shared mutable state.
+[[nodiscard]] std::uint64_t hash_tag(const std::string& tag);
+
+/// Apply `role`'s corruption to `payload` in place (kStaleReplay and kNone
+/// are no-ops here; replay needs the Network's payload history). The noise
+/// mode draws from an Rng seeded by a pure hash of (seed, src, dst,
+/// hash_tag(tag)), so corruption is independent of send interleaving.
+void corrupt_payload(const ByzRole& role, std::uint64_t seed, std::size_t src,
+                     std::size_t dst, std::uint64_t tag_hash, std::vector<float>& payload);
+
+/// Serialize every scalar field; `roles` only when non-empty.
+json::Value adversary_plan_to_json(const AdversaryPlan& plan);
+
+/// Strict parse: unknown keys throw std::invalid_argument, as config_io does.
+AdversaryPlan adversary_plan_from_json(const json::Value& v);
+
 }  // namespace pdsl::sim

@@ -30,6 +30,13 @@ struct RoundMetrics {
   std::size_t offline = 0;      ///< agents churned out this round
   std::size_t stale_reused = 0; ///< cached cross-gradients substituted this round
   std::size_t fallbacks = 0;    ///< self-gradient fallbacks this round
+  // S-BYZ: adversary activity + defense screening.
+  std::size_t byz_active = 0;   ///< agents with an active Byzantine role this round
+  std::size_t corrupted = 0;    ///< cumulative payloads corrupted on the wire
+  std::size_t rejected = 0;     ///< non-finite payloads refused this round
+  std::size_t reclipped = 0;    ///< received gradients re-clipped to C this round
+  double pi_attacker = 0.0;     ///< mean defense weight on attacker-origin edges
+  double pi_honest = 0.0;       ///< mean defense weight on honest-origin edges
 };
 
 /// Mean over agents of ||x_i - mean_j x_j||.
@@ -40,7 +47,8 @@ std::vector<float> average_model(const std::vector<std::vector<float>>& models);
 
 /// Write a metrics series to CSV (columns: round, avg_loss, test_accuracy,
 /// consensus, grad_norm, messages, bytes, dropped, delayed, offline,
-/// stale_reused, fallbacks, elapsed_s, round_s, then one <phase>_s column per
+/// stale_reused, fallbacks, byz_active, corrupted, rejected, reclipped,
+/// pi_attacker, pi_honest, elapsed_s, round_s, then one <phase>_s column per
 /// obs::Phase).
 void write_metrics_csv(const std::string& path, const std::string& run_label,
                        const std::vector<RoundMetrics>& series);

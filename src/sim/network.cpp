@@ -18,6 +18,10 @@ Network::Network(const graph::Topology& topo, Options opts)
   if (opts_.faults.drop_prob == 0.0) opts_.faults.drop_prob = opts_.drop_prob;
   if (opts_.faults.seed == 0) opts_.faults.seed = opts_.seed;
   opts_.faults.validate();
+  // S-BYZ: the adversary's noise streams default to the same seed family as
+  // the benign faults (corrupt_payload salts internally to decorrelate).
+  if (opts_.adversary.seed == 0) opts_.adversary.seed = opts_.faults.seed;
+  opts_.adversary.validate();
 }
 
 std::vector<LateMessage> Network::begin_round(std::size_t t) {
@@ -44,7 +48,7 @@ std::vector<LateMessage> Network::begin_round(std::size_t t) {
 }
 
 bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
-                   std::vector<float> payload) {
+                   std::vector<float> payload, Channel channel) {
   if (src >= topo_.size() || dst >= topo_.size()) {
     throw std::out_of_range("Network::send: agent id out of range");
   }
@@ -97,6 +101,37 @@ bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
       drops.add(1);
       return false;
     }
+    // S-BYZ: an active Byzantine sender corrupts its contribution payload at
+    // this boundary — after the drop decision (corrupting a lost message is
+    // moot) and before any delay (the attacker sent it corrupted, so that is
+    // what matures later). Every decision is a pure function of the plan and
+    // the message identity, so attack traces are interleaving-independent.
+    if (channel == Channel::kContribution && opts_.adversary.any()) {
+      const ByzRole role = opts_.adversary.role(src, topo_.size(), clock_);
+      bool hit = false;
+      if (role.mode == ByzMode::kStaleReplay) {
+        const auto at = tag.find('@');
+        const ReplayKey key{src, dst, at == std::string::npos ? tag : tag.substr(0, at)};
+        const auto it = replay_.find(key);
+        if (it == replay_.end()) {
+          // First send on this key: record it (and let it through honest) so
+          // there is something old to replay from the next round on.
+          replay_.emplace(key, ReplayEntry{payload, clock_});
+        } else if (it->second.round < clock_) {
+          payload = it->second.payload;
+          hit = true;
+        }
+      } else if (role.mode != ByzMode::kNone) {
+        corrupt_payload(role, opts_.adversary.seed, src, dst, hash_tag(tag), payload);
+        hit = true;
+      }
+      if (hit) {
+        ++corrupted_;
+        static obs::Counter& byz =
+            obs::MetricsRegistry::global().counter("net.byz_corrupted");
+        byz.add(1);
+      }
+    }
     if (const std::size_t d = plan.delay(src, dst, edge_index); d > 0) {
       ++delayed_;
       static obs::Counter& late = obs::MetricsRegistry::global().counter("net.delayed");
@@ -140,6 +175,11 @@ std::size_t Network::messages_dropped() const {
 std::size_t Network::messages_delayed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return delayed_;
+}
+
+std::size_t Network::messages_corrupted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupted_;
 }
 
 std::size_t Network::in_flight() const {

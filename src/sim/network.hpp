@@ -34,6 +34,19 @@
 
 namespace pdsl::sim {
 
+/// S-BYZ: what a payload carries, from the adversary's point of view. A
+/// Byzantine sender corrupts only kContribution traffic — the messages that
+/// directly steer a receiver's update (cross-gradients for the PDSL/CGA
+/// family, the gossiped model/tracker for plain mixing-matrix baselines) —
+/// and follows the protocol on kState traffic (model broadcasts made so
+/// neighbors can *compute* for it, PDSL's momentum/model gossip). This is the
+/// stealthy gradient-poisoning threat model: visible state stays plausible,
+/// the poison rides the update channel.
+enum class Channel {
+  kState,         ///< protocol bookkeeping; never corrupted
+  kContribution,  ///< update-carrying payload; corrupted by an active attacker
+};
+
 struct NetworkOptions {
   /// Legacy alias for faults.drop_prob (kept so existing call sites and
   /// configs keep working); merged into `faults` by the constructor when
@@ -47,6 +60,8 @@ struct NetworkOptions {
   const compress::Compressor* compressor = nullptr;
   /// S-FAULT: deterministic drop/delay/churn injection.
   FaultPlan faults;
+  /// S-BYZ: Byzantine roles; adversary.seed = 0 uses the merged faults.seed.
+  AdversaryPlan adversary;
 };
 
 /// A delayed payload that matured: begin_round() hands these back to the
@@ -76,9 +91,12 @@ class Network {
   /// not an edge (or self without allow_self_send). Returns false if the
   /// message was lost to fault injection (drop or an offline endpoint);
   /// returns true for delayed messages — they were sent, they just surface
-  /// via a later begin_round().
+  /// via a later begin_round(). When `channel` is kContribution and src has
+  /// an active Byzantine role this round, the payload is corrupted at this
+  /// boundary (after the drop decision, before any delay), deterministically
+  /// in (seed, src, dst, tag).
   bool send(std::size_t src, std::size_t dst, const std::string& tag,
-            std::vector<float> payload);
+            std::vector<float> payload, Channel channel = Channel::kState);
 
   /// Dequeue the oldest message from src to dst under `tag`; nullopt if none
   /// arrived this round (never sent, dropped, or still in flight).
@@ -97,12 +115,17 @@ class Network {
   [[nodiscard]] std::size_t messages_sent() const;
   [[nodiscard]] std::size_t messages_dropped() const;
   [[nodiscard]] std::size_t messages_delayed() const;
+  /// S-BYZ: delivered (or in-flight) payloads corrupted by a Byzantine
+  /// sender, cumulative.
+  [[nodiscard]] std::size_t messages_corrupted() const;
   /// Delayed messages not yet matured by the last begin_round().
   [[nodiscard]] std::size_t in_flight() const;
   [[nodiscard]] std::size_t bytes_sent() const;
   [[nodiscard]] const graph::Topology& topology() const { return topo_; }
   /// The merged fault plan actually in effect (legacy drop_prob folded in).
   [[nodiscard]] const FaultPlan& faults() const { return opts_.faults; }
+  /// The adversary plan actually in effect (seed fallback folded in).
+  [[nodiscard]] const AdversaryPlan& adversary() const { return opts_.adversary; }
   /// Round clock as of the last begin_round() (0 before the first round).
   [[nodiscard]] std::size_t round() const;
 
@@ -143,15 +166,36 @@ class Network {
     std::uint64_t edge_index = 0;  ///< deterministic tiebreak for sorting
   };
 
+  /// S-BYZ stale-replay history: the first payload a replaying attacker sent
+  /// on (src, dst, tag kind), where "kind" is the tag up to its '@' (tags
+  /// embed round indices, so the raw tag never repeats). Once an entry from
+  /// an earlier round exists, every later send on the key resends it.
+  struct ReplayKey {
+    std::size_t src;
+    std::size_t dst;
+    std::string kind;
+    bool operator<(const ReplayKey& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return kind < o.kind;
+    }
+  };
+  struct ReplayEntry {
+    std::vector<float> payload;
+    std::size_t round = 0;  ///< the round the recorded payload was sent in
+  };
+
   graph::Topology topo_;  ///< owned copy: callers may pass temporaries
   Options opts_;
   mutable std::mutex mu_;  ///< guards boxes_, pending_ and every counter below
   std::map<Key, std::queue<std::vector<float>>> boxes_;
   std::vector<Pending> pending_;  ///< delayed, not yet matured
+  std::map<ReplayKey, ReplayEntry> replay_;  ///< stale-replay payload history
   std::size_t clock_ = 0;         ///< current round (set by begin_round)
   std::size_t sent_ = 0;
   std::size_t dropped_ = 0;
   std::size_t delayed_ = 0;
+  std::size_t corrupted_ = 0;
   std::size_t bytes_ = 0;
   struct EdgeCount {
     std::size_t messages = 0;

@@ -37,6 +37,21 @@ std::string slurp(const std::string& path) {
   return ss.str();
 }
 
+/// Run `pdsl_cli run <extra_flags>` on the tiny base config; returns the
+/// process exit status and fills `output` with combined stdout+stderr.
+int run_cli(const std::string& extra_flags, std::string* output) {
+  const std::string out = temp_path("pdsl_smoke_exit.txt");
+  std::ostringstream cmd;
+  cmd << '"' << PDSL_CLI_PATH << '"'
+      << " run --algorithm pdsl --agents 4 --rounds 1 --train 240 --image 8"
+      << " --batch 8 --mc_perms 2 --valbatch 16 " << extra_flags << " > \"" << out
+      << "\" 2>&1";
+  const int status = std::system(cmd.str().c_str());
+  *output = slurp(out);
+  std::remove(out.c_str());
+  return status;
+}
+
 }  // namespace
 
 TEST(CliSmoke, ProfileAndTraceOnTinyRun) {
@@ -85,4 +100,37 @@ TEST(CliSmoke, ProfileAndTraceOnTinyRun) {
   std::remove(trace.c_str());
   std::remove(metrics.c_str());
   std::remove(out.c_str());
+}
+
+TEST(CliSmoke, OutOfRangeFlagsFailLoudlyWithTheFlagName) {
+  // Every numeric-range rejection must exit nonzero and name the offending
+  // flag so a sweep-script typo is diagnosable from the error line alone.
+  const struct {
+    const char* flags;
+    const char* needle;
+  } cases[] = {
+      {"--drop-prob 1.5", "--drop-prob"},
+      {"--drop-prob -0.1", "--drop-prob"},
+      {"--churn 2.0", "--churn"},
+      {"--staleness -1", "--staleness"},
+      {"--byz-frac 1.0", "frac"},
+      {"--byz-mode bogus", "bogus"},
+      {"--byz-onset -3", "--byz-onset"},
+      {"--agents 0", "--agents"},
+      {"--robust-agg krum", "krum"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.flags);
+    std::string output;
+    EXPECT_NE(run_cli(c.flags, &output), 0);
+    EXPECT_NE(output.find(c.needle), std::string::npos)
+        << "error does not mention '" << c.needle << "':\n" << output;
+  }
+}
+
+TEST(CliSmoke, ByzantineRunReportsDefenseCounters) {
+  std::string output;
+  ASSERT_EQ(run_cli("--byz-frac 0.25 --byz-mode sign_flip", &output), 0) << output;
+  EXPECT_NE(output.find("byzantine:"), std::string::npos) << output;
+  EXPECT_NE(output.find("corrupted="), std::string::npos) << output;
 }

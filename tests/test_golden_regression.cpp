@@ -96,6 +96,17 @@ std::vector<Scenario> scenarios() {
     cfg.faults.staleness_rounds = 2;
     out.push_back({"pdsl_chaos", cfg});
   }
+  {
+    // S-BYZ fixture: one of four agents sign-flips its cross-gradients.
+    // Guards the adversary hash streams, sanitization and the pi split
+    // columns with the same tolerance-zero contract.
+    ExperimentConfig cfg = base_config();
+    cfg.algorithm = "pdsl";
+    cfg.adversary.frac = 0.25;
+    cfg.adversary.mode = pdsl::sim::ByzMode::kSignFlip;
+    cfg.adversary.scale = 3.0;
+    out.push_back({"pdsl_byz_signflip", cfg});
+  }
   return out;
 }
 

@@ -75,6 +75,56 @@ TEST(Checkpoint, CorruptionDetectedByChecksum) {
   EXPECT_THROW(load_params(path), std::runtime_error);
 }
 
+TEST(Checkpoint, SaveIsAtomicOverAnExistingCheckpoint) {
+  // The new bytes must land via tmp + rename: after a save there is no .tmp
+  // sibling and the file holds exactly the new payload.
+  const std::string path = "/tmp/pdsl_ckpt_atomic.bin";
+  save_params(path, random_vec(100, 11));
+  const auto next = random_vec(100, 12);
+  save_params(path, next);
+  EXPECT_EQ(load_params(path), next);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good()) << "tmp sibling left behind";
+}
+
+TEST(Checkpoint, StaleTmpLeftoverIsOverwrittenByTheNextSave) {
+  // Simulate a crash mid-save: a garbage .tmp sibling sits next to a valid
+  // checkpoint. The checkpoint must still load, and the next save must
+  // reclaim the tmp path and still commit atomically.
+  const std::string path = "/tmp/pdsl_ckpt_stale.bin";
+  const auto params = random_vec(80, 13);
+  save_params(path, params);
+  std::ofstream(path + ".tmp") << "half-written garbage from a crashed save";
+  EXPECT_EQ(load_params(path), params);
+  const auto next = random_vec(80, 14);
+  save_params(path, next);
+  EXPECT_EQ(load_params(path), next);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+TEST(Checkpoint, FailedSaveLeavesTheOldCheckpointAndNoTmp) {
+  // Unwritable destination directory: the save must throw, the previous
+  // checkpoint must survive untouched, and no .tmp may be left anywhere.
+  const std::string path = "/tmp/pdsl_ckpt_dir_missing/ckpt.bin";
+  EXPECT_THROW(save_params(path, random_vec(10, 15)), std::runtime_error);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  const std::string good = "/tmp/pdsl_ckpt_survivor.bin";
+  const auto params = random_vec(60, 16);
+  save_params(good, params);
+  EXPECT_THROW(save_fleet("/tmp/pdsl_ckpt_dir_missing/fleet.bin", {{1.0f}}),
+               std::runtime_error);
+  EXPECT_EQ(load_params(good), params);
+}
+
+TEST(Checkpoint, ShortHeaderDetected) {
+  // A file shorter than even the header must fail on the truncated read, not
+  // crash or return an empty model.
+  const std::string path = "/tmp/pdsl_ckpt_short.bin";
+  std::ofstream(path, std::ios::binary) << "PDSL";
+  EXPECT_THROW(load_params(path), std::runtime_error);
+  EXPECT_THROW(load_fleet(path), std::runtime_error);
+}
+
 TEST(Checkpoint, FleetRoundTrip) {
   const std::string path = "/tmp/pdsl_ckpt_fleet.bin";
   std::vector<std::vector<float>> fleet;

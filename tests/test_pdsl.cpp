@@ -165,10 +165,11 @@ TEST(Pdsl, RobustVariantSurvivesByzantineAgents) {
   // the full comparison.
   const auto fx = Fixture::make(4, "full", false, 57);
   Pdsl::Options popts;
-  popts.byzantine_agents = 1;
   popts.relu_normalization = true;
   popts.loss_characteristic = true;
   Env env = fx.env(0.02);
+  env.adversary.roles.push_back(
+      {0, pdsl::sim::ByzMode::kSignFlip, 3.0, 1, pdsl::sim::kNoRoundLimit});
   Pdsl robust(env, popts);
   MetricsOptions mopts;
   mopts.test_subsample = 120;

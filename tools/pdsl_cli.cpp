@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "common/cli.hpp"
@@ -53,6 +54,11 @@ int usage() {
       "                      prob P per K-round interval)\n"
       "                    --staleness S (reuse a neighbor's cached\n"
       "                      cross-gradient up to S rounds old)\n"
+      "                    --byz-frac F --byz-mode sign_flip|scale|noise|nan_bomb|\n"
+      "                      stale_replay --byz-scale X --byz-onset T (S-BYZ:\n"
+      "                      first round(F*M) agents attack from round T on)\n"
+      "                    --robust-agg none|trimmed_mean|median --sanitize\n"
+      "                      auto|on|off (consumer-side defense screening)\n"
       "                    --threads N (parallel agents; 1=sequential, 0=auto-detect)\n"
       "                    --backend blocked|naive (S-KER math kernels; default\n"
       "                      blocked, or the PDSL_KERNEL_BACKEND env var)\n"
@@ -81,12 +87,40 @@ int cmd_run(int argc, const char* const* argv) {
                       "metrics-out", "metrics_out",
                       "delay-rounds", "delay_rounds", "delay-prob", "delay_prob",
                       "churn", "churn-interval", "churn_interval",
-                      "staleness"});
+                      "staleness",
+                      "byz-frac", "byz_frac", "byz-mode", "byz_mode",
+                      "byz-scale", "byz_scale", "byz-onset", "byz_onset",
+                      "robust-agg", "robust_agg", "sanitize"});
   core::ExperimentConfig cfg;
   if (args.has("config")) {
     cfg = core::load_config(args.get_string("config", ""));
   }
   const bool from_file = args.has("config");
+  // Loud flag-range validation: a bad value exits immediately with a message
+  // naming the offending flag, instead of wrapping through a size_t cast or
+  // surfacing as a confusing failure deep inside the run.
+  const auto prob = [](const char* flag, double v, double hi_excl = -1.0) {
+    const bool bad = hi_excl > 0.0 ? (v < 0.0 || v >= hi_excl) : (v < 0.0 || v > 1.0);
+    if (bad) {
+      throw std::invalid_argument(std::string("--") + flag + " must be in [0,1" +
+                                  (hi_excl > 0.0 ? ")" : "]") + ", got " + std::to_string(v));
+    }
+    return v;
+  };
+  const auto nonneg = [](const char* flag, std::int64_t v) {
+    if (v < 0) {
+      throw std::invalid_argument(std::string("--") + flag + " must be >= 0, got " +
+                                  std::to_string(v));
+    }
+    return static_cast<std::size_t>(v);
+  };
+  const auto positive = [](const char* flag, std::int64_t v) {
+    if (v <= 0) {
+      throw std::invalid_argument(std::string("--") + flag + " must be > 0, got " +
+                                  std::to_string(v));
+    }
+    return static_cast<std::size_t>(v);
+  };
   // CLI defaults differ from the struct's (they target the quick demo scale);
   // a config file's values win over CLI defaults, explicit flags win over both.
   if (!from_file) {
@@ -105,20 +139,16 @@ int cmd_run(int argc, const char* const* argv) {
   cfg.dataset = args.get_string("dataset", cfg.dataset);
   cfg.model = args.get_string("model", cfg.model);
   cfg.topology = args.get_string("topology", cfg.topology);
-  cfg.agents = static_cast<std::size_t>(
-      args.get_int("agents", static_cast<std::int64_t>(cfg.agents)));
-  cfg.rounds = static_cast<std::size_t>(
-      args.get_int("rounds", static_cast<std::int64_t>(cfg.rounds)));
-  cfg.train_samples = static_cast<std::size_t>(
-      args.get_int("train", static_cast<std::int64_t>(cfg.train_samples)));
-  cfg.image = static_cast<std::size_t>(
-      args.get_int("image", static_cast<std::int64_t>(cfg.image)));
-  cfg.hidden = static_cast<std::size_t>(
-      args.get_int("hidden", static_cast<std::int64_t>(cfg.hidden)));
+  cfg.agents = positive("agents", args.get_int("agents", static_cast<std::int64_t>(cfg.agents)));
+  cfg.rounds = positive("rounds", args.get_int("rounds", static_cast<std::int64_t>(cfg.rounds)));
+  cfg.train_samples =
+      positive("train", args.get_int("train", static_cast<std::int64_t>(cfg.train_samples)));
+  cfg.image = positive("image", args.get_int("image", static_cast<std::int64_t>(cfg.image)));
+  cfg.hidden = positive("hidden", args.get_int("hidden", static_cast<std::int64_t>(cfg.hidden)));
   cfg.mu = args.get_double("mu", cfg.mu);
   cfg.partition = args.get_string("partition", cfg.partition);
-  cfg.hp.batch = static_cast<std::size_t>(
-      args.get_int("batch", static_cast<std::int64_t>(cfg.hp.batch)));
+  cfg.hp.batch =
+      positive("batch", args.get_int("batch", static_cast<std::int64_t>(cfg.hp.batch)));
   cfg.hp.gamma = args.get_double("gamma", cfg.hp.gamma);
   cfg.hp.alpha = args.get_double("alpha", cfg.hp.alpha);
   cfg.hp.clip = args.get_double("clip", cfg.hp.clip);
@@ -131,31 +161,57 @@ int cmd_run(int argc, const char* const* argv) {
   cfg.sigma_mode = args.get_string("sigma_mode", cfg.sigma_mode);
   cfg.noise_scale = args.get_double("noise_scale", cfg.noise_scale);
   cfg.compression = args.get_string("compression", cfg.compression);
-  cfg.drop_prob = args.get_double("drop-prob", args.get_double("drop_prob", cfg.drop_prob));
+  cfg.drop_prob = prob("drop-prob",
+                       args.get_double("drop-prob", args.get_double("drop_prob", cfg.drop_prob)),
+                       /*hi_excl=*/1.0);
   // S-FAULT knobs (dash and underscore spellings accepted, like trace-out).
-  cfg.faults.delay_rounds = static_cast<std::size_t>(args.get_int(
+  cfg.faults.delay_rounds = nonneg(
       "delay-rounds",
-      args.get_int("delay_rounds", static_cast<std::int64_t>(cfg.faults.delay_rounds))));
-  cfg.faults.delay_prob =
-      args.get_double("delay-prob", args.get_double("delay_prob", cfg.faults.delay_prob));
+      args.get_int("delay-rounds",
+                   args.get_int("delay_rounds", static_cast<std::int64_t>(cfg.faults.delay_rounds))));
+  cfg.faults.delay_prob = prob(
+      "delay-prob",
+      args.get_double("delay-prob", args.get_double("delay_prob", cfg.faults.delay_prob)));
   // --delay-rounds without --delay-prob gets a visible default rate, so the
   // single-flag quickstart actually injects delays.
   if (cfg.faults.delay_rounds > 0 && cfg.faults.delay_prob == 0.0) {
     cfg.faults.delay_prob = 0.25;
   }
-  cfg.faults.churn_prob = args.get_double("churn", cfg.faults.churn_prob);
-  cfg.faults.churn_interval = static_cast<std::size_t>(args.get_int(
+  cfg.faults.churn_prob = prob("churn", args.get_double("churn", cfg.faults.churn_prob));
+  cfg.faults.churn_interval = nonneg(
       "churn-interval",
-      args.get_int("churn_interval", static_cast<std::int64_t>(cfg.faults.churn_interval))));
-  cfg.faults.staleness_rounds = static_cast<std::size_t>(args.get_int(
-      "staleness", static_cast<std::int64_t>(cfg.faults.staleness_rounds)));
+      args.get_int("churn-interval",
+                   args.get_int("churn_interval", static_cast<std::int64_t>(cfg.faults.churn_interval))));
+  cfg.faults.staleness_rounds = nonneg(
+      "staleness",
+      args.get_int("staleness", static_cast<std::int64_t>(cfg.faults.staleness_rounds)));
   cfg.faults.validate();
-  cfg.corrupt_agents = static_cast<std::size_t>(
-      args.get_int("corrupt", static_cast<std::int64_t>(cfg.corrupt_agents)));
+  // S-BYZ adversary + defense flags.
+  cfg.adversary.frac =
+      prob("byz-frac", args.get_double("byz-frac", args.get_double("byz_frac", cfg.adversary.frac)));
+  if (args.has("byz-mode") || args.has("byz_mode")) {
+    cfg.adversary.mode = sim::byz_mode_from_string(
+        args.get_string("byz-mode", args.get_string("byz_mode", "sign_flip")));
+  }
+  cfg.adversary.scale =
+      args.get_double("byz-scale", args.get_double("byz_scale", cfg.adversary.scale));
+  cfg.adversary.onset = nonneg(
+      "byz-onset",
+      args.get_int("byz-onset", args.get_int("byz_onset", static_cast<std::int64_t>(cfg.adversary.onset))));
+  cfg.adversary.validate();
+  if (args.has("robust-agg") || args.has("robust_agg")) {
+    cfg.defense.robust_agg = algos::robust_agg_from_string(
+        args.get_string("robust-agg", args.get_string("robust_agg", "none")));
+  }
+  if (args.has("sanitize")) {
+    cfg.defense.sanitize = algos::sanitize_from_string(args.get_string("sanitize", "auto"));
+  }
+  cfg.corrupt_agents = nonneg(
+      "corrupt", args.get_int("corrupt", static_cast<std::int64_t>(cfg.corrupt_agents)));
   cfg.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
-  cfg.threads = static_cast<std::size_t>(
-      args.get_int("threads", static_cast<std::int64_t>(cfg.threads)));
+  cfg.threads = nonneg(
+      "threads", args.get_int("threads", static_cast<std::int64_t>(cfg.threads)));
   cfg.backend = args.get_string("backend", cfg.backend);
   if (cfg.metrics.eval_every == 1) cfg.metrics.eval_every = 5;
   cfg.profile = args.get_bool("profile", cfg.profile);
@@ -193,6 +249,10 @@ int cmd_run(int argc, const char* const* argv) {
               res.final_accuracy, res.messages, static_cast<double>(res.bytes) / 1e6);
   if (res.dropped != 0 || res.delayed != 0) {
     std::printf("faults: dropped=%zu delayed=%zu\n", res.dropped, res.delayed);
+  }
+  if (res.corrupted != 0 || res.rejected != 0 || res.reclipped != 0) {
+    std::printf("byzantine: corrupted=%zu rejected=%zu reclipped=%zu\n", res.corrupted,
+                res.rejected, res.reclipped);
   }
 
   if (cfg.profile) {
