@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace pdsl;
-  const CliArgs args(argc, argv, {"scale", "rounds", "eps", "seed"});
+  const CliArgs args(argc, argv, {"scale", "rounds", "eps", "seed", "out"});
   const std::string scale = args.get_string("scale", "quick");
   auto sp = bench::scale_params(scale, "mnist_like");
   sp.rounds =
@@ -33,12 +33,24 @@ int main(int argc, char** argv) {
   CsvWriter csv("bench_results/ablation_compression.csv",
                 {"channel", "final_loss", "test_accuracy", "bytes", "dense_bytes"});
 
+  bench::BenchEnvelope env("ablation_compression", "ablation");
+  {
+    json::Object c;
+    c["dataset"] = spec.dataset;
+    c["topology"] = spec.topology;
+    c["rounds"] = sp.rounds;
+    c["epsilon"] = eps;
+    c["seed"] = seed;
+    env.set_config(std::move(c));
+  }
+
   double dense_bytes = 0.0;
   for (const std::string channel :
        {"none", "quant:8", "quant:4", "topk:0.25", "topk:0.1", "topk:0.01"}) {
     auto cfg = bench::make_config(spec, sp, sp.agents.front(), eps, seed);
     cfg.algorithm = "pdsl";
     cfg.compression = channel;
+    env.set_faults(bench::fault_config_json(cfg));
     const auto res = core::run_experiment(cfg);
     const double mb = static_cast<double>(res.bytes) / 1e6;
     if (channel == "none") dense_bytes = mb;
@@ -46,6 +58,22 @@ int main(int argc, char** argv) {
                 res.final_accuracy, mb, 100.0 * mb / dense_bytes);
     csv.row(channel, res.final_loss, res.final_accuracy, res.bytes, dense_bytes * 1e6);
     csv.flush();
+    // Metric names must stay flat: "quant:8" -> "quant_8".
+    std::string key = channel;
+    for (char& ch : key) {
+      if (ch == ':' || ch == '.') ch = '_';
+    }
+    env.add_metric_sample(key + ".final_accuracy", "accuracy", res.final_accuracy);
+    env.add_metric_sample(key + ".bytes_ratio_vs_dense", "x",
+                          dense_bytes > 0 ? mb / dense_bytes : 0.0);
+    json::Object run;
+    run["channel"] = channel;
+    run["final_loss"] = res.final_loss;
+    run["final_accuracy"] = res.final_accuracy;
+    run["bytes"] = res.bytes;
+    run["bytes_mb"] = mb;
+    run["epsilon_spent"] = res.epsilon_spent;
+    env.add_run(std::move(run));
   }
-  return 0;
+  return env.write(args.get_string("out", "BENCH_ablation_compression.json")) ? 0 : 1;
 }

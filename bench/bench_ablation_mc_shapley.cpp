@@ -18,7 +18,7 @@
 using namespace pdsl;
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv, {"rounds", "agents", "seed", "perms"});
+  const CliArgs args(argc, argv, {"rounds", "agents", "seed", "perms", "out"});
   const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 8));
   const auto agents = static_cast<std::size_t>(args.get_int("agents", 6));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -83,8 +83,23 @@ int main(int argc, char** argv) {
     return Out{std::move(phis), sw.elapsed_seconds(), evals, acc / agents};
   };
 
+  bench::BenchEnvelope envelope("ablation_mc_shapley", "ablation");
+  {
+    json::Object c;
+    c["agents"] = agents;
+    c["rounds"] = rounds;
+    c["seed"] = seed;
+    json::Array budgets;
+    for (const auto p : perm_budgets) budgets.push_back(json::Value(p));
+    c["perm_budgets"] = json::Value(std::move(budgets));
+    envelope.set_config(std::move(c));
+  }
+
   const auto exact = run_and_collect("exact", 1);
   std::printf("exact: evals=%zu time=%.2fs acc=%.3f\n", exact.evals, exact.seconds, exact.acc);
+  envelope.add_metric_sample("exact.char_evals", "count", static_cast<double>(exact.evals));
+  envelope.add_metric_sample("exact.seconds", "s", exact.seconds);
+  envelope.add_metric_sample("exact.test_accuracy", "accuracy", exact.acc);
 
   CsvWriter csv("bench_results/ablation_mc_shapley.csv",
                 {"permutations", "mean_abs_phi_error", "char_evals", "seconds",
@@ -113,11 +128,35 @@ int main(int argc, char** argv) {
     const double err = report(std::to_string(perms), mc);
     csv.row(perms, err, mc.evals, mc.seconds, mc.acc, exact.evals, exact.seconds, exact.acc);
     csv.flush();
+    const std::string prefix = "perm" + std::to_string(perms);
+    envelope.add_metric_sample(prefix + ".mean_abs_phi_error", "phi", err);
+    envelope.add_metric_sample(prefix + ".char_evals", "count",
+                               static_cast<double>(mc.evals));
+    envelope.add_metric_sample(prefix + ".seconds", "s", mc.seconds);
+    json::Object run;
+    run["section"] = std::string("mc_sweep");
+    run["permutations"] = perms;
+    run["mean_abs_phi_error"] = err;
+    run["char_evals"] = mc.evals;
+    run["seconds"] = mc.seconds;
+    run["test_accuracy"] = mc.acc;
+    envelope.add_run(std::move(run));
   }
 
   // Estimator variants at a fixed budget (R = 8 permutations-equivalent).
   std::printf("\n-- estimator variants at matched budget --\n");
-  report("tmc", run_and_collect("tmc", 8));
-  report("strat", run_and_collect("stratified", 8));
-  return 0;
+  for (const std::string method : {"tmc", "stratified"}) {
+    const auto mc = run_and_collect(method, 8);
+    const double err = report(method == "tmc" ? "tmc" : "strat", mc);
+    envelope.add_metric_sample("variant_" + method + ".mean_abs_phi_error", "phi", err);
+    json::Object run;
+    run["section"] = std::string("variants");
+    run["method"] = method;
+    run["mean_abs_phi_error"] = err;
+    run["char_evals"] = mc.evals;
+    run["seconds"] = mc.seconds;
+    run["test_accuracy"] = mc.acc;
+    envelope.add_run(std::move(run));
+  }
+  return envelope.write(args.get_string("out", "BENCH_ablation_mc_shapley.json")) ? 0 : 1;
 }

@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   using namespace pdsl;
   const CliArgs args(argc, argv,
-                     {"scale", "rounds", "eps", "mu", "seed", "agents"});
+                     {"scale", "rounds", "eps", "mu", "seed", "agents", "out"});
   const std::string scale = args.get_string("scale", "quick");
   auto sp = bench::scale_params(scale, "mnist_like");
   sp.rounds = static_cast<std::size_t>(
@@ -31,6 +31,18 @@ int main(int argc, char** argv) {
   spec.dataset = "mnist_like";
   spec.topology = "full";
 
+  bench::BenchEnvelope env("ablation_shapley", "ablation");
+  {
+    json::Object c;
+    c["dataset"] = spec.dataset;
+    c["topology"] = spec.topology;
+    c["agents"] = agents;
+    c["rounds"] = sp.rounds;
+    c["epsilon"] = eps;
+    c["seed"] = seed;
+    env.set_config(std::move(c));
+  }
+
   std::printf("%8s %15s %12s %12s %14s\n", "mu", "algorithm", "final_loss", "accuracy",
               "heterogeneity");
   for (const double mu : mus) {
@@ -38,6 +50,7 @@ int main(int argc, char** argv) {
       auto cfg = bench::make_config(spec, sp, agents, eps, seed);
       cfg.algorithm = algo;
       cfg.mu = mu;
+      env.set_faults(bench::fault_config_json(cfg));
       const auto res = core::run_experiment(cfg);
       std::printf("%8.3g %15s %12.4f %12.3f %14.3f\n", mu,
                   bench::display_name(algo).c_str(), res.final_loss, res.final_accuracy,
@@ -45,6 +58,16 @@ int main(int argc, char** argv) {
       csv.row(mu, bench::display_name(algo), res.final_loss, res.final_accuracy,
               res.heterogeneity);
       csv.flush();
+      env.add_metric_sample("mu_sweep." + algo + ".final_accuracy", "accuracy",
+                            res.final_accuracy);
+      json::Object run;
+      run["section"] = std::string("mu_sweep");
+      run["mu"] = mu;
+      run["algorithm"] = algo;
+      run["final_loss"] = res.final_loss;
+      run["final_accuracy"] = res.final_accuracy;
+      run["heterogeneity"] = res.heterogeneity;
+      env.add_run(std::move(run));
     }
   }
 
@@ -65,6 +88,15 @@ int main(int argc, char** argv) {
                   res.final_loss, res.final_accuracy);
       csv2.row(bad, bench::display_name(algo), res.final_loss, res.final_accuracy);
       csv2.flush();
+      env.add_metric_sample("poison." + algo + ".final_accuracy", "accuracy",
+                            res.final_accuracy);
+      json::Object run;
+      run["section"] = std::string("poison");
+      run["corrupt_agents"] = bad;
+      run["algorithm"] = algo;
+      run["final_loss"] = res.final_loss;
+      run["final_accuracy"] = res.final_accuracy;
+      env.add_run(std::move(run));
     }
   }
 
@@ -87,7 +119,16 @@ int main(int argc, char** argv) {
                   res.final_loss, res.final_accuracy);
       csv3.row(bad, bench::display_name(algo), res.final_loss, res.final_accuracy);
       csv3.flush();
+      env.add_metric_sample("byzantine." + algo + ".final_accuracy", "accuracy",
+                            res.final_accuracy);
+      json::Object run;
+      run["section"] = std::string("byzantine");
+      run["byzantine_agents"] = bad;
+      run["algorithm"] = algo;
+      run["final_loss"] = res.final_loss;
+      run["final_accuracy"] = res.final_accuracy;
+      env.add_run(std::move(run));
     }
   }
-  return 0;
+  return env.write(args.get_string("out", "BENCH_ablation_shapley.json")) ? 0 : 1;
 }

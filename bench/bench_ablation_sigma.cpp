@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "dp/accountant.hpp"
@@ -15,7 +16,8 @@
 using namespace pdsl;
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv, {"agents", "eps", "delta", "clip", "batch", "rounds", "phimin"});
+  const CliArgs args(argc, argv,
+                     {"agents", "eps", "delta", "clip", "batch", "rounds", "phimin", "out"});
   const auto agent_counts = args.get_int_list("agents", {10, 15, 20});
   const auto epsilons = args.get_double_list("eps", {0.08, 0.1, 0.3, 0.5, 0.7, 1.0});
   const double delta = args.get_double("delta", 1e-3);
@@ -30,6 +32,17 @@ int main(int argc, char** argv) {
   CsvWriter csv("bench_results/ablation_sigma.csv",
                 {"topology", "agents", "epsilon", "sigma_theorem1", "sigma_dpsgd", "rho",
                  "omega_min", "sensitivity_theorem1", "eps_total_basic", "eps_total_advanced"});
+
+  bench::BenchEnvelope env("ablation_sigma", "calibration");
+  {
+    json::Object c;
+    c["delta"] = delta;
+    c["clip"] = clip;
+    c["batch"] = batch;
+    c["rounds"] = rounds;
+    c["phi_hat_min"] = phimin;
+    env.set_config(std::move(c));
+  }
 
   std::printf("%-10s %3s %6s %14s %12s %8s %10s %12s %12s\n", "topology", "M", "eps",
               "sigma_thm1", "sigma_dpsgd", "rho", "omega_min", "T*eps basic", "T eps adv");
@@ -57,10 +70,23 @@ int main(int argc, char** argv) {
                     w.min_positive_weight(), basic, adv);
         csv.row(topo_name, m, eps, s_thm, s_dpsgd, info.rho, w.min_positive_weight(),
                 dp::theorem1_sensitivity(w, clip), basic, adv);
+        env.add_metric_sample(topo_name + ".sigma_theorem1_over_dpsgd", "x",
+                              s_dpsgd > 0 ? s_thm / s_dpsgd : 0.0);
+        json::Object run;
+        run["topology"] = topo_name;
+        run["agents"] = m;
+        run["epsilon"] = eps;
+        run["sigma_theorem1"] = s_thm;
+        run["sigma_dpsgd"] = s_dpsgd;
+        run["rho"] = info.rho;
+        run["omega_min"] = w.min_positive_weight();
+        run["eps_total_basic"] = basic;
+        run["eps_total_advanced"] = adv;
+        env.add_run(std::move(run));
       }
     }
   }
   csv.flush();
   std::printf("\nrows in bench_results/ablation_sigma.csv\n");
-  return 0;
+  return env.write(args.get_string("out", "BENCH_ablation_sigma.json")) ? 0 : 1;
 }

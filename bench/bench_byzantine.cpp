@@ -93,7 +93,24 @@ int main(int argc, char** argv) {
   std::printf("%6s %14s | %8s %9s %9s | %10s %9s %9s\n", "frac", "algorithm",
               "acc", "pi_att", "pi_hon", "corrupted", "rejected", "reclipped");
 
-  pdsl::json::Array rows;
+  pdsl::bench::BenchEnvelope env("byzantine", "table");
+  {
+    pdsl::json::Object c;
+    c["dataset"] = base.dataset;
+    c["topology"] = base.topology;
+    c["agents"] = base.agents;
+    c["rounds"] = base.rounds;
+    c["byz_mode"] = mode_name;
+    c["byz_scale"] = byz_scale;
+    c["shapley_permutations"] = base.hp.shapley_permutations;
+    c["seed"] = base.seed;
+    pdsl::json::Array fs;
+    for (const double f : fracs) fs.push_back(pdsl::json::Value(f));
+    c["fracs"] = pdsl::json::Value(std::move(fs));
+    env.set_config(std::move(c));
+  }
+  env.set_faults(pdsl::bench::fault_config_json(base));
+
   double pdsl_acc_25 = -1.0, dpsgd_acc_25 = -1.0;
   double robust_pi_att_r10 = -1.0, robust_pi_hon_r10 = -1.0;
   for (const double frac : fracs) {
@@ -103,23 +120,32 @@ int main(int argc, char** argv) {
       cfg.adversary.frac = frac;
       cfg.adversary.mode = pdsl::sim::byz_mode_from_string(mode_name);
       cfg.adversary.scale = byz_scale;
+      // Record the regime at the largest attacker fraction of the sweep.
+      if (frac == fracs.back() && algo == algos.front()) {
+        env.set_adversary(pdsl::sim::adversary_plan_to_json(cfg.adversary));
+      }
       const ExperimentResult res = pdsl::core::run_experiment(cfg);
       const PiSplit pi = trailing_pi(res, 3);
       std::printf("%6.3f %14s | %8.3f %9.3f %9.3f | %10zu %9zu %9zu\n", frac,
                   algo.c_str(), res.final_accuracy, pi.attacker, pi.honest,
                   res.corrupted, res.rejected, res.reclipped);
 
+      env.add_metric_sample(algo + ".final_accuracy", "accuracy", res.final_accuracy);
+      env.add_metric_sample(algo + ".pi_attacker_mean_last3", "weight", pi.attacker);
+      env.add_metric_sample(algo + ".pi_honest_mean_last3", "weight", pi.honest);
+
       pdsl::json::Object row;
       row["frac"] = frac;
       row["algorithm"] = algo;
       row["final_accuracy"] = res.final_accuracy;
       row["final_loss"] = res.final_loss;
+      row["epsilon_spent"] = res.epsilon_spent;
       row["pi_attacker_mean_last3"] = pi.attacker;
       row["pi_honest_mean_last3"] = pi.honest;
       row["corrupted"] = res.corrupted;
       row["rejected"] = res.rejected;
       row["reclipped"] = res.reclipped;
-      rows.push_back(pdsl::json::Value(std::move(row)));
+      env.add_run(std::move(row));
 
       if (frac == 0.25 && mode_name == "sign_flip") {
         if (algo == "pdsl") pdsl_acc_25 = res.final_accuracy;
@@ -151,17 +177,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  pdsl::json::Object doc;
-  doc["bench"] = std::string("bench_byzantine");
-  doc["dataset"] = base.dataset;
-  doc["topology"] = base.topology;
-  doc["agents"] = base.agents;
-  doc["rounds"] = base.rounds;
-  doc["byz_mode"] = mode_name;
-  doc["byz_scale"] = byz_scale;
-  doc["shapley_permutations"] = base.hp.shapley_permutations;
-  doc["seed"] = base.seed;
-  doc["faults"] = pdsl::bench::fault_config_json(base);
   if (pdsl_acc_25 >= 0.0) {
     pdsl::json::Object gate;
     gate["pdsl_accuracy_at_25pct"] = pdsl_acc_25;
@@ -169,19 +184,8 @@ int main(int argc, char** argv) {
     gate["pdsl_robust_pi_attacker_round10"] = robust_pi_att_r10;
     gate["pdsl_robust_pi_honest_round10"] = robust_pi_hon_r10;
     gate["passed"] = ok;
-    doc["acceptance"] = pdsl::json::Value(std::move(gate));
+    env.set_acceptance(std::move(gate));
   }
-  doc["runs"] = pdsl::json::Value(std::move(rows));
-  const pdsl::json::Value v(std::move(doc));
-  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-    const std::string s = v.dump(2);
-    std::fwrite(s.data(), 1, s.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("\nwrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "bench_byzantine: cannot write %s\n", out_path.c_str());
-    return 1;
-  }
+  if (!env.write(out_path)) return 1;
   return ok ? 0 : 1;
 }

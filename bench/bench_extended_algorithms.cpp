@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace pdsl;
-  const CliArgs args(argc, argv, {"scale", "rounds", "eps", "seeds"});
+  const CliArgs args(argc, argv, {"scale", "rounds", "eps", "seeds", "out"});
   const std::string scale = args.get_string("scale", "quick");
   auto sp = bench::scale_params(scale, "mnist_like");
   sp.rounds =
@@ -36,6 +36,20 @@ int main(int argc, char** argv) {
                 {"algorithm", "loss_mean", "loss_std", "acc_mean", "acc_std", "acc_min",
                  "acc_max"});
 
+  bench::BenchEnvelope env("extended_algorithms", "table");
+  {
+    json::Object c;
+    c["dataset"] = spec.dataset;
+    c["topology"] = spec.topology;
+    c["agents"] = sp.agents.front();
+    c["rounds"] = sp.rounds;
+    c["epsilon"] = eps;
+    json::Array ss;
+    for (const auto s : seed_ints) ss.push_back(json::Value(s));
+    c["seeds"] = json::Value(std::move(ss));
+    env.set_config(std::move(c));
+  }
+
   for (const std::string algo :
        {"dpsgd", "dp_dpsgd", "muffliato", "dp_cga", "dp_netfleet", "async_dp_gossip",
         "dp_qgm", "pdsl_uniform", "pdsl"}) {
@@ -51,6 +65,18 @@ int main(int argc, char** argv) {
             rep.final_accuracy.mean, rep.final_accuracy.stddev, rep.final_accuracy.min,
             rep.final_accuracy.max);
     csv.flush();
+    env.add_metric_sample(algo + ".final_accuracy_mean", "accuracy",
+                          rep.final_accuracy.mean);
+    env.add_metric_sample(algo + ".final_loss_mean", "loss", rep.final_loss.mean);
+    json::Object run;
+    run["algorithm"] = algo;
+    run["loss_mean"] = rep.final_loss.mean;
+    run["loss_std"] = rep.final_loss.stddev;
+    run["acc_mean"] = rep.final_accuracy.mean;
+    run["acc_std"] = rep.final_accuracy.stddev;
+    run["acc_min"] = rep.final_accuracy.min;
+    run["acc_max"] = rep.final_accuracy.max;
+    env.add_run(std::move(run));
   }
-  return 0;
+  return env.write(args.get_string("out", "BENCH_extended_algorithms.json")) ? 0 : 1;
 }

@@ -19,9 +19,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
@@ -183,7 +183,15 @@ int run_kernel_sweep(const CliArgs& args) {
   for (const auto& s : kConvShapes) rows.push_back(sweep_conv(s, reps, threads));
   kernels::set_backend(entry_backend);
 
-  pdsl::json::Array json_rows;
+  pdsl::bench::BenchEnvelope env("kernels", "micro");
+  {
+    pdsl::json::Object c;
+    c["reps"] = reps;
+    c["threads"] = threads;
+    c["conv_unit"] = std::string("forward+backward per batch");
+    env.set_config(std::move(c));
+  }
+
   double cifar_conv_min_speedup = 1e30;
   for (const auto& r : rows) {
     const double speedup = r.blocked_ms > 0 ? r.naive_ms / r.blocked_ms : 0.0;
@@ -192,6 +200,9 @@ int run_kernel_sweep(const CliArgs& args) {
     }
     std::printf("%-16s %-24s %12.4f %12.4f %8.2fx\n", r.name.c_str(), r.shape.c_str(),
                 r.naive_ms, r.blocked_ms, speedup);
+    env.add_metric_sample(r.name + ".naive_ms", "ms", r.naive_ms);
+    env.add_metric_sample(r.name + ".blocked_ms", "ms", r.blocked_ms);
+    env.add_metric_sample(r.name + ".speedup", "x", speedup);
     pdsl::json::Object o;
     o["name"] = r.name;
     o["kind"] = r.kind;
@@ -203,32 +214,17 @@ int run_kernel_sweep(const CliArgs& args) {
       o["blocked_mt_ms"] = r.blocked_mt_ms;
       o["speedup_mt_vs_naive"] = r.naive_ms / r.blocked_mt_ms;
     }
-    json_rows.push_back(pdsl::json::Value(std::move(o)));
+    env.add_run(std::move(o));
   }
+  env.add_metric_sample("cifar_conv_min_speedup", "x", cifar_conv_min_speedup);
 
-  pdsl::json::Object doc;
-  doc["bench"] = std::string("bench_micro_kernels");
-  // Like BENCH_threads.json: record the host's core count so numbers from a
-  // small CI box aren't mistaken for kernel regressions.
-  doc["host_hardware_concurrency"] =
-      static_cast<std::size_t>(std::thread::hardware_concurrency());
-  doc["reps"] = reps;
-  doc["threads"] = threads;
-  doc["conv_unit"] = std::string("forward+backward per batch");
-  doc["cifar_conv_min_speedup"] = cifar_conv_min_speedup;
-  doc["runs"] = pdsl::json::Value(std::move(json_rows));
-  const pdsl::json::Value v(std::move(doc));
-  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-    const std::string s = v.dump(2);
-    std::fwrite(s.data(), 1, s.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("\nwrote %s (cifar conv min speedup: %.2fx)\n", out_path.c_str(),
-                cifar_conv_min_speedup);
-  } else {
-    std::fprintf(stderr, "bench_micro_kernels: cannot write %s\n", out_path.c_str());
-    return 1;
-  }
+  // The S-KER contract: blocked conv must beat naive at the CIFAR-CNN shapes.
+  pdsl::json::Object gate;
+  gate["cifar_conv_min_speedup"] = cifar_conv_min_speedup;
+  gate["passed"] = cifar_conv_min_speedup > 1.0;
+  env.set_acceptance(std::move(gate));
+  if (!env.write(out_path)) return 1;
+  std::printf("cifar conv min speedup: %.2fx\n", cifar_conv_min_speedup);
   return 0;
 }
 

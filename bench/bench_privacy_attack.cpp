@@ -10,6 +10,7 @@
 
 #include "attack/label_inference.hpp"
 #include "attack/membership.hpp"
+#include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "core/pdsl.hpp"
@@ -21,13 +22,25 @@
 using namespace pdsl;
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv, {"trials", "rounds", "sigmas", "seed"});
+  const CliArgs args(argc, argv, {"trials", "rounds", "sigmas", "seed", "out"});
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 120));
   const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 20));
   const auto sigmas = args.get_double_list("sigmas", {0.0, 0.02, 0.05, 0.1, 0.3, 1.0});
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
   std::printf("==== extension: empirical privacy attacks vs Gaussian noise ====\n\n");
+
+  pdsl::bench::BenchEnvelope envelope("privacy_attack", "attack");
+  {
+    json::Object c;
+    c["trials"] = trials;
+    c["rounds"] = rounds;
+    c["seed"] = seed;
+    json::Array ss;
+    for (const double s : sigmas) ss.push_back(json::Value(s));
+    c["sigmas"] = json::Value(std::move(ss));
+    envelope.set_config(std::move(c));
+  }
 
   // Shared data/model setup.
   Rng rng(seed);
@@ -49,6 +62,18 @@ int main(int argc, char** argv) {
         attack::label_leakage_experiment(model, train, 16, 1.0, sigma, trials, rng.split(7));
     std::printf("%8.3g %10.3f %10.3f\n", sigma, res.hit_rate, res.chance);
     csv.row("label_leakage", sigma, "hit_rate", res.hit_rate, res.chance);
+    if (sigma == sigmas.front()) {
+      envelope.add_metric_sample("label_leakage.hit_rate_no_noise", "rate", res.hit_rate);
+    }
+    if (sigma == sigmas.back()) {
+      envelope.add_metric_sample("label_leakage.hit_rate_max_noise", "rate", res.hit_rate);
+    }
+    json::Object run;
+    run["attack"] = std::string("label_leakage");
+    run["sigma"] = sigma;
+    run["hit_rate"] = res.hit_rate;
+    run["chance"] = res.chance;
+    envelope.add_run(std::move(run));
   }
 
   // (b) Membership inference against PDSL's trained models.
@@ -88,8 +113,21 @@ int main(int argc, char** argv) {
                 res.mean_member_loss, res.mean_nonmember_loss);
     csv.row("membership", sigma, "auc", res.auc, 0.5);
     csv.row("membership", sigma, "advantage", res.advantage, 0.0);
+    if (sigma == 0.0) {
+      envelope.add_metric_sample("membership.auc_no_noise", "auc", res.auc);
+    } else {
+      envelope.add_metric_sample("membership.auc_with_dp", "auc", res.auc);
+    }
+    json::Object run;
+    run["attack"] = std::string("membership");
+    run["sigma"] = sigma;
+    run["auc"] = res.auc;
+    run["advantage"] = res.advantage;
+    run["mean_member_loss"] = res.mean_member_loss;
+    run["mean_nonmember_loss"] = res.mean_nonmember_loss;
+    envelope.add_run(std::move(run));
   }
   csv.flush();
   std::printf("\nrows in bench_results/privacy_attack.csv\n");
-  return 0;
+  return envelope.write(args.get_string("out", "BENCH_privacy_attack.json")) ? 0 : 1;
 }

@@ -11,7 +11,6 @@
 
 #include <cstdio>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -75,7 +74,21 @@ int main(int argc, char** argv) {
               "threads", "total(s)", "local_grad", "crossgrad", "shapley",
               "aggregate", "gossip", "speedup");
 
-  pdsl::json::Array rows;
+  pdsl::bench::BenchEnvelope env("threads", "scaling");
+  {
+    pdsl::json::Object c;
+    c["algorithm"] = cfg.algorithm;
+    c["agents"] = cfg.agents;
+    c["rounds"] = cfg.rounds;
+    c["shapley_permutations"] = cfg.hp.shapley_permutations;
+    c["seed"] = cfg.seed;
+    pdsl::json::Array ws;
+    for (const auto w : widths) ws.push_back(pdsl::json::Value(w));
+    c["threads"] = pdsl::json::Value(std::move(ws));
+    env.set_config(std::move(c));
+  }
+  env.set_faults(pdsl::bench::fault_config_json(cfg));
+
   std::vector<float> reference_model;
   double seq_total = 0.0, seq_cross = 0.0, seq_shap = 0.0;
   bool bitwise_ok = true;
@@ -101,6 +114,14 @@ int main(int argc, char** argv) {
                 ms_per_round(p.aggregate_s, cfg.rounds),
                 ms_per_round(p.gossip_s, cfg.rounds), seq_total / total);
 
+    const std::string prefix = "threads" + std::to_string(w);
+    env.add_metric_sample(prefix + ".total_s", "s", total);
+    env.add_metric_sample(prefix + ".speedup_total", "x", seq_total / total);
+    env.add_metric_sample(prefix + ".crossgrad_ms_per_round", "ms",
+                          ms_per_round(p.crossgrad_s, cfg.rounds));
+    env.add_metric_sample(prefix + ".shapley_ms_per_round", "ms",
+                          ms_per_round(p.shapley_s, cfg.rounds));
+
     pdsl::json::Object row;
     row["threads"] = static_cast<std::size_t>(w);
     row["total_s"] = total;
@@ -113,34 +134,15 @@ int main(int argc, char** argv) {
     row["speedup_crossgrad"] = p.crossgrad_s > 0 ? seq_cross / p.crossgrad_s : 0.0;
     row["speedup_shapley"] = p.shapley_s > 0 ? seq_shap / p.shapley_s : 0.0;
     row["bit_identical_to_threads1"] = res.average_model == reference_model;
-    rows.push_back(pdsl::json::Value(std::move(row)));
+    env.add_run(std::move(row));
   }
 
-  pdsl::json::Object doc;
-  doc["bench"] = std::string("bench_threads_scaling");
-  // Speedup is bounded by the host's core count; record it so a ~1.0x table
-  // from a single-core CI box isn't mistaken for an engine regression.
-  doc["host_hardware_concurrency"] =
-      static_cast<std::size_t>(std::thread::hardware_concurrency());
-  doc["algorithm"] = cfg.algorithm;
-  doc["agents"] = cfg.agents;
-  doc["rounds"] = cfg.rounds;
-  doc["shapley_permutations"] = cfg.hp.shapley_permutations;
-  doc["seed"] = cfg.seed;
-  doc["faults"] = pdsl::bench::fault_config_json(cfg);
-  doc["bit_identical_across_widths"] = bitwise_ok;
-  doc["runs"] = pdsl::json::Value(std::move(rows));
-  const pdsl::json::Value v(std::move(doc));
-  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-    const std::string s = v.dump(2);
-    std::fwrite(s.data(), 1, s.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("\nwrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "bench_threads_scaling: cannot write %s\n", out_path.c_str());
-    return 1;
-  }
+  // The determinism contract doubles as this bench's acceptance gate.
+  pdsl::json::Object gate;
+  gate["bit_identical_across_widths"] = bitwise_ok;
+  gate["passed"] = bitwise_ok;
+  env.set_acceptance(std::move(gate));
+  if (!env.write(out_path)) return 1;
   if (!bitwise_ok) {
     std::fprintf(stderr,
                  "ERROR: results differ across thread widths (determinism "

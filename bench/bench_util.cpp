@@ -1,9 +1,12 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <stdexcept>
+#include <thread>
 
 #include "common/csv.hpp"
 #include "common/stopwatch.hpp"
@@ -147,6 +150,137 @@ json::Value fault_config_json(const core::ExperimentConfig& cfg) {
   return sim::fault_plan_to_json(plan);
 }
 
+// ---------------------------------------------------------------------------
+// S-BENCH360 envelope
+// ---------------------------------------------------------------------------
+
+json::Value build_info_json() {
+  json::Object b;
+#ifdef PDSL_COMPILER_ID
+  b["compiler"] = std::string(PDSL_COMPILER_ID);
+#else
+  b["compiler"] = std::string("unknown");
+#endif
+#ifdef PDSL_COMPILER_VERSION
+  b["compiler_version"] = std::string(PDSL_COMPILER_VERSION);
+#else
+  b["compiler_version"] = std::string("unknown");
+#endif
+#ifdef PDSL_BUILD_TYPE
+  b["build_type"] = std::string(PDSL_BUILD_TYPE);
+#else
+  b["build_type"] = std::string("unknown");
+#endif
+#ifdef PDSL_NATIVE_BUILD
+  b["pdsl_native"] = true;
+#else
+  b["pdsl_native"] = false;
+#endif
+  return json::Value(std::move(b));
+}
+
+json::Value host_info_json() {
+  json::Object h;
+  h["hardware_concurrency"] =
+      static_cast<std::size_t>(std::thread::hardware_concurrency());
+  return json::Value(std::move(h));
+}
+
+std::string bench_git_rev() {
+  if (const char* env = std::getenv("PDSL_GIT_REV")) return env;
+#ifdef PDSL_GIT_REV
+  return PDSL_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+json::Value phase_histograms_json() {
+  const json::Value snap = obs::MetricsRegistry::global().to_json();
+  json::Object out;
+  if (snap.contains("histograms")) {
+    for (const auto& [name, h] : snap.at("histograms").as_object()) {
+      if (name.rfind("phase.", 0) == 0) out[name] = h;
+    }
+  }
+  return json::Value(std::move(out));
+}
+
+BenchEnvelope::BenchEnvelope(std::string bench_id, std::string kind)
+    : bench_id_(std::move(bench_id)),
+      kind_(std::move(kind)),
+      faults_(json::Object{}),
+      adversary_(json::Object{}) {}
+
+void BenchEnvelope::set_config(json::Object cfg) { config_ = std::move(cfg); }
+void BenchEnvelope::set_faults(json::Value faults) { faults_ = std::move(faults); }
+void BenchEnvelope::set_adversary(json::Value adversary) {
+  adversary_ = std::move(adversary);
+}
+void BenchEnvelope::set_acceptance(json::Object acceptance) {
+  acceptance_ = std::move(acceptance);
+  has_acceptance_ = true;
+}
+
+void BenchEnvelope::add_metric_sample(const std::string& name, const std::string& unit,
+                                      double value) {
+  auto& series = metrics_[name];
+  series.unit = unit;
+  series.samples.push_back(value);
+}
+
+void BenchEnvelope::add_run(json::Object run) {
+  runs_.push_back(json::Value(std::move(run)));
+}
+
+json::Value BenchEnvelope::to_json() const {
+  json::Object o;
+  o["schema_version"] = 1;
+  o["bench"] = bench_id_;
+  o["kind"] = kind_;
+  o["git_rev"] = bench_git_rev();
+  o["build"] = build_info_json();
+  o["host"] = host_info_json();
+  o["repeats"] = 1;  // >1 only in driver-merged files
+  o["config"] = json::Value(config_);
+  o["faults"] = faults_;
+  o["adversary"] = adversary_;
+  json::Object metrics;
+  for (const auto& [name, series] : metrics_) {
+    std::vector<double> sorted = series.samples;
+    std::sort(sorted.begin(), sorted.end());
+    json::Object m;
+    m["unit"] = series.unit;
+    m["min"] = sorted.front();
+    m["max"] = sorted.back();
+    const std::size_t n = sorted.size();
+    m["median"] = n % 2 == 1 ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+    json::Array samples;
+    for (const double s : series.samples) samples.push_back(json::Value(s));
+    m["samples"] = json::Value(std::move(samples));
+    metrics[name] = json::Value(std::move(m));
+  }
+  o["metrics"] = json::Value(std::move(metrics));
+  o["phases"] = phase_histograms_json();
+  o["runs"] = json::Value(runs_);
+  if (has_acceptance_) o["acceptance"] = json::Value(acceptance_);
+  return json::Value(std::move(o));
+}
+
+bool BenchEnvelope::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench_id_.c_str(), path.c_str());
+    return false;
+  }
+  const std::string s = to_json().dump(2);
+  std::fwrite(s.data(), 1, s.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 namespace {
 
 struct ParsedCommon {
@@ -202,6 +336,30 @@ void print_profile(const core::ExperimentResult& res, std::size_t rounds) {
       1e3 * p.gossip_s / static_cast<double>(rounds));
 }
 
+/// Common envelope config block for the figure/table sweeps.
+json::Object sweep_config_json(const SweepSpec& spec, const ParsedCommon& pc) {
+  json::Object c;
+  c["dataset"] = spec.dataset;
+  c["topology"] = spec.topology;
+  c["scale"] = pc.scale;
+  c["model"] = pc.sp.model;
+  c["image"] = pc.sp.image;
+  c["rounds"] = pc.sp.rounds;
+  c["train_samples"] = pc.sp.train_samples;
+  c["batch"] = pc.sp.batch;
+  c["shapley_permutations"] = pc.sp.shapley_permutations;
+  c["noise_scale"] = pc.sp.noise_scale;
+  c["seed"] = pc.seed;
+  c["threads"] = pc.threads;
+  json::Array agents;
+  for (const auto m : pc.agents) agents.push_back(json::Value(m));
+  c["agents"] = json::Value(std::move(agents));
+  json::Array eps;
+  for (const double e : pc.epsilons) eps.push_back(json::Value(e));
+  c["epsilons"] = json::Value(std::move(eps));
+  return c;
+}
+
 /// End-of-bench reporting: the sweep-wide phase table and the trace file.
 void finish_obs(const ParsedCommon& pc, const obs::PhaseTimings& totals,
                 std::size_t total_rounds) {
@@ -234,6 +392,8 @@ int run_figure_bench(int argc, const char* const* argv, const SweepSpec& spec_in
   Stopwatch total;
   obs::PhaseTimings phase_totals;
   std::size_t total_rounds = 0;
+  BenchEnvelope env(spec.id, "figure");
+  env.set_config(sweep_config_json(spec, pc));
 
   for (const auto m : pc.agents) {
     for (const double eps : pc.epsilons) {
@@ -244,12 +404,13 @@ int run_figure_bench(int argc, const char* const* argv, const SweepSpec& spec_in
         auto cfg = make_config(spec, pc.sp, static_cast<std::size_t>(m), eps, pc.seed);
         cfg.algorithm = algo;
         cfg.threads = pc.threads;
+        env.set_faults(fault_config_json(cfg));
         Stopwatch sw;
         results[algo] = core::run_experiment(cfg);
+        const double seconds = sw.elapsed_seconds();
         std::printf("   %-13s sigma=%-8.4g final_loss=%-8.4g final_acc=%.3f  (%.1fs)\n",
                     display_name(algo).c_str(), results[algo].sigma,
-                    results[algo].final_loss, results[algo].final_accuracy,
-                    sw.elapsed_seconds());
+                    results[algo].final_loss, results[algo].final_accuracy, seconds);
         if (pc.profile) print_profile(results[algo], pc.sp.rounds);
         phase_totals += results[algo].phase_totals;
         total_rounds += pc.sp.rounds;
@@ -258,6 +419,21 @@ int run_figure_bench(int argc, const char* const* argv, const SweepSpec& spec_in
                   rm.round, rm.avg_loss, rm.test_accuracy, rm.consensus);
         }
         csv.flush();
+        const auto& res = results[algo];
+        env.add_metric_sample(algo + ".final_loss", "loss", res.final_loss);
+        env.add_metric_sample(algo + ".final_accuracy", "accuracy", res.final_accuracy);
+        env.add_metric_sample(algo + ".epsilon_spent", "epsilon", res.epsilon_spent);
+        env.add_metric_sample(algo + ".run_seconds", "s", seconds);
+        json::Object run;
+        run["agents"] = m;
+        run["epsilon"] = eps;
+        run["algorithm"] = algo;
+        run["sigma"] = res.sigma;
+        run["final_loss"] = res.final_loss;
+        run["final_accuracy"] = res.final_accuracy;
+        run["epsilon_spent"] = res.epsilon_spent;
+        run["seconds"] = seconds;
+        env.add_run(std::move(run));
       }
       // Paper-style series: average loss vs communication round.
       std::printf("   round");
@@ -277,6 +453,7 @@ int run_figure_bench(int argc, const char* const* argv, const SweepSpec& spec_in
     }
   }
   finish_obs(pc, phase_totals, total_rounds);
+  if (!env.write(args.get_string("out", "BENCH_" + spec.id + ".json"))) return 1;
   std::printf("\n%s done in %.1fs; series in %s\n", spec.id.c_str(), total.elapsed_seconds(),
               csv_path(spec.id).c_str());
   return 0;
@@ -297,6 +474,8 @@ int run_table_bench(int argc, const char* const* argv, SweepSpec spec,
   Stopwatch total;
   obs::PhaseTimings phase_totals;
   std::size_t total_rounds = 0;
+  BenchEnvelope env(spec.id, "table");
+  env.set_config(sweep_config_json(spec, pc));
 
   for (const double eps : pc.epsilons) {
     std::printf("\nepsilon = %.3g\n", eps);
@@ -315,7 +494,10 @@ int run_table_bench(int argc, const char* const* argv, SweepSpec spec,
           auto cfg = make_config(spec, pc.sp, static_cast<std::size_t>(m), eps, pc.seed);
           cfg.algorithm = algo;
           cfg.threads = pc.threads;
+          env.set_faults(fault_config_json(cfg));
+          Stopwatch sw;
           const auto res = core::run_experiment(cfg);
+          const double seconds = sw.elapsed_seconds();
           phase_totals += res.phase_totals;
           total_rounds += pc.sp.rounds;
           std::printf("  %9.3f", res.final_accuracy);
@@ -323,12 +505,28 @@ int run_table_bench(int argc, const char* const* argv, SweepSpec spec,
           csv.row(spec.id, spec.dataset, topo, m, eps, display_name(algo), pc.threads,
                   res.final_accuracy, res.final_loss, res.sigma);
           csv.flush();
+          env.add_metric_sample(algo + ".final_accuracy", "accuracy", res.final_accuracy);
+          env.add_metric_sample(algo + ".final_loss", "loss", res.final_loss);
+          env.add_metric_sample(algo + ".epsilon_spent", "epsilon", res.epsilon_spent);
+          env.add_metric_sample(algo + ".run_seconds", "s", seconds);
+          json::Object run;
+          run["topology"] = topo;
+          run["agents"] = m;
+          run["epsilon"] = eps;
+          run["algorithm"] = algo;
+          run["sigma"] = res.sigma;
+          run["final_loss"] = res.final_loss;
+          run["final_accuracy"] = res.final_accuracy;
+          run["epsilon_spent"] = res.epsilon_spent;
+          run["seconds"] = seconds;
+          env.add_run(std::move(run));
         }
       }
       std::printf("\n");
     }
   }
   finish_obs(pc, phase_totals, total_rounds);
+  if (!env.write(args.get_string("out", "BENCH_" + spec.id + ".json"))) return 1;
   std::printf("\n%s done in %.1fs; rows in %s\n", spec.id.c_str(), total.elapsed_seconds(),
               csv_path(spec.id).c_str());
   return 0;

@@ -10,6 +10,7 @@
 //  - "paper": the paper's M in {10,15,20}, full round counts, CNN models and
 //    paper image sizes. Hours of CPU; run selectively.
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -69,5 +70,78 @@ std::string display_name(const std::string& algo_key);
 /// FaultPlan (with the legacy drop_prob alias folded in) so a bench number
 /// can never be quoted without the fault regime it was measured under.
 json::Value fault_config_json(const core::ExperimentConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// S-BENCH360 canonical benchmark envelope (schema v1)
+// ---------------------------------------------------------------------------
+// Every bench binary writes one of these as BENCH_<id>.json so
+// tools/run_benchmarks.py can aggregate, diff and report uniformly. The
+// envelope carries full provenance (git rev, compiler, build type,
+// PDSL_NATIVE, host core count), the run's config and fault/adversary regime,
+// named metric series with median/min/max over the recorded samples, the
+// per-phase timing histograms from obs::MetricsRegistry, and a free-form
+// `runs` array with the bench's detailed rows. A binary records one sample
+// per metric per process; the python driver re-runs the binary N times and
+// merges the sample arrays, so `repeats` > 1 only ever appears in
+// driver-merged files.
+
+/// Build provenance: {"compiler", "compiler_version", "build_type",
+/// "pdsl_native"} from compile definitions stamped in bench/CMakeLists.txt.
+json::Value build_info_json();
+
+/// Host identity: {"hardware_concurrency"}. Speedup-style metrics are bounded
+/// by the core count, so numbers from a 1-core CI box aren't mistaken for
+/// engine regressions.
+json::Value host_info_json();
+
+/// Git revision the binary was built from (stamped at configure time;
+/// the PDSL_GIT_REV environment variable overrides, which the A/B driver
+/// uses when it rebuilds an older rev in a worktree).
+std::string bench_git_rev();
+
+/// Snapshot of the "phase.*" histograms in the global MetricsRegistry
+/// (populated by run_with_metrics: one observation per phase per round).
+json::Value phase_histograms_json();
+
+class BenchEnvelope {
+ public:
+  /// `kind`: figure | table | ablation | scaling | micro | attack | calibration.
+  BenchEnvelope(std::string bench_id, std::string kind);
+
+  /// The resolved knob values the bench actually ran with.
+  void set_config(json::Object cfg);
+  void set_faults(json::Value faults);
+  void set_adversary(json::Value adversary);
+  /// Pass/fail gate values for benches that double as contracts.
+  void set_acceptance(json::Object acceptance);
+
+  /// Append one observation to the named series; median/min/max are computed
+  /// over all samples at to_json() time. Units are free-form but stable
+  /// ("ms", "s", "loss", "accuracy", "x", "epsilon", "bytes").
+  void add_metric_sample(const std::string& name, const std::string& unit, double value);
+  /// Append one detailed result row (bench-specific fields).
+  void add_run(json::Object run);
+
+  [[nodiscard]] json::Value to_json() const;
+  /// dump(2) + trailing newline to `path`; prints a "wrote <path>" line.
+  /// Returns false (after an error line on stderr) when the file can't be
+  /// opened.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string bench_id_;
+  std::string kind_;
+  json::Object config_;
+  json::Value faults_;
+  json::Value adversary_;
+  json::Object acceptance_;
+  bool has_acceptance_ = false;
+  struct MetricSeries {
+    std::string unit;
+    std::vector<double> samples;
+  };
+  std::map<std::string, MetricSeries> metrics_;  ///< sorted => stable dumps
+  json::Array runs_;
+};
 
 }  // namespace pdsl::bench

@@ -9,6 +9,7 @@
 #include "common/stopwatch.hpp"
 #include "common/vec_math.hpp"
 #include "dp/mechanism.hpp"
+#include "dp/rdp.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 #include "sim/evaluate.hpp"
@@ -313,14 +314,45 @@ void Algorithm::draw_all_batches() {
                         [&](std::size_t i) { workers_[i].draw_batch(); });
 }
 
+namespace {
+
+/// Per-phase latency histograms in the process-global registry: one
+/// observation per round per phase, in ms. The bench envelope snapshots these
+/// so every BENCH_*.json carries the phase distribution of its whole sweep.
+void observe_phase_histograms(const obs::PhaseTimings& p) {
+  static const std::vector<double> kBoundsMs = {0.05, 0.1, 0.25, 0.5, 1.0,  2.5,  5.0,
+                                                10.0, 25.0, 50.0, 100.0, 250.0, 1000.0};
+  auto& reg = obs::MetricsRegistry::global();
+  for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+    const auto phase = static_cast<obs::Phase>(i);
+    reg.histogram(std::string("phase.") + obs::phase_name(phase) + "_ms", kBoundsMs)
+        .observe(1e3 * p.at(phase));
+  }
+}
+
+}  // namespace
+
 std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t rounds,
                                                 const data::Dataset& test,
-                                                const MetricsOptions& opts) {
+                                                const MetricsOptions& opts,
+                                                obs::RunLedger* ledger) {
   std::vector<sim::RoundMetrics> series;
   series.reserve(rounds);
   Stopwatch watch;
   nn::Model eval_ws = *alg.env().model_template;
   double last_acc = 0.0;
+
+  // S-BENCH360 privacy trajectory: the paper's analysis treats one round as
+  // one Gaussian-mechanism release per agent (sensitivity 2C/B on the
+  // mini-batch mean), so the accountant composes one invocation at noise
+  // multiplier z = sigma / (2C/B) per round and epsilon_spent is its
+  // (epsilon, delta)-DP conversion at the run's dp_delta.
+  const auto& hp = alg.env().hp;
+  const double sensitivity =
+      hp.batch > 0 ? 2.0 * hp.clip / static_cast<double>(hp.batch) : 0.0;
+  const double noise_multiplier =
+      (hp.sigma > 0.0 && sensitivity > 0.0) ? hp.sigma / sensitivity : 0.0;
+  dp::RdpAccountant accountant;
   for (std::size_t t = 1; t <= rounds; ++t) {
     alg.reset_phase_timings();
     Stopwatch round_watch;
@@ -365,7 +397,44 @@ std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t roun
       m.pi_attacker = split->first;
       m.pi_honest = split->second;
     }
+    if (noise_multiplier > 0.0) {
+      accountant.add_gaussian(noise_multiplier, 1);
+      m.epsilon_spent = accountant.epsilon(alg.env().dp_delta);
+    }
     m.elapsed_s = watch.elapsed_seconds();
+    observe_phase_histograms(m.phases);
+    if (ledger != nullptr && ledger->enabled()) {
+      json::Object ev;
+      ev["round"] = m.round;
+      ev["avg_loss"] = m.avg_loss;
+      ev["test_accuracy"] = m.test_accuracy;
+      ev["consensus"] = m.consensus;
+      ev["messages"] = m.messages;
+      ev["bytes"] = m.bytes;
+      ev["dropped"] = m.dropped;
+      ev["delayed"] = m.delayed;
+      ev["offline"] = m.offline;
+      ev["stale_reused"] = m.stale_reused;
+      ev["fallbacks"] = m.fallbacks;
+      ev["byz_active"] = m.byz_active;
+      ev["corrupted"] = m.corrupted;
+      ev["rejected"] = m.rejected;
+      ev["reclipped"] = m.reclipped;
+      ev["pi_attacker"] = m.pi_attacker;
+      ev["pi_honest"] = m.pi_honest;
+      ev["epsilon_spent"] = m.epsilon_spent;
+      ledger->event("round", std::move(ev));
+      alg.ledger_round(*ledger, t);
+      json::Object timing;
+      timing["round"] = m.round;
+      timing["round_ms"] = 1e3 * m.round_s;
+      timing["local_grad_ms"] = 1e3 * m.phases.local_grad_s;
+      timing["crossgrad_ms"] = 1e3 * m.phases.crossgrad_s;
+      timing["shapley_ms"] = 1e3 * m.phases.shapley_s;
+      timing["aggregate_ms"] = 1e3 * m.phases.aggregate_s;
+      timing["gossip_ms"] = 1e3 * m.phases.gossip_s;
+      ledger->event(obs::RunLedger::kTimingEvent, std::move(timing));
+    }
     series.push_back(m);
   }
   return series;

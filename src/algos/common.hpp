@@ -13,6 +13,7 @@
 
 #include "common/rng.hpp"
 #include "compress/compressor.hpp"
+#include "obs/ledger.hpp"
 #include "obs/phase.hpp"
 #include "data/dataset.hpp"
 #include "graph/mixing.hpp"
@@ -86,6 +87,10 @@ struct Env {
   const std::vector<std::vector<std::size_t>>* partition = nullptr;
   HyperParams hp;
   std::uint64_t seed = 1;
+  /// DP failure probability delta for the per-round privacy accounting
+  /// (RoundMetrics::epsilon_spent). Only the report changes with it — the
+  /// noise itself is hp.sigma, calibrated upstream.
+  double dp_delta = 1e-3;
   double drop_prob = 0.0;  ///< legacy alias for faults.drop_prob
   const compress::Compressor* compressor = nullptr;  ///< optional lossy channel
   sim::FaultPlan faults;  ///< S-FAULT: drop/delay/churn/staleness injection
@@ -161,6 +166,16 @@ class Algorithm {
 
   /// Is incoming-payload sanitization in effect for this run?
   [[nodiscard]] bool sanitizing() const { return sanitize_; }
+
+  /// S-BENCH360: algorithm-specific run-ledger events for the round most
+  /// recently run, emitted from the driver thread after round_impl. The base
+  /// emits nothing; Pdsl overrides to record its Shapley phi/pi vectors.
+  /// Implementations must only write deterministic fields (the ledger's
+  /// bit-identity contract; wall-clock belongs in the "phase_timing" event).
+  virtual void ledger_round(obs::RunLedger& ledger, std::size_t t) const {
+    (void)ledger;
+    (void)t;
+  }
 
  protected:
   /// The algorithm-specific body of one round, called by run_round() after
@@ -243,9 +258,13 @@ struct MetricsOptions {
 };
 
 /// Drive `alg` for `rounds` rounds, recording the per-round series the
-/// paper's figures plot and the final accuracy its tables report.
+/// paper's figures plot and the final accuracy its tables report. Each round
+/// also feeds the per-phase obs::MetricsRegistry histograms ("phase.<name>_ms")
+/// and, when `ledger` is non-null and open, appends "round", algorithm-specific
+/// and "phase_timing" events to the run ledger (S-BENCH360).
 std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t rounds,
                                                 const data::Dataset& test,
-                                                const MetricsOptions& opts = {});
+                                                const MetricsOptions& opts = {},
+                                                obs::RunLedger* ledger = nullptr);
 
 }  // namespace pdsl::algos

@@ -82,6 +82,7 @@ json::Value config_to_json(const ExperimentConfig& cfg) {
   o["eval_every"] = cfg.metrics.eval_every;
   o["profile"] = cfg.profile;
   o["trace_out"] = cfg.trace_out;
+  o["ledger_out"] = cfg.ledger_out;
   return json::Value(std::move(o));
 }
 
@@ -96,7 +97,8 @@ ExperimentConfig config_from_json(const json::Value& v) {
       "validation_batch", "gossip_steps", "local_steps", "sigma_mode",
       "noise_scale", "epsilon",  "delta",     "phi_hat_min",   "threads",
       "backend",    "seed",      "drop_prob",  "faults", "adversary", "defense",
-      "compression", "test_subsample", "eval_every", "profile",   "trace_out"};
+      "compression", "test_subsample", "eval_every", "profile",   "trace_out",
+      "ledger_out"};
   for (const auto& [key, value] : obj) {
     if (known.find(key) == known.end()) {
       throw std::invalid_argument("config_from_json: unknown key '" + key + "'");
@@ -159,6 +161,7 @@ ExperimentConfig config_from_json(const json::Value& v) {
   idx("eval_every", cfg.metrics.eval_every);
   if (v.contains("profile")) cfg.profile = v.at("profile").as_bool();
   str("trace_out", cfg.trace_out);
+  str("ledger_out", cfg.ledger_out);
   return cfg;
 }
 
@@ -183,6 +186,7 @@ json::Value result_to_json(const ExperimentResult& res) {
   o["corrupted"] = res.corrupted;
   o["rejected"] = res.rejected;
   o["reclipped"] = res.reclipped;
+  o["epsilon_spent"] = res.epsilon_spent;
   json::Object phases;
   phases["local_grad_s"] = res.phase_totals.local_grad_s;
   phases["crossgrad_s"] = res.phase_totals.crossgrad_s;
@@ -197,6 +201,7 @@ json::Value result_to_json(const ExperimentResult& res) {
     row["avg_loss"] = m.avg_loss;
     row["test_accuracy"] = m.test_accuracy;
     row["consensus"] = m.consensus;
+    row["epsilon_spent"] = m.epsilon_spent;
     if (m.byz_active > 0) {
       row["byzantine_active"] = m.byz_active;
       row["msgs_rejected"] = m.rejected;

@@ -173,6 +173,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   env.partition = &partition;
   env.hp = hp;
   env.seed = cfg.seed;
+  env.dp_delta = cfg.delta;
   env.drop_prob = cfg.drop_prob;
   env.faults = cfg.faults;
   env.faults.validate();
@@ -200,7 +201,33 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   obs::MetricsRegistry::global().gauge("dp.sigma").set(hp.sigma);
 
   auto alg = make_algorithm(cfg.algorithm, env);
-  auto series = algos::run_with_metrics(*alg, cfg.rounds, test, cfg.metrics);
+
+  // S-BENCH360 run ledger: header event with the run's identity, the
+  // per-round events from run_with_metrics, then a summary footer.
+  obs::RunLedger ledger;
+  if (!cfg.ledger_out.empty()) {
+    ledger.open(cfg.ledger_out);
+    json::Object start;
+    start["algorithm"] = cfg.algorithm;
+    start["dataset"] = cfg.dataset;
+    start["model"] = cfg.model;
+    start["topology"] = cfg.topology;
+    start["agents"] = cfg.agents;
+    start["rounds"] = cfg.rounds;
+    start["seed"] = cfg.seed;
+    start["sigma"] = hp.sigma;
+    start["epsilon"] = cfg.epsilon;
+    start["delta"] = cfg.delta;
+    ledger.event("run_start", std::move(start));
+    // Width-dependent identity goes into its own volatile event so the rest
+    // of the ledger stays byte-comparable across --threads settings.
+    json::Object env_ev;
+    env_ev["threads"] = cfg.threads;
+    ledger.event(obs::RunLedger::kEnvEvent, std::move(env_ev));
+  }
+
+  auto series = algos::run_with_metrics(*alg, cfg.rounds, test, cfg.metrics,
+                                        ledger.enabled() ? &ledger : nullptr);
 
   ExperimentResult res;
   res.algorithm = alg->name();
@@ -221,8 +248,21 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
   res.average_model = alg->average_model();
   for (const auto& rm : series) res.phase_totals += rm.phases;
+  res.epsilon_spent = series.empty() ? 0.0 : series.back().epsilon_spent;
   res.series = std::move(series);
   alg->network().publish_edge_metrics();
+  if (ledger.enabled()) {
+    json::Object end;
+    end["final_loss"] = res.final_loss;
+    end["final_accuracy"] = res.final_accuracy;
+    end["messages"] = res.messages;
+    end["bytes"] = res.bytes;
+    end["dropped"] = res.dropped;
+    end["corrupted"] = res.corrupted;
+    end["epsilon_spent"] = res.epsilon_spent;
+    ledger.event("run_end", std::move(end));
+    ledger.close();
+  }
   if (!cfg.trace_out.empty()) obs::TraceRecorder::global().write(cfg.trace_out);
   return res;
 }

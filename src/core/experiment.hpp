@@ -94,6 +94,12 @@ struct ExperimentConfig {
   /// S-OBS: enable span tracing for this run and write Chrome trace-event
   /// JSON (chrome://tracing / Perfetto loadable) to this path; empty = off.
   std::string trace_out;
+  /// S-BENCH360: write a structured JSONL run ledger (round-level events:
+  /// per-round epsilon spent, Shapley pi/phi vectors, fault/Byzantine
+  /// counters, per-phase wall time) to this path; empty = off. Stripping the
+  /// volatile "phase_timing" and "run_env" lines, the ledger is
+  /// bit-identical at any --threads (see obs/ledger.hpp).
+  std::string ledger_out;
 };
 
 struct ExperimentResult {
@@ -114,6 +120,10 @@ struct ExperimentResult {
   std::size_t reclipped = 0;         ///< received gradients re-clipped to C (total)
   std::vector<float> average_model;  ///< consensus model after the last round
   obs::PhaseTimings phase_totals;    ///< per-phase seconds summed over rounds
+  /// Total privacy budget spent by the run: the RDP accountant's epsilon at
+  /// cfg.delta after the final round (0 for non-private runs). The per-round
+  /// trajectory is series[t].epsilon_spent.
+  double epsilon_spent = 0.0;
 };
 
 /// Resolve the noise level for a config (exposed for the sigma ablation).

@@ -340,4 +340,21 @@ std::optional<std::pair<double, double>> Pdsl::attacker_honest_weight_split() co
                         hon_sum / static_cast<double>(hon_n));
 }
 
+void Pdsl::ledger_round(obs::RunLedger& ledger, std::size_t t) const {
+  json::Object ev;
+  ev["round"] = t;
+  json::Array phi, pi;
+  for (std::size_t i = 0; i < num_agents(); ++i) {
+    json::Array phi_i, pi_i;
+    for (const double v : last_phi_[i]) phi_i.push_back(json::Value(v));
+    for (const double v : last_pi_[i]) pi_i.push_back(json::Value(v));
+    phi.push_back(json::Value(std::move(phi_i)));
+    pi.push_back(json::Value(std::move(pi_i)));
+  }
+  ev["phi"] = json::Value(std::move(phi));
+  ev["pi"] = json::Value(std::move(pi));
+  ev["characteristic_evals"] = last_evals_;
+  ledger.event("shapley", std::move(ev));
+}
+
 }  // namespace pdsl::core

@@ -75,6 +75,12 @@ class Pdsl final : public algos::Algorithm {
   [[nodiscard]] std::optional<std::pair<double, double>>
   attacker_honest_weight_split() const override;
 
+  /// S-BENCH360: one "shapley" ledger event per round carrying the raw phi
+  /// and normalized pi vectors, [agent][k] aligned with
+  /// closed_neighborhood(agent) — the numbers behind the attacker-pi-collapse
+  /// finding, replayable without rerunning.
+  void ledger_round(obs::RunLedger& ledger, std::size_t t) const override;
+
  protected:
   void round_impl(std::size_t t) override;
 

@@ -1,0 +1,34 @@
+#include "obs/ledger.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pdsl::obs {
+
+RunLedger::~RunLedger() { close(); }
+
+void RunLedger::open(const std::string& path) {
+  close();
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("RunLedger: cannot open '" + path + "' for writing");
+  }
+  path_ = path;
+  seq_ = 0;
+}
+
+void RunLedger::event(const std::string& type, json::Object fields) {
+  if (!out_.is_open()) return;
+  fields["seq"] = seq_;
+  fields["type"] = type;
+  out_ << json::Value(std::move(fields)).dump() << '\n';
+  ++seq_;
+}
+
+void RunLedger::close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  out_.close();
+}
+
+}  // namespace pdsl::obs

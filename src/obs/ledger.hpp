@@ -1,0 +1,66 @@
+#pragma once
+// Run-ledger export (S-BENCH360): a structured JSONL event sink that records
+// round-level internals of a run — per-round privacy spend at the RDP
+// accountant, Shapley pi/phi vectors, fault/Byzantine counters, per-phase
+// wall time — so any experiment's internals are replayable into the report
+// tooling (tools/run_benchmarks.py) without rerunning the experiment.
+//
+// Format: one JSON object per line. Every line carries
+//   {"seq": <n>, "type": "<event>", ...fields}
+// with seq strictly increasing from 0 and keys serialized in sorted order
+// (json::Object is a std::map), so a ledger is byte-comparable.
+//
+// Determinism contract (S-RT): events are only ever emitted from the driver
+// thread (the run_with_metrics round loop and Algorithm::ledger_round hooks),
+// never from inside runtime::parallel_for bodies. All fields are derived from
+// deterministic run state EXCEPT two volatile event types: "phase_timing"
+// (wall-clock measurements) and "run_env" (execution-environment identity
+// such as the --threads width, which legitimately differs between otherwise
+// identical runs). Stripping those lines, a ledger is bit-identical across
+// reruns and across --threads widths (tested in test_obs.cpp).
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace pdsl::obs {
+
+class RunLedger {
+ public:
+  /// A default-constructed ledger is disabled: event() is a cheap no-op, so
+  /// call sites can emit unconditionally.
+  RunLedger() = default;
+  ~RunLedger();
+  RunLedger(const RunLedger&) = delete;
+  RunLedger& operator=(const RunLedger&) = delete;
+
+  /// Open (truncate) `path` and enable the sink. Throws std::runtime_error
+  /// when the file cannot be created.
+  void open(const std::string& path);
+
+  [[nodiscard]] bool enabled() const { return out_.is_open(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t events_written() const { return seq_; }
+
+  /// Append one event line: `fields` plus {"seq": n, "type": type}. The seq
+  /// and type keys are reserved; fields carrying them are overwritten.
+  void event(const std::string& type, json::Object fields);
+
+  /// Flush and close; enabled() is false afterwards. Idempotent.
+  void close();
+
+  /// The volatile event types (wall-clock payloads / execution-environment
+  /// identity), excluded from the bit-identity contract. Tooling filters on
+  /// them by name.
+  static constexpr const char* kTimingEvent = "phase_timing";
+  static constexpr const char* kEnvEvent = "run_env";
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::size_t seq_ = 0;
+};
+
+}  // namespace pdsl::obs

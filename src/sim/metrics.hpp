@@ -37,6 +37,11 @@ struct RoundMetrics {
   std::size_t reclipped = 0;    ///< received gradients re-clipped to C this round
   double pi_attacker = 0.0;     ///< mean defense weight on attacker-origin edges
   double pi_honest = 0.0;       ///< mean defense weight on honest-origin edges
+  // S-BENCH360: cumulative privacy budget spent through this round — the RDP
+  // accountant's (epsilon, delta)-DP conversion at the run's delta after
+  // composing one Gaussian-mechanism release per agent per round. 0 when the
+  // run is non-private (sigma = 0). Monotonically non-decreasing.
+  double epsilon_spent = 0.0;
 };
 
 /// Mean over agents of ||x_i - mean_j x_j||.
@@ -48,8 +53,8 @@ std::vector<float> average_model(const std::vector<std::vector<float>>& models);
 /// Write a metrics series to CSV (columns: round, avg_loss, test_accuracy,
 /// consensus, grad_norm, messages, bytes, dropped, delayed, offline,
 /// stale_reused, fallbacks, byz_active, corrupted, rejected, reclipped,
-/// pi_attacker, pi_honest, elapsed_s, round_s, then one <phase>_s column per
-/// obs::Phase).
+/// pi_attacker, pi_honest, epsilon_spent, elapsed_s, round_s, then one
+/// <phase>_s column per obs::Phase).
 void write_metrics_csv(const std::string& path, const std::string& run_label,
                        const std::vector<RoundMetrics>& series);
 

@@ -236,3 +236,29 @@ TEST(Experiment, PhaseTimingsPopulatedForBaselines) {
     EXPECT_GT(res.phase_totals.total(), 0.0) << name;
   }
 }
+
+// S-BENCH360 satellite: the per-round RDP spend column. One Gaussian release
+// per agent per round at fixed noise means the accountant's epsilon must grow
+// monotonically with the round count — and stay exactly zero without noise.
+TEST(Experiment, EpsilonSpentIsMonotoneAcrossRounds) {
+  auto cfg = tiny("pdsl");
+  cfg.sigma_mode = "fixed";
+  cfg.hp.sigma = 0.05;
+  cfg.rounds = 4;
+  const auto res = run_experiment(cfg);
+  ASSERT_EQ(res.series.size(), cfg.rounds);
+  double prev = 0.0;
+  for (const auto& rm : res.series) {
+    EXPECT_GE(rm.epsilon_spent, prev);
+    prev = rm.epsilon_spent;
+  }
+  EXPECT_GT(prev, 0.0);
+  EXPECT_DOUBLE_EQ(res.epsilon_spent, res.series.back().epsilon_spent);
+}
+
+TEST(Experiment, EpsilonSpentIsZeroWithoutNoise) {
+  auto cfg = tiny("pdsl");  // tiny() uses sigma_mode = "none"
+  const auto res = run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(res.epsilon_spent, 0.0);
+  for (const auto& rm : res.series) EXPECT_DOUBLE_EQ(rm.epsilon_spent, 0.0);
+}

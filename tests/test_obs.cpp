@@ -274,3 +274,167 @@ TEST(Logging, ScopedLogSpanDoesNotThrow) {
   }
   set_log_level(prev);
 }
+
+// ---------------------------------------------------------------------------
+// RunLedger (S-BENCH360 run-ledger export)
+
+#include "core/experiment.hpp"
+#include "obs/ledger.hpp"
+
+namespace {
+
+/// Read a JSONL file into one parsed value per line (skipping none; a blank
+/// trailing line would be a format bug and fails the parse).
+std::vector<json::Value> read_ledger(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<json::Value> events;
+  std::string line;
+  while (std::getline(in, line)) events.push_back(json::parse(line));
+  return events;
+}
+
+/// Ledger file contents with the volatile event lines removed — the part of
+/// the ledger covered by the bit-identity contract.
+std::string stable_ledger_text(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    // json::Object dumps compactly ("key":value), so match without spaces.
+    if (line.find("\"type\":\"phase_timing\"") != std::string::npos) continue;
+    if (line.find("\"type\":\"run_env\"") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+core::ExperimentConfig ledger_config(const std::string& path, std::size_t threads) {
+  core::ExperimentConfig cfg;
+  cfg.algorithm = "pdsl";
+  cfg.dataset = "gaussian";
+  cfg.model = "logistic";
+  cfg.topology = "ring";
+  cfg.agents = 4;
+  cfg.rounds = 3;
+  cfg.train_samples = 240;
+  cfg.test_samples = 60;
+  cfg.validation_samples = 40;
+  cfg.image = 3;
+  cfg.hp.batch = 8;
+  cfg.hp.gamma = 0.05;
+  cfg.hp.shapley_permutations = 2;
+  cfg.hp.validation_batch = 16;
+  cfg.sigma_mode = "fixed";
+  cfg.hp.sigma = 0.05;
+  cfg.metrics.test_subsample = 40;
+  cfg.metrics.eval_every = 3;
+  cfg.threads = threads;
+  cfg.ledger_out = path;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(RunLedger, DisabledLedgerIsANoOp) {
+  RunLedger ledger;
+  EXPECT_FALSE(ledger.enabled());
+  json::Object fields;
+  fields["x"] = 1;
+  ledger.event("anything", std::move(fields));  // must not throw or write
+  EXPECT_EQ(ledger.events_written(), 0u);
+  ledger.close();
+}
+
+TEST(RunLedger, WritesValidJsonlWithStrictSeqOrdering) {
+  const std::string path = temp_path("pdsl_ledger_unit.jsonl");
+  {
+    RunLedger ledger;
+    ledger.open(path);
+    ASSERT_TRUE(ledger.enabled());
+    for (int i = 0; i < 5; ++i) {
+      json::Object fields;
+      fields["round"] = i;
+      ledger.event(i == 0 ? "run_start" : "round", std::move(fields));
+    }
+    EXPECT_EQ(ledger.events_written(), 5u);
+    ledger.close();
+    EXPECT_FALSE(ledger.enabled());
+  }
+  const auto events = read_ledger(path);
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    ASSERT_TRUE(events[i].is_object());
+    EXPECT_EQ(events[i].at("seq").as_int(), static_cast<std::int64_t>(i));
+    ASSERT_TRUE(events[i].contains("type"));
+  }
+  EXPECT_EQ(events.front().at("type").as_string(), "run_start");
+  std::remove(path.c_str());
+}
+
+TEST(RunLedger, EmptyRunProducesAnEmptyFileNotAMissingOne) {
+  const std::string path = temp_path("pdsl_ledger_empty.jsonl");
+  {
+    RunLedger ledger;
+    ledger.open(path);
+    ledger.close();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  EXPECT_FALSE(std::getline(in, line)) << "expected zero events, got: " << line;
+  std::remove(path.c_str());
+}
+
+TEST(RunLedger, ExperimentLedgerHasTheContractedEventSequence) {
+  const std::string path = temp_path("pdsl_ledger_run.jsonl");
+  const auto res = core::run_experiment(ledger_config(path, 1));
+  const auto events = read_ledger(path);
+  ASSERT_GE(events.size(), 4u);
+
+  // Bookends: run_start first (after which run_env), run_end last.
+  EXPECT_EQ(events.front().at("type").as_string(), "run_start");
+  EXPECT_EQ(events[1].at("type").as_string(), RunLedger::kEnvEvent);
+  EXPECT_EQ(events.back().at("type").as_string(), "run_end");
+
+  // Per-round events carry the DP spend, Shapley vectors and phase timings.
+  std::size_t rounds = 0, shapley = 0, timing = 0;
+  double prev_eps = 0.0;
+  for (const auto& ev : events) {
+    const std::string type = ev.at("type").as_string();
+    if (type == "round") {
+      ++rounds;
+      const double eps = ev.at("epsilon_spent").as_number();
+      EXPECT_GE(eps, prev_eps) << "epsilon_spent must be non-decreasing";
+      prev_eps = eps;
+    } else if (type == "shapley") {
+      ++shapley;
+      EXPECT_TRUE(ev.contains("pi"));
+      EXPECT_TRUE(ev.contains("phi"));
+    } else if (type == RunLedger::kTimingEvent) {
+      ++timing;
+    }
+  }
+  EXPECT_EQ(rounds, 3u);
+  EXPECT_EQ(shapley, 3u);
+  EXPECT_EQ(timing, 3u);
+  EXPECT_GT(prev_eps, 0.0);
+  EXPECT_DOUBLE_EQ(events.back().at("epsilon_spent").as_number(), res.epsilon_spent);
+  std::remove(path.c_str());
+}
+
+TEST(RunLedger, BitIdenticalAcrossThreadWidthsModuloVolatileEvents) {
+  const std::string p1 = temp_path("pdsl_ledger_t1.jsonl");
+  const std::string p4 = temp_path("pdsl_ledger_t4.jsonl");
+  core::run_experiment(ledger_config(p1, 1));
+  core::run_experiment(ledger_config(p4, 4));
+  const std::string a = stable_ledger_text(p1);
+  const std::string b = stable_ledger_text(p4);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "ledger must be bit-identical across --threads widths "
+                     "once phase_timing/run_env lines are stripped";
+  std::remove(p1.c_str());
+  std::remove(p4.c_str());
+}

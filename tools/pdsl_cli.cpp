@@ -65,6 +65,8 @@ int usage() {
       "                    --profile (per-phase timing table + key counters)\n"
       "                    --trace-out <t.json> (Chrome trace-event spans)\n"
       "                    --metrics-out <m.csv> (metrics registry dump)\n"
+      "                    --ledger-out <l.jsonl> (S-BENCH360 run ledger:\n"
+      "                      per-round epsilon/pi/fault events as JSONL)\n"
       "  topology   print spectral facts for the supported graphs\n"
       "             flags: --agents 10,15,20\n"
       "  calibrate  compare sigma calibrations and composed privacy budgets\n"
@@ -84,7 +86,7 @@ int cmd_run(int argc, const char* const* argv) {
                       "save_model",
                       "mc_perms",  "valbatch", "hidden",  "config",      "json",
                       "threads",   "backend",  "profile",  "trace-out", "trace_out",
-                      "metrics-out", "metrics_out",
+                      "metrics-out", "metrics_out", "ledger-out", "ledger_out",
                       "delay-rounds", "delay_rounds", "delay-prob", "delay_prob",
                       "churn", "churn-interval", "churn_interval",
                       "staleness",
@@ -217,6 +219,8 @@ int cmd_run(int argc, const char* const* argv) {
   cfg.profile = args.get_bool("profile", cfg.profile);
   cfg.trace_out =
       args.get_string("trace-out", args.get_string("trace_out", cfg.trace_out));
+  cfg.ledger_out =
+      args.get_string("ledger-out", args.get_string("ledger_out", cfg.ledger_out));
   const std::string metrics_out =
       args.get_string("metrics-out", args.get_string("metrics_out", ""));
 
@@ -247,6 +251,13 @@ int cmd_run(int argc, const char* const* argv) {
   }
   std::printf("final: loss=%.4f acc=%.3f messages=%zu bytes=%.1fMB\n", res.final_loss,
               res.final_accuracy, res.messages, static_cast<double>(res.bytes) / 1e6);
+  if (res.epsilon_spent > 0.0) {
+    std::printf("privacy: epsilon_spent=%.3f at delta=%.1e (RDP, per-round releases)\n",
+                res.epsilon_spent, cfg.delta);
+  }
+  if (!cfg.ledger_out.empty()) {
+    std::printf("run ledger written to %s\n", cfg.ledger_out.c_str());
+  }
   if (res.dropped != 0 || res.delayed != 0) {
     std::printf("faults: dropped=%zu delayed=%zu\n", res.dropped, res.delayed);
   }
