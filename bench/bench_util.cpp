@@ -8,6 +8,13 @@
 #include <stdexcept>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "common/csv.hpp"
 #include "common/stopwatch.hpp"
 #include "obs/metrics.hpp"
@@ -186,6 +193,36 @@ json::Value host_info_json() {
   return json::Value(std::move(h));
 }
 
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::size_t current_heap_bytes() {
+#if defined(__GLIBC__) && (__GLIBC__ > 2 || (__GLIBC__ == 2 && __GLIBC_MINOR__ >= 33))
+  const struct mallinfo2 mi = mallinfo2();
+  return static_cast<std::size_t>(mi.uordblks);
+#else
+  return 0;
+#endif
+}
+
+json::Value memory_info_json() {
+  json::Object m;
+  m["peak_rss_bytes"] = peak_rss_bytes();
+  m["heap_bytes"] = current_heap_bytes();
+  return json::Value(std::move(m));
+}
+
 std::string bench_git_rev() {
   if (const char* env = std::getenv("PDSL_GIT_REV")) return env;
 #ifdef PDSL_GIT_REV
@@ -261,6 +298,7 @@ json::Value BenchEnvelope::to_json() const {
     metrics[name] = json::Value(std::move(m));
   }
   o["metrics"] = json::Value(std::move(metrics));
+  o["memory"] = memory_info_json();  // S-SCALE: safe schema-v1 addition
   o["phases"] = phase_histograms_json();
   o["runs"] = json::Value(runs_);
   if (has_acceptance_) o["acceptance"] = json::Value(acceptance_);

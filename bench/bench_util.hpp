@@ -94,6 +94,23 @@ json::Value build_info_json();
 /// engine regressions.
 json::Value host_info_json();
 
+// S-SCALE memory accounting: first-class envelope metrics so scaling benches
+// can assert "memory grows with the active set, not the fleet".
+
+/// Peak resident set size of this process so far, in bytes (getrusage
+/// ru_maxrss). Monotone: once the fleet's high-water mark is reached it never
+/// decreases, so per-config deltas must be measured smallest-config-first.
+std::size_t peak_rss_bytes();
+
+/// Bytes currently allocated from the heap (glibc mallinfo2). 0 on libcs
+/// without the API; unlike peak RSS this goes *down* when state is freed, so
+/// before/after deltas isolate one run's steady-state footprint.
+std::size_t current_heap_bytes();
+
+/// {"peak_rss_bytes", "heap_bytes"} snapshot for the envelope's "memory"
+/// block (an optional schema-v1 addition: absent in older BENCH_*.json).
+json::Value memory_info_json();
+
 /// Git revision the binary was built from (stamped at configure time;
 /// the PDSL_GIT_REV environment variable overrides, which the A/B driver
 /// uses when it rebuilds an older rev in a worktree).

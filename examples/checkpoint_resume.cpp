@@ -66,20 +66,20 @@ int main() {
   // Phase 1: train 10 rounds, checkpoint the fleet.
   core::Pdsl first(env);
   for (std::size_t t = 1; t <= 10; ++t) first.run_round(t);
-  io::save_fleet(kCheckpoint, first.models());
-  const double acc_at_checkpoint = mean_accuracy(model, first.models(), test);
+  io::save_fleet(kCheckpoint, first.models().dense());
+  const double acc_at_checkpoint = mean_accuracy(model, first.models().dense(), test);
   std::printf("round 10 checkpointed: mean accuracy %.3f -> %s\n", acc_at_checkpoint,
               kCheckpoint);
 
   // Phase 2: "crash"; restore into a brand-new instance and keep going.
   core::Pdsl resumed(env);
   resumed.set_models(io::load_fleet(kCheckpoint));
-  const double acc_restored = mean_accuracy(model, resumed.models(), test);
+  const double acc_restored = mean_accuracy(model, resumed.models().dense(), test);
   std::printf("restored fleet: mean accuracy %.3f (matches checkpoint: %s)\n", acc_restored,
               acc_restored == acc_at_checkpoint ? "yes" : "NO");
 
   for (std::size_t t = 11; t <= 20; ++t) resumed.run_round(t);
   std::printf("after resume to round 20: mean accuracy %.3f\n",
-              mean_accuracy(model, resumed.models(), test));
+              mean_accuracy(model, resumed.models().dense(), test));
   return 0;
 }

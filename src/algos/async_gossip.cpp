@@ -17,7 +17,7 @@ void AsyncDpGossip::wake(std::size_t i, std::size_t t) {
     workers_[i].draw_batch();
     const auto g = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
                                  agent_rngs_[i]);
-    axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
+    axpy(models_.mut(i), g, static_cast<float>(-env_.hp.gamma));
   }
   auto timer = phase(obs::Phase::kGossip);
 
@@ -44,8 +44,8 @@ void AsyncDpGossip::wake(std::size_t i, std::size_t t) {
   std::vector<float> avg = *from_j;
   axpy(avg, *from_i, 1.0f);
   scale_inplace(avg, 0.5f);
-  models_[i] = avg;
-  models_[j] = std::move(avg);
+  models_.set(i, avg);
+  models_.set(j, std::move(avg));
 }
 
 void AsyncDpGossip::round_impl(std::size_t t) {

@@ -9,6 +9,7 @@
 #include "common/stopwatch.hpp"
 #include "common/vec_math.hpp"
 #include "dp/mechanism.hpp"
+#include "fleet/participation.hpp"
 #include "dp/rdp.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/parallel_for.hpp"
@@ -67,13 +68,29 @@ void validate_env(const Env& env) {
   if (env.defense.trim_frac < 0.0 || env.defense.trim_frac >= 0.5) {
     throw std::invalid_argument("Algorithm: defense.trim_frac must be in [0, 0.5)");
   }
+  env.fleet.validate(env.topo->size());
+}
+
+/// Auto cache cap for the lazy worker pool: generous slack over the active
+/// set so gossip-adjacent touches don't thrash, but still O(active).
+std::size_t auto_cache_cap(const fleet::FleetOptions& fleet, std::size_t m) {
+  if (fleet.worker_cache != 0) return fleet.worker_cache;
+  if (!fleet.lazy_state) return 0;
+  std::size_t k = m;
+  if (fleet.participation.mode == fleet::ParticipationMode::kSampled) {
+    k = fleet.participation.resolved_active(m);
+  } else if (fleet.participation.mode == fleet::ParticipationMode::kWalk) {
+    k = 2;
+  }
+  return std::max<std::size_t>(32, 4 * k);
 }
 }  // namespace
 
 Algorithm::Algorithm(const Env& env)
     : env_(env),
       net_(*env.topo, sim::Network::Options{env.drop_prob, splitmix64(env.seed ^ 0xAEAE),
-                                            true, env.compressor, env.faults, env.adversary}) {
+                                            true, env.compressor, env.faults, env.adversary,
+                                            env.fleet.wire_roundtrip}) {
   validate_env(env);
   // Sanitization defaults to "exactly when it could matter": an adversary in
   // play or robust aggregation requested. Clean kAuto runs take the untouched
@@ -84,6 +101,14 @@ Algorithm::Algorithm(const Env& env)
                 env.defense.robust_agg != DefenseOptions::RobustAgg::kNone));
   const std::size_t m = env.topo->size();
   active_.assign(m, 1);
+  participates_.assign(m, 1);
+  participants_ = m;
+  participation_seed_ = fleet::resolve_participation_seed(env.fleet.participation, env.seed);
+  // Round-keyed batch draws decouple a worker's samples from how often it was
+  // touched, which is what makes sampling and lazy eviction deterministic.
+  // Sparse-only fleet runs keep the historical stateful draws so the golden
+  // fixtures replay bit-identical through SparseGraph.
+  stateless_draws_ = env.fleet.stateless_batches();
   Rng root(env.seed);
 
   // One shared initialization: the analysis assumes all columns of X^[0]
@@ -93,13 +118,11 @@ Algorithm::Algorithm(const Env& env)
   init_model.init(init_rng);
   const std::vector<float> x0 = init_model.flat_params();
 
-  workers_.reserve(m);
-  models_.reserve(m);
+  workers_.init(init_model, *env.train, *env.partition, env.hp.batch, root,
+                env.fleet.lazy_state, auto_cache_cap(env.fleet, m));
+  models_.reset(m, x0);  // COW: one shared x0 row until an agent diverges
   agent_rngs_.reserve(m);
   for (std::size_t i = 0; i < m; ++i) {
-    workers_.emplace_back(init_model, *env.train, (*env.partition)[i], env.hp.batch,
-                          root.split(0xD0 + i));
-    models_.push_back(x0);
     agent_rngs_.push_back(root.split(0xA900 + i));
   }
 }
@@ -115,6 +138,7 @@ void Algorithm::run_round(std::size_t t) {
   rejected_.store(0, std::memory_order_relaxed);
   reclipped_.store(0, std::memory_order_relaxed);
   refresh_active(t);
+  workers_.prepare(active_, t);
   if (!late.empty()) absorb_late(std::move(late));
   round_impl(t);
   // Fold the atomic sanitization tallies into the plain per-round snapshot
@@ -134,10 +158,17 @@ void Algorithm::run_round(std::size_t t) {
 
 void Algorithm::refresh_active(std::size_t t) {
   const sim::FaultPlan& plan = net_.faults();
-  if (plan.churn_prob <= 0.0) return;  // mask stays all-online
+  const bool sampling = env_.fleet.participation.enabled();
+  if (sampling) {
+    participates_ =
+        fleet::participation_mask(env_.fleet.participation, *env_.topo, t, participation_seed_);
+    participants_ = 0;
+    for (unsigned char p : participates_) participants_ += p;
+  }
+  if (!sampling && plan.churn_prob <= 0.0) return;  // mask stays all-online
   for (std::size_t i = 0; i < active_.size(); ++i) {
-    const bool off = plan.offline(i, t);
-    active_[i] = off ? 0 : 1;
+    const bool off = plan.churn_prob > 0.0 && plan.offline(i, t);
+    active_[i] = (!off && participates_[i] != 0) ? 1 : 0;
     if (off) ++fault_stats_.offline_agents;
   }
 }
@@ -152,11 +183,11 @@ void Algorithm::set_models(std::vector<std::vector<float>> models) {
     throw std::invalid_argument("set_models: fleet size mismatch");
   }
   for (const auto& m : models) {
-    if (m.size() != models_[0].size()) {
+    if (m.size() != models_.dim()) {
       throw std::invalid_argument("set_models: model dimension mismatch");
     }
   }
-  models_ = std::move(models);
+  models_.assign(std::move(models));
 }
 
 namespace {
@@ -222,14 +253,13 @@ std::optional<std::vector<float>> Algorithm::receive_checked(std::size_t dst, st
   return payload;
 }
 
-std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::vector<float>>& in,
-                                                       const std::string& tag,
-                                                       sim::Channel channel) {
+void Algorithm::mix_exchange(
+    const std::function<const std::vector<float>&(std::size_t)>& row, const std::string& tag,
+    sim::Channel channel, std::vector<std::vector<float>>& out) {
   // Every algorithm's mixing-matrix averaging flows through here, so this one
   // scope accounts the gossip phase for the whole family.
   auto timer = phase(obs::Phase::kGossip);
   const std::size_t m = num_agents();
-  if (in.size() != m) throw std::invalid_argument("mix_vectors: arity mismatch");
   const bool robust = env_.defense.robust_agg != DefenseOptions::RobustAgg::kNone &&
                       channel == sim::Channel::kContribution;
   // Broadcast, then (phase barrier between the two parallel_fors) accumulate.
@@ -238,16 +268,17 @@ std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::ve
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     if (!active(i)) return;  // offline agents generate no traffic
     for (std::size_t j : neighbors(i)) {
-      net_.send(i, j, tag, in[i], channel);
+      // Non-participating agents are outside the round entirely: no sends to
+      // them (a churned-but-participating target still receives — Network
+      // drops deliverless traffic, preserving the historical counters).
+      if (!participating(j)) continue;
+      net_.send(i, j, tag, row(i), channel);
     }
   });
-  std::vector<std::vector<float>> out(m);
   std::vector<unsigned char> renorm(m, 0);  // slot writes; folded after barrier
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
-    if (!active(i)) {
-      out[i] = in[i];  // offline agents freeze their value
-      return;
-    }
+    if (!active(i)) return;  // inactive rows stay untouched in `out`
+    const std::vector<float>& self = row(i);
     const std::vector<std::size_t> nbrs = neighbors(i);
     std::vector<std::optional<std::vector<float>>> got;
     got.reserve(nbrs.size());
@@ -267,7 +298,7 @@ std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::ve
       // {self} + arrivals, so a minority of outliers cannot steer the center.
       std::vector<const std::vector<float>*> cols;
       cols.reserve(nbrs.size() + 1);
-      cols.push_back(&in[i]);
+      cols.push_back(&self);
       for (const auto& g : got) {
         if (g) cols.push_back(&*g);
       }
@@ -275,11 +306,11 @@ std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::ve
       if (!complete) renorm[i] = 1;
       return;
     }
-    std::vector<float> acc(in[i].size(), 0.0f);
+    std::vector<float> acc(self.size(), 0.0f);
     if (complete) {
       // Full participation: the exact historical accumulation order, so runs
       // with every fault knob at zero stay bit-identical to pre-fault code.
-      axpy(acc, in[i], static_cast<float>(w(i, i)));
+      axpy(acc, self, static_cast<float>(w(i, i)));
       for (std::size_t k = 0; k < nbrs.size(); ++k) {
         axpy(acc, *got[k], static_cast<float>(w(i, nbrs[k])));
       }
@@ -293,9 +324,9 @@ std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::ve
         if (got[k]) wsum += w(i, nbrs[k]);
       }
       if (wsum <= 0.0) {
-        acc = in[i];  // degenerate row: keep own value
+        acc = self;  // degenerate row: keep own value
       } else {
-        axpy(acc, in[i], static_cast<float>(w(i, i) / wsum));
+        axpy(acc, self, static_cast<float>(w(i, i) / wsum));
         for (std::size_t k = 0; k < nbrs.size(); ++k) {
           if (got[k]) axpy(acc, *got[k], static_cast<float>(w(i, nbrs[k]) / wsum));
         }
@@ -305,10 +336,66 @@ std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::ve
     out[i] = std::move(acc);
   });
   for (unsigned char r : renorm) fault_stats_.mix_renormalized += r;
+}
+
+std::vector<std::vector<float>> Algorithm::mix_vectors(const std::vector<std::vector<float>>& in,
+                                                       const std::string& tag,
+                                                       sim::Channel channel) {
+  const std::size_t m = num_agents();
+  if (in.size() != m) throw std::invalid_argument("mix_vectors: arity mismatch");
+  std::vector<std::vector<float>> out(m);
+  mix_exchange([&in](std::size_t i) -> const std::vector<float>& { return in[i]; }, tag, channel,
+               out);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!active(i)) out[i] = in[i];  // offline agents freeze their value
+  }
   return out;
 }
 
+std::vector<std::vector<float>> Algorithm::mix_vectors(const fleet::LazyMatrix& in,
+                                                       const std::string& tag,
+                                                       sim::Channel channel) {
+  const std::size_t m = num_agents();
+  if (in.size() != m) throw std::invalid_argument("mix_vectors: arity mismatch");
+  std::vector<std::vector<float>> out(m);
+  mix_exchange([&in](std::size_t i) -> const std::vector<float>& { return in[i]; }, tag, channel,
+               out);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!active(i)) out[i] = in[i];
+  }
+  return out;
+}
+
+void Algorithm::mix_into(fleet::LazyMatrix& state, const std::vector<std::vector<float>>& contrib,
+                         const std::string& tag, sim::Channel channel) {
+  const std::size_t m = num_agents();
+  if (state.size() != m || contrib.size() != m) {
+    throw std::invalid_argument("mix_into: arity mismatch");
+  }
+  // `contrib` rows are only read for active agents, so callers may leave
+  // inactive rows empty; frozen agents keep their (possibly still-shared)
+  // state row without a copy.
+  std::vector<std::vector<float>> out(m);
+  mix_exchange([&contrib](std::size_t i) -> const std::vector<float>& { return contrib[i]; }, tag,
+               channel, out);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (active(i)) state.set(i, std::move(out[i]));
+  }
+}
+
 void Algorithm::draw_all_batches() {
+  if (stateless_draws_) {
+    // Fleet mode: round-keyed draws on the active set only. The salt is a
+    // per-call epoch (not the round number) so algorithms that draw more than
+    // once per round get distinct batches each time, and a worker's samples
+    // depend only on (its identity, the epoch) — never on how many times it
+    // was previously touched or whether it was evicted in between.
+    const std::uint64_t salt = ++draw_epoch_;
+    runtime::parallel_for(0, workers_.size(), 1, [&](std::size_t i) {
+      if (active(i)) workers_.get(i).draw_batch(salt);
+    });
+    return;
+  }
   // Each worker samples from its own RNG stream (split at construction).
   runtime::parallel_for(0, workers_.size(), 1,
                         [&](std::size_t i) { workers_[i].draw_batch(); });
@@ -365,21 +452,25 @@ std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t roun
     m.round = t;
     m.round_s = round_watch.elapsed_seconds();
     m.phases = alg.phase_timings();
+    // S-SCALE: loss/accuracy over a fixed agent prefix when metric_agents is
+    // set — touching every worker would materialize the whole fleet.
+    const std::size_t eval_agents =
+        opts.metric_agents == 0 ? alg.num_agents() : std::min(alg.num_agents(), opts.metric_agents);
     double loss_acc = 0.0;
-    for (std::size_t i = 0; i < alg.num_agents(); ++i) {
+    for (std::size_t i = 0; i < eval_agents; ++i) {
       loss_acc += alg.worker(i).local_eval_loss(alg.models()[i]);
     }
-    m.avg_loss = loss_acc / static_cast<double>(alg.num_agents());
+    m.avg_loss = loss_acc / static_cast<double>(eval_agents);
     m.consensus = sim::consensus_distance(alg.models());
 
     const bool eval_now =
         opts.eval_every != 0 && (t % opts.eval_every == 0 || t == rounds);
     if (eval_now) {
       double acc = 0.0;
-      for (std::size_t i = 0; i < alg.num_agents(); ++i) {
+      for (std::size_t i = 0; i < eval_agents; ++i) {
         acc += sim::evaluate(eval_ws, alg.models()[i], test, opts.test_subsample).accuracy;
       }
-      last_acc = acc / static_cast<double>(alg.num_agents());
+      last_acc = acc / static_cast<double>(eval_agents);
     }
     m.test_accuracy = last_acc;
     m.messages = alg.network().messages_sent();

@@ -5,6 +5,7 @@
 // message-passing network + synchronized metric hooks).
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -13,15 +14,19 @@
 
 #include "common/rng.hpp"
 #include "compress/compressor.hpp"
+#include "fleet/lazy_matrix.hpp"
+#include "fleet/options.hpp"
 #include "obs/ledger.hpp"
 #include "obs/phase.hpp"
 #include "data/dataset.hpp"
 #include "graph/mixing.hpp"
 #include "graph/topology.hpp"
+#include "graph/view.hpp"
 #include "nn/model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/worker.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace pdsl::algos {
 
@@ -79,8 +84,8 @@ struct DefenseOptions {
 /// Borrowed views of everything one experiment run shares across algorithms.
 /// All pointers must outlive the Algorithm.
 struct Env {
-  const graph::Topology* topo = nullptr;
-  const graph::MixingMatrix* mixing = nullptr;
+  const graph::TopologyView* topo = nullptr;
+  const graph::MixingView* mixing = nullptr;
   const data::Dataset* train = nullptr;
   const data::Dataset* validation = nullptr;  ///< Q; required by PDSL only
   const nn::Model* model_template = nullptr;
@@ -96,6 +101,9 @@ struct Env {
   sim::FaultPlan faults;  ///< S-FAULT: drop/delay/churn/staleness injection
   sim::AdversaryPlan adversary;  ///< S-BYZ: Byzantine roles (empty = honest fleet)
   DefenseOptions defense;        ///< S-BYZ: consumer-side screening
+  /// S-SCALE: sampled/walk participation, lazy agent state, wire round-trip.
+  /// All-defaults = historical behavior, bit-identical.
+  fleet::FleetOptions fleet;
 };
 
 /// Per-round graceful-degradation accounting (S-FAULT), reset at the top of
@@ -126,7 +134,7 @@ class Algorithm {
   void run_round(std::size_t t);
 
   [[nodiscard]] std::size_t num_agents() const { return models_.size(); }
-  [[nodiscard]] const std::vector<std::vector<float>>& models() const { return models_; }
+  [[nodiscard]] const fleet::LazyMatrix& models() const { return models_; }
 
   /// Overwrite every agent's model (warm start / checkpoint restore).
   /// Momentum-like per-algorithm state is NOT restored; it restarts at its
@@ -144,8 +152,20 @@ class Algorithm {
   void reset_phase_timings() { phases_ = obs::PhaseTimings{}; }
 
   /// Is agent i online for the round most recently started? (Always true
-  /// without churn.) Offline agents freeze: no compute, no traffic.
+  /// without churn.) Offline agents freeze: no compute, no traffic. With
+  /// S-SCALE participation, active = participating AND not churned out.
   [[nodiscard]] bool agent_active(std::size_t i) const { return active_[i] != 0; }
+
+  /// S-SCALE: was agent i sampled into the round most recently started?
+  /// (Always true in full-participation mode.)
+  [[nodiscard]] bool agent_participates(std::size_t i) const { return participates_[i] != 0; }
+
+  /// S-SCALE fleet accounting: participants in the last round, peak resident
+  /// workers, and materialized model rows (≈ agents ever active).
+  [[nodiscard]] std::size_t participants() const { return participants_; }
+  [[nodiscard]] std::size_t workers_peak() const { return workers_.peak_materialized(); }
+  [[nodiscard]] std::size_t workers_resident() const { return workers_.materialized(); }
+  [[nodiscard]] std::size_t models_materialized() const { return models_.materialized_count(); }
 
   /// Degradation accounting for the round most recently run.
   [[nodiscard]] const FaultRoundStats& fault_stats() const { return fault_stats_; }
@@ -190,6 +210,7 @@ class Algorithm {
   virtual void absorb_late(std::vector<sim::LateMessage> late);
 
   [[nodiscard]] bool active(std::size_t i) const { return active_[i] != 0; }
+  [[nodiscard]] bool participating(std::size_t i) const { return participates_[i] != 0; }
 
   [[nodiscard]] double w(std::size_t i, std::size_t j) const { return (*env_.mixing)(i, j); }
   [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i) const {
@@ -211,6 +232,16 @@ class Algorithm {
   std::vector<std::vector<float>> mix_vectors(
       const std::vector<std::vector<float>>& in, const std::string& tag,
       sim::Channel channel = sim::Channel::kContribution);
+  std::vector<std::vector<float>> mix_vectors(
+      const fleet::LazyMatrix& in, const std::string& tag,
+      sim::Channel channel = sim::Channel::kContribution);
+
+  /// S-SCALE in-place gossip: mix `contrib` (rows populated for active agents
+  /// only) into `state`. Active rows receive the W-average over self +
+  /// arrived participating neighbors (same FP order as mix_vectors); frozen
+  /// rows are left untouched — no copy, so lazy state stays lazy.
+  void mix_into(fleet::LazyMatrix& state, const std::vector<std::vector<float>>& contrib,
+                const std::string& tag, sim::Channel channel = sim::Channel::kContribution);
 
   /// receive() + sanitization (S-BYZ): nullopt if nothing arrived or the
   /// payload was rejected as non-finite. `reclip` re-clips gradient-kind
@@ -224,7 +255,8 @@ class Algorithm {
   /// counts a rejection) if the payload must be discarded.
   bool sanitize_payload(std::vector<float>& payload, bool reclip);
 
-  /// Draw this round's mini-batch on every worker.
+  /// Draw this round's mini-batch on every worker (fleet mode: round-keyed
+  /// stateless draws on active workers only; see FleetOptions).
   void draw_all_batches();
 
   /// RAII timer crediting the enclosing scope to `p` (and emitting a trace
@@ -233,16 +265,28 @@ class Algorithm {
 
   Env env_;
   sim::Network net_;
-  std::vector<sim::LocalWorker> workers_;
-  std::vector<std::vector<float>> models_;  ///< x_i, flat
+  sim::WorkerPool workers_;                 ///< per-agent workers (lazy in fleet mode)
+  fleet::LazyMatrix models_;                ///< x_i, flat (COW rows share x0)
   std::vector<Rng> agent_rngs_;             ///< per-agent noise streams
   obs::PhaseTimings phases_;                ///< since last reset_phase_timings()
   FaultRoundStats fault_stats_;             ///< reset at the top of each round
-  std::vector<unsigned char> active_;       ///< churn mask for the current round
+  std::vector<unsigned char> active_;       ///< participation && !churn, per round
+  std::vector<unsigned char> participates_; ///< S-SCALE sampling mask, per round
 
  private:
+  /// Shared gossip core: sends row(i) for active i to participating
+  /// neighbors, receives + W-averages into out[i] for active i (untouched
+  /// for inactive i). Exact historical FP accumulation order.
+  void mix_exchange(const std::function<const std::vector<float>&(std::size_t)>& row,
+                    const std::string& tag, sim::Channel channel,
+                    std::vector<std::vector<float>>& out);
+
   void refresh_active(std::size_t t);
 
+  std::uint64_t participation_seed_ = 0;    ///< resolved hash seed (S-SCALE)
+  std::size_t participants_ = 0;            ///< participating agents, last round
+  std::uint64_t draw_epoch_ = 0;            ///< stateless-draw salt counter
+  bool stateless_draws_ = false;            ///< round-keyed batch draws (fleet)
   std::size_t unread_cleared_ = 0;
   bool sanitize_ = false;  ///< resolved DefenseOptions::sanitize for this run
   /// Per-round sanitization counters; atomics because receive_checked runs
@@ -255,6 +299,11 @@ class Algorithm {
 struct MetricsOptions {
   std::size_t test_subsample = 256;  ///< samples of the test set per evaluation
   std::size_t eval_every = 1;        ///< test-accuracy cadence; 0 = never (loss is every round)
+  /// S-SCALE: evaluate loss/accuracy over the first `metric_agents` agents
+  /// only (0 = all). At fleet scale, touching every agent's worker each round
+  /// would materialize the whole fleet; a fixed prefix keeps the metric
+  /// deterministic and the resident set small.
+  std::size_t metric_agents = 0;
 };
 
 /// Drive `alg` for `rounds` rounds, recording the per-round series the

@@ -9,7 +9,7 @@
 namespace pdsl::algos {
 
 DpCga::DpCga(const Env& env) : Algorithm(env) {
-  momentum_.assign(num_agents(), std::vector<float>(models_[0].size(), 0.0f));
+  momentum_.assign(num_agents(), std::vector<float>(models_.dim(), 0.0f));
 }
 
 void DpCga::round_impl(std::size_t t) {
@@ -25,7 +25,9 @@ void DpCga::round_impl(std::size_t t) {
     auto timer = phase(obs::Phase::kCrossGrad);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       if (!active(i)) return;  // churned out: no traffic
-      for (std::size_t j : neighbors(i)) net_.send(i, j, model_tag, models_[i]);
+      for (std::size_t j : neighbors(i)) {
+        if (participating(j)) net_.send(i, j, model_tag, models_[i]);
+      }
     });
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       if (!active(i)) return;
@@ -35,7 +37,8 @@ void DpCga::round_impl(std::size_t t) {
         auto g = dp::privatize(workers_[i].gradient(*xj), env_.hp.clip, env_.hp.sigma,
                                agent_rngs_[i]);
         // The returned cross-gradient steers j's update: contribution channel.
-        net_.send(i, j, xgrad_tag, std::move(g), sim::Channel::kContribution);
+        // (j sent a model, so it participates — but keep the guard symmetric.)
+        if (participating(j)) net_.send(i, j, xgrad_tag, std::move(g), sim::Channel::kContribution);
       }
     });
   }
@@ -72,7 +75,7 @@ void DpCga::round_impl(std::size_t t) {
     auto& u = momentum_[i];
     for (std::size_t k = 0; k < u.size(); ++k) u[k] = a * u[k] + directions[i][k];
     axpy(mixed[i], u, static_cast<float>(-env_.hp.gamma));
-    models_[i] = std::move(mixed[i]);
+    models_.set(i, std::move(mixed[i]));
   });
 }
 

@@ -23,7 +23,7 @@ void DpDpsgd::round_impl(std::size_t t) {
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     if (!active(i)) return;  // churned out: model frozen this round
     axpy(mixed[i], grads[i], static_cast<float>(-env_.hp.gamma));
-    models_[i] = std::move(mixed[i]);
+    models_.set(i, std::move(mixed[i]));
   });
 }
 

@@ -9,7 +9,7 @@
 namespace pdsl::algos {
 
 DpNetFleet::DpNetFleet(const Env& env) : Algorithm(env) {
-  const std::size_t d = models_[0].size();
+  const std::size_t d = models_.dim();
   tracker_.assign(num_agents(), std::vector<float>(d, 0.0f));
   prev_grad_.assign(num_agents(), std::vector<float>(d, 0.0f));
 }
@@ -40,7 +40,7 @@ void DpNetFleet::round_impl(std::size_t t) {
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
       if (!active(i)) return;
       for (std::size_t k = 0; k + 1 < steps; ++k) {
-        axpy(models_[i], tracker_[i], static_cast<float>(-env_.hp.gamma));
+        axpy(models_.mut(i), tracker_[i], static_cast<float>(-env_.hp.gamma));
       }
     });
   }
@@ -70,7 +70,7 @@ void DpNetFleet::round_impl(std::size_t t) {
     // NET-FLEET model update: x_i <- sum_j w_ij x_j - gamma * y_i.
     axpy(mixed_model[i], y, static_cast<float>(-env_.hp.gamma));
     tracker_[i] = std::move(y);
-    models_[i] = std::move(mixed_model[i]);
+    models_.set(i, std::move(mixed_model[i]));
   });
 }
 

@@ -20,12 +20,12 @@ void DPSGD::round_impl(std::size_t t) {
   runtime::parallel_for(0, m, 1, [&](std::size_t i) {
     if (!active(i)) return;  // churned out: model frozen this round
     axpy(mixed[i], grads[i], static_cast<float>(-env_.hp.gamma));
-    models_[i] = std::move(mixed[i]);
+    models_.set(i, std::move(mixed[i]));
   });
 }
 
 DMSGD::DMSGD(const Env& env) : Algorithm(env) {
-  momentum_.assign(num_agents(), std::vector<float>(models_[0].size(), 0.0f));
+  momentum_.assign(num_agents(), std::vector<float>(models_.dim(), 0.0f));
 }
 
 void DMSGD::round_impl(std::size_t t) {
@@ -46,7 +46,7 @@ void DMSGD::round_impl(std::size_t t) {
     auto& u = momentum_[i];
     for (std::size_t k = 0; k < u.size(); ++k) u[k] = a * u[k] + grads[i][k];
     axpy(mixed[i], u, static_cast<float>(-env_.hp.gamma));
-    models_[i] = std::move(mixed[i]);
+    models_.set(i, std::move(mixed[i]));
   });
 }
 

@@ -10,7 +10,7 @@ FedAvg::FedAvg(const Env& env) : Algorithm(env) {
   double total = 0.0;
   shard_weights_.resize(num_agents());
   for (std::size_t i = 0; i < num_agents(); ++i) {
-    shard_weights_[i] = static_cast<double>(workers_[i].local_size());
+    shard_weights_[i] = static_cast<double>((*env.partition)[i].size());
     total += shard_weights_[i];
   }
   for (auto& w : shard_weights_) w /= total;
@@ -29,7 +29,7 @@ void FedAvg::round_impl(std::size_t /*t*/) {
         workers_[i].draw_batch();
         const auto g = dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip,
                                      env_.hp.sigma, agent_rngs_[i]);
-        axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
+        axpy(models_.mut(i), g, static_cast<float>(-env_.hp.gamma));
       }
     });
   }
@@ -63,7 +63,7 @@ void FedAvg::round_impl(std::size_t /*t*/) {
   const std::size_t payload = global.size() * sizeof(float);
   for (std::size_t i = 0; i < m; ++i) {
     if (!active(i)) continue;  // offline agents keep their stale model
-    models_[i] = global;
+    models_.set(i, global);
     server_messages_ += 2;           // upload + download
     server_bytes_ += 2 * payload;
   }

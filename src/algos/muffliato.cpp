@@ -16,15 +16,15 @@ void Muffliato::round_impl(std::size_t t) {
       if (!active(i)) return;  // churned out: no local step, no noise draw
       auto g = workers_[i].gradient(models_[i]);
       dp::clip_l2(g, env_.hp.clip);
-      axpy(models_[i], g, static_cast<float>(-env_.hp.gamma));
+      axpy(models_.mut(i), g, static_cast<float>(-env_.hp.gamma));
       // Perturb the *update scale* the agent exposes: noise with stddev
       // gamma*sigma on the model matches noising the gradient with sigma.
-      dp::add_gaussian_noise(models_[i], env_.hp.gamma * env_.hp.sigma, agent_rngs_[i]);
+      dp::add_gaussian_noise(models_.mut(i), env_.hp.gamma * env_.hp.sigma, agent_rngs_[i]);
     });
   }
   // Gossip phase: K sweeps of x <- W x.
   for (std::size_t k = 0; k < std::max<std::size_t>(1, env_.hp.gossip_steps); ++k) {
-    models_ = mix_vectors(models_, "gossip@" + std::to_string(t) + "." + std::to_string(k));
+    models_.assign(mix_vectors(models_, "gossip@" + std::to_string(t) + "." + std::to_string(k)));
   }
 }
 

@@ -7,8 +7,8 @@
 namespace pdsl::algos {
 
 DpQgm::DpQgm(const Env& env) : Algorithm(env) {
-  momentum_.assign(num_agents(), std::vector<float>(models_[0].size(), 0.0f));
-  prev_model_ = models_;
+  momentum_.assign(num_agents(), std::vector<float>(models_.dim(), 0.0f));
+  prev_model_ = models_.dense();
 }
 
 void DpQgm::round_impl(std::size_t t) {
@@ -42,7 +42,7 @@ void DpQgm::round_impl(std::size_t t) {
     for (std::size_t k = 0; k < mixed[i].size(); ++k) {
       mixed[i][k] -= gamma * (grads[i][k] + mbuf[k]);
     }
-    models_[i] = std::move(mixed[i]);
+    models_.set(i, std::move(mixed[i]));
   });
 }
 

@@ -3,6 +3,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "fleet/options.hpp"
 #include "sim/faults.hpp"
 
 namespace pdsl::core {
@@ -78,8 +79,10 @@ json::Value config_to_json(const ExperimentConfig& cfg) {
   o["adversary"] = sim::adversary_plan_to_json(cfg.adversary);
   o["defense"] = defense_to_json(cfg.defense);
   o["compression"] = cfg.compression;
+  o["fleet"] = fleet::fleet_options_to_json(cfg.fleet);
   o["test_subsample"] = cfg.metrics.test_subsample;
   o["eval_every"] = cfg.metrics.eval_every;
+  o["metric_agents"] = cfg.metrics.metric_agents;
   o["profile"] = cfg.profile;
   o["trace_out"] = cfg.trace_out;
   o["ledger_out"] = cfg.ledger_out;
@@ -97,8 +100,8 @@ ExperimentConfig config_from_json(const json::Value& v) {
       "validation_batch", "gossip_steps", "local_steps", "sigma_mode",
       "noise_scale", "epsilon",  "delta",     "phi_hat_min",   "threads",
       "backend",    "seed",      "drop_prob",  "faults", "adversary", "defense",
-      "compression", "test_subsample", "eval_every", "profile",   "trace_out",
-      "ledger_out"};
+      "compression", "fleet", "test_subsample", "eval_every", "metric_agents",
+      "profile",     "trace_out", "ledger_out"};
   for (const auto& [key, value] : obj) {
     if (known.find(key) == known.end()) {
       throw std::invalid_argument("config_from_json: unknown key '" + key + "'");
@@ -157,8 +160,10 @@ ExperimentConfig config_from_json(const json::Value& v) {
   }
   if (v.contains("defense")) cfg.defense = defense_from_json(v.at("defense"));
   str("compression", cfg.compression);
+  if (v.contains("fleet")) cfg.fleet = fleet::fleet_options_from_json(v.at("fleet"));
   idx("test_subsample", cfg.metrics.test_subsample);
   idx("eval_every", cfg.metrics.eval_every);
+  idx("metric_agents", cfg.metrics.metric_agents);
   if (v.contains("profile")) cfg.profile = v.at("profile").as_bool();
   str("trace_out", cfg.trace_out);
   str("ledger_out", cfg.ledger_out);
@@ -187,6 +192,11 @@ json::Value result_to_json(const ExperimentResult& res) {
   o["rejected"] = res.rejected;
   o["reclipped"] = res.reclipped;
   o["epsilon_spent"] = res.epsilon_spent;
+  o["wire_messages"] = res.wire_messages;
+  o["wire_bytes"] = res.wire_bytes;
+  o["workers_peak"] = res.workers_peak;
+  o["models_materialized"] = res.models_materialized;
+  o["participants"] = res.participants;
   json::Object phases;
   phases["local_grad_s"] = res.phase_totals.local_grad_s;
   phases["crossgrad_s"] = res.phase_totals.crossgrad_s;

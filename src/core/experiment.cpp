@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "algos/dp_cga.hpp"
@@ -16,6 +17,7 @@
 #include "data/synthetic.hpp"
 #include "dp/calibration.hpp"
 #include "dp/mechanism.hpp"
+#include "fleet/sparse_graph.hpp"
 #include "kernels/backend.hpp"
 #include "nn/model_zoo.hpp"
 #include "obs/metrics.hpp"
@@ -44,9 +46,9 @@ std::size_t dataset_channels(const ExperimentConfig& cfg) {
   return cfg.dataset == "cifar_like" ? 3 : 1;
 }
 
-}  // namespace
-
-double calibrate_sigma(const ExperimentConfig& cfg, const graph::MixingMatrix& w) {
+/// `w` may be null on sparse fleet runs (the N x N matrix is never built);
+/// only the "theorem1" mode needs it and throws loudly without it.
+double calibrate_sigma_impl(const ExperimentConfig& cfg, const graph::MixingMatrix* w) {
   if (cfg.sigma_mode == "none") return 0.0;
   if (cfg.sigma_mode == "fixed") return cfg.hp.sigma;
   if (cfg.sigma_mode == "dpsgd") {
@@ -56,14 +58,25 @@ double calibrate_sigma(const ExperimentConfig& cfg, const graph::MixingMatrix& w
     return dp::gaussian_sigma(sensitivity, cfg.epsilon, cfg.delta);
   }
   if (cfg.sigma_mode == "theorem1") {
+    if (w == nullptr) {
+      throw std::invalid_argument(
+          "run_experiment: sigma_mode 'theorem1' needs the dense mixing matrix and is not "
+          "available with fleet.sparse; use 'dpsgd', 'fixed' or 'none'");
+    }
     dp::Theorem1Params p;
     p.epsilon = cfg.epsilon;
     p.delta = cfg.delta;
     p.clip = cfg.hp.clip;
     p.phi_hat_min = cfg.phi_hat_min;
-    return dp::theorem1_sigma(w, p);
+    return dp::theorem1_sigma(*w, p);
   }
   throw std::invalid_argument("run_experiment: unknown sigma_mode '" + cfg.sigma_mode + "'");
+}
+
+}  // namespace
+
+double calibrate_sigma(const ExperimentConfig& cfg, const graph::MixingMatrix& w) {
+  return calibrate_sigma_impl(cfg, &w);
 }
 
 std::unique_ptr<algos::Algorithm> make_algorithm(const std::string& name,
@@ -148,11 +161,59 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     }
   }
 
-  // Communication graph + mixing matrix.
-  Rng topo_rng = rng.split(0x70B0);
-  const auto topo =
-      graph::Topology::make(graph::topology_from_string(cfg.topology), cfg.agents, &topo_rng);
-  const auto mixing = graph::MixingMatrix::metropolis(topo);
+  // S-SCALE gating: the fleet path covers the graph-gossip algorithms only.
+  // FedAvg has a virtual server (no graph traffic to guard) and the async
+  // baseline's pairwise wakes assume every agent is addressable every event.
+  if (cfg.fleet.enabled() &&
+      (cfg.algorithm == "fedavg" || cfg.algorithm == "dp_fedavg" ||
+       cfg.algorithm == "async_dp_gossip")) {
+    throw std::invalid_argument("run_experiment: algorithm '" + cfg.algorithm +
+                                "' does not support fleet mode (participation sampling / "
+                                "lazy state / sparse graphs)");
+  }
+  cfg.fleet.validate(cfg.agents);
+
+  // Communication graph + mixing matrix. The sparse fleet path never builds
+  // the N x N Topology/MixingMatrix; both paths present the same views.
+  const bool sparse_only_topology = cfg.topology == "regular" || cfg.topology == "geometric";
+  if (sparse_only_topology && !cfg.fleet.sparse) {
+    throw std::invalid_argument("run_experiment: topology '" + cfg.topology +
+                                "' is generated on demand and requires fleet.sparse "
+                                "(--sparse)");
+  }
+  std::optional<graph::Topology> dense_topo;
+  std::optional<graph::MixingMatrix> dense_mixing;
+  std::optional<fleet::SparseGraph> sparse_topo;
+  std::optional<fleet::SparseMetropolis> sparse_mixing;
+  const graph::TopologyView* topo_v = nullptr;
+  const graph::MixingView* mix_v = nullptr;
+  if (cfg.fleet.sparse) {
+    if (cfg.topology == "ring") {
+      sparse_topo.emplace(fleet::SparseGraph::ring(cfg.agents));
+    } else if (cfg.topology == "regular") {
+      sparse_topo.emplace(fleet::SparseGraph::regular(cfg.agents, cfg.fleet.degree));
+    } else if (cfg.topology == "geometric") {
+      sparse_topo.emplace(
+          fleet::SparseGraph::random_geometric(cfg.agents, cfg.fleet.radius, cfg.seed));
+    } else {
+      // Equivalence path: snapshot the dense generator's adjacency so every
+      // historical topology can be replayed through the CSR views.
+      Rng topo_rng = rng.split(0x70B0);
+      const auto dense = graph::Topology::make(graph::topology_from_string(cfg.topology),
+                                               cfg.agents, &topo_rng);
+      sparse_topo.emplace(fleet::SparseGraph::from_topology(dense));
+    }
+    sparse_mixing.emplace(*sparse_topo);
+    topo_v = &*sparse_topo;
+    mix_v = &*sparse_mixing;
+  } else {
+    Rng topo_rng = rng.split(0x70B0);
+    dense_topo.emplace(
+        graph::Topology::make(graph::topology_from_string(cfg.topology), cfg.agents, &topo_rng));
+    dense_mixing.emplace(graph::MixingMatrix::metropolis(*dense_topo));
+    topo_v = &*dense_topo;
+    mix_v = &*dense_mixing;
+  }
 
   // Model template.
   const nn::Model model_template =
@@ -161,12 +222,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   // Noise calibration.
   algos::HyperParams hp = cfg.hp;
-  hp.sigma = calibrate_sigma(cfg, mixing);
+  hp.sigma = calibrate_sigma_impl(cfg, dense_mixing ? &*dense_mixing : nullptr);
   if (cfg.sigma_mode != "none") hp.sigma *= cfg.noise_scale;
 
   algos::Env env;
-  env.topo = &topo;
-  env.mixing = &mixing;
+  env.topo = topo_v;
+  env.mixing = mix_v;
   env.train = &train;
   env.validation = &validation;
   env.model_template = &model_template;
@@ -191,6 +252,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
   env.adversary.validate();
   env.defense = cfg.defense;
+  env.fleet = cfg.fleet;
   const auto compressor = compress::make_compressor(cfg.compression);
   if (cfg.compression != "none" && !cfg.compression.empty()) env.compressor = compressor.get();
 
@@ -235,7 +297,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.final_accuracy = series.empty() ? 0.0 : series.back().test_accuracy;
   res.sigma = hp.sigma;
   res.heterogeneity = data::heterogeneity_index(dists);
-  res.spectral = graph::analyze(mixing);
+  // Spectral analysis needs the dense W; sparse fleet runs report zeros
+  // rather than materializing an N x N matrix just for the diagnostics.
+  if (dense_mixing) res.spectral = graph::analyze(*dense_mixing);
   res.model_dim = model_template.num_params();
   res.messages = alg->network().messages_sent();
   res.bytes = alg->network().bytes_sent();
@@ -247,6 +311,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     res.reclipped += rm.reclipped;
   }
   res.average_model = alg->average_model();
+  res.wire_messages = alg->network().wire_messages();
+  res.wire_bytes = alg->network().wire_bytes();
+  res.workers_peak = alg->workers_peak();
+  res.models_materialized = alg->models_materialized();
+  res.participants = alg->participants();
   for (const auto& rm : series) res.phase_totals += rm.phases;
   res.epsilon_spent = series.empty() ? 0.0 : series.back().epsilon_spent;
   res.series = std::move(series);

@@ -20,6 +20,7 @@ struct ExperimentConfig {
   std::string dataset = "mnist_like";  ///< mnist_like | cifar_like | gaussian
   std::string model = "mlp";           ///< mlp | mnist_cnn | cifar_cnn | logistic
   std::string topology = "full";       ///< full | ring | bipartite | star | torus | er
+                                       ///< + sparse-only (fleet.sparse): regular | geometric
 
   std::size_t agents = 10;
   std::size_t rounds = 50;
@@ -86,6 +87,10 @@ struct ExperimentConfig {
   /// (extension experiment; see src/compress/).
   std::string compression = "none";
   algos::MetricsOptions metrics;
+  /// S-SCALE fleet knobs: sampled/walk participation, sparse topologies,
+  /// lazy agent state, wire round-trip verification. All-defaults =
+  /// historical behavior.
+  fleet::FleetOptions fleet;
 
   /// S-OBS: collect a per-phase wall-time breakdown and have the CLI/bench
   /// front-ends print it (phase timings are recorded regardless; this flag
@@ -124,9 +129,17 @@ struct ExperimentResult {
   /// cfg.delta after the final round (0 for non-private runs). The per-round
   /// trajectory is series[t].epsilon_spent.
   double epsilon_spent = 0.0;
+  // S-SCALE fleet accounting (0 unless the corresponding knob is on).
+  std::size_t wire_messages = 0;       ///< messages round-tripped through the wire codec
+  std::size_t wire_bytes = 0;          ///< encoded frame bytes across those messages
+  std::size_t workers_peak = 0;        ///< high-water mark of resident LocalWorkers
+  std::size_t models_materialized = 0; ///< model rows diverged from the shared x0
+  std::size_t participants = 0;        ///< sampled participants in the final round
 };
 
 /// Resolve the noise level for a config (exposed for the sigma ablation).
+/// The "theorem1" mode needs the dense mixing matrix; sparse fleet runs use
+/// the other modes (run_experiment throws loudly on the combination).
 double calibrate_sigma(const ExperimentConfig& cfg, const graph::MixingMatrix& w);
 
 /// Build the algorithm by name over a prepared Env (PDSL lives here; baselines

@@ -21,7 +21,7 @@ Pdsl::Pdsl(const algos::Env& env, Options options)
   if (env.validation == nullptr || env.validation->empty()) {
     throw std::invalid_argument("Pdsl: a non-empty validation dataset Q is required");
   }
-  momentum_.assign(num_agents(), std::vector<float>(models_[0].size(), 0.0f));
+  momentum_.reset(num_agents(), std::vector<float>(models_.dim(), 0.0f));
   Rng shapley_root(splitmix64(env.seed ^ 0x5876BE7));
   shapley_rngs_.reserve(num_agents());
   for (std::size_t i = 0; i < num_agents(); ++i) shapley_rngs_.push_back(shapley_root.split(i));
@@ -97,7 +97,11 @@ void Pdsl::round_impl(std::size_t t) {
       own_grad[i] =
           dp::privatize(workers_[i].gradient(models_[i]), env_.hp.clip, env_.hp.sigma,
                         agent_rngs_[i]);
-      for (std::size_t j : neighbors(i)) net_.send(i, j, model_tag, models_[i]);
+      for (std::size_t j : neighbors(i)) {
+        // S-SCALE: non-participating neighbors are outside the round — no
+        // model broadcast to them (no-op in full-participation mode).
+        if (participating(j)) net_.send(i, j, model_tag, models_[i]);
+      }
     });
   }
 
@@ -114,7 +118,7 @@ void Pdsl::round_impl(std::size_t t) {
         if (!xj) continue;  // dropped link; j degrades (renormalize/stale/self)
         auto g = dp::privatize(workers_[i].gradient(*xj), env_.hp.clip, env_.hp.sigma,
                                agent_rngs_[i]);
-        net_.send(i, j, xgrad_tag, std::move(g), sim::Channel::kContribution);
+        if (participating(j)) net_.send(i, j, xgrad_tag, std::move(g), sim::Channel::kContribution);
       }
     });
   }
@@ -285,12 +289,9 @@ void Pdsl::round_impl(std::size_t t) {
   {
     auto timer = phase(obs::Phase::kAggregate);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
-      if (!active(i)) {
-        // Frozen: gossip passes the current state through unchanged.
-        u_hat[i] = momentum_[i];
-        x_hat[i] = models_[i];
-        return;
-      }
+      // Frozen agents contribute nothing: mix_into leaves their momentum and
+      // model rows untouched (no copy — lazy rows stay shared).
+      if (!active(i)) return;
       // Eq. 21: weighted aggregate of the perturbed gradients.
       std::vector<const std::vector<float>*> gptrs;
       gptrs.reserve(ghat[i].size());
@@ -309,8 +310,8 @@ void Pdsl::round_impl(std::size_t t) {
   // ---- Lines 21-24: gossip-average momentum and model with W ----
   // State channel: PDSL's contribution channel is the cross-gradient exchange
   // above; the momentum/model gossip is bookkeeping the attacker keeps honest.
-  momentum_ = mix_vectors(u_hat, uhat_tag, sim::Channel::kState);
-  models_ = mix_vectors(x_hat, xhat_tag, sim::Channel::kState);
+  mix_into(momentum_, u_hat, uhat_tag, sim::Channel::kState);
+  mix_into(models_, x_hat, xhat_tag, sim::Channel::kState);
 }
 
 std::optional<std::pair<double, double>> Pdsl::attacker_honest_weight_split() const {

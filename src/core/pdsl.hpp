@@ -103,7 +103,7 @@ class Pdsl final : public algos::Algorithm {
   };
 
   Options options_;
-  std::vector<std::vector<float>> momentum_;  ///< u_i
+  fleet::LazyMatrix momentum_;                ///< u_i (COW rows share the zero vector)
   Rng val_rng_;                               ///< shared validation subsampling
   std::vector<Rng> shapley_rngs_;             ///< per-agent MC permutation streams,
                                               ///< separate from the DP noise streams so

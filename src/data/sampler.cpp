@@ -12,10 +12,14 @@ BatchSampler::BatchSampler(const Dataset& ds, std::vector<std::size_t> indices,
 }
 
 std::pair<Tensor, std::vector<int>> BatchSampler::sample() {
+  return sample_with(rng_);
+}
+
+std::pair<Tensor, std::vector<int>> BatchSampler::sample_with(Rng& rng) const {
   std::vector<std::size_t> pick(batch_);
   for (auto& p : pick) {
     p = indices_[static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(indices_.size()) - 1))];
+        rng.uniform_int(0, static_cast<std::int64_t>(indices_.size()) - 1))];
   }
   return {ds_->batch_features(pick), ds_->batch_labels(pick)};
 }

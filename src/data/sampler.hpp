@@ -20,6 +20,11 @@ class BatchSampler {
   /// Uniform with-replacement draw of one mini-batch (the paper's sampling).
   [[nodiscard]] std::pair<Tensor, std::vector<int>> sample();
 
+  /// Stateless variant: draw with an externally supplied stream instead of
+  /// advancing the member RNG (S-SCALE round-keyed draws — a worker evicted
+  /// and re-materialized draws exactly the batches it would have resident).
+  [[nodiscard]] std::pair<Tensor, std::vector<int>> sample_with(Rng& rng) const;
+
   /// Sequential epoch sampling; reshuffles when the epoch is exhausted.
   [[nodiscard]] std::pair<Tensor, std::vector<int>> next_epoch_batch();
 

@@ -1,0 +1,118 @@
+#pragma once
+// Copy-on-write per-agent parameter storage (S-SCALE pillar 3). A LazyMatrix
+// behaves like a vector of N row vectors, but rows that were never written
+// all alias one shared default row (the common init model x0, or zeros for
+// momentum buffers). With sampled participation only the agents that were
+// ever active own a private row, so model-state memory is linear in *active*
+// agents rather than fleet size.
+//
+// Concurrency contract: distinct rows may be written concurrently from the
+// per-agent parallel loops (each agent touches only its own slot, same
+// discipline as the rest of the codebase); structural operations (reset,
+// assign, dense, materialized_count, operator==) are driver-thread only.
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace pdsl::fleet {
+
+class LazyMatrix {
+ public:
+  LazyMatrix() = default;
+  LazyMatrix(std::size_t n, std::vector<float> default_row) { reset(n, std::move(default_row)); }
+
+  /// Re-initialize: n rows, all aliasing `default_row`, none materialized.
+  void reset(std::size_t n, std::vector<float> default_row) {
+    default_ = std::make_shared<const std::vector<float>>(std::move(default_row));
+    rows_.clear();
+    rows_.resize(n);
+  }
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] std::size_t dim() const { return default_ ? default_->size() : 0; }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+
+  /// Read access; never materializes.
+  [[nodiscard]] const std::vector<float>& operator[](std::size_t i) const {
+    return rows_[i] ? *rows_[i] : *default_;
+  }
+
+  /// Write access; materializes row i (copying the default) on first touch.
+  std::vector<float>& mut(std::size_t i) {
+    if (!rows_[i]) rows_[i] = std::make_unique<std::vector<float>>(*default_);
+    return *rows_[i];
+  }
+
+  /// Replace row i wholesale (no default copy on first touch).
+  void set(std::size_t i, std::vector<float> v) {
+    if (v.size() != dim()) throw std::invalid_argument("LazyMatrix::set: dim mismatch");
+    if (rows_[i]) {
+      *rows_[i] = std::move(v);
+    } else {
+      rows_[i] = std::make_unique<std::vector<float>>(std::move(v));
+    }
+  }
+
+  [[nodiscard]] bool materialized(std::size_t i) const { return rows_[i] != nullptr; }
+
+  [[nodiscard]] std::size_t materialized_count() const {
+    std::size_t n = 0;
+    for (const auto& r : rows_) n += (r != nullptr);
+    return n;
+  }
+
+  /// Fully materialized copy (checkpointing, tests).
+  [[nodiscard]] std::vector<std::vector<float>> dense() const {
+    std::vector<std::vector<float>> out;
+    out.reserve(rows_.size());
+    for (std::size_t i = 0; i < rows_.size(); ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+  /// Replace contents with explicit rows (all become materialized; the first
+  /// row doubles as the default for rows added later — there are none).
+  void assign(std::vector<std::vector<float>> rows) {
+    const std::size_t d = rows.empty() ? 0 : rows.front().size();
+    for (const auto& r : rows) {
+      if (r.size() != d) throw std::invalid_argument("LazyMatrix::assign: ragged rows");
+    }
+    default_ = std::make_shared<const std::vector<float>>(std::vector<float>(d, 0.0f));
+    rows_.clear();
+    rows_.reserve(rows.size());
+    for (auto& r : rows) rows_.push_back(std::make_unique<std::vector<float>>(std::move(r)));
+  }
+
+  /// Value equality (row by row, exact).
+  friend bool operator==(const LazyMatrix& a, const LazyMatrix& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const LazyMatrix& a, const LazyMatrix& b) { return !(a == b); }
+
+  /// Read-only iteration (metrics, protocol-invariant tests).
+  class const_iterator {
+   public:
+    const_iterator(const LazyMatrix* m, std::size_t i) : m_(m), i_(i) {}
+    const std::vector<float>& operator*() const { return (*m_)[i_]; }
+    const_iterator& operator++() { ++i_; return *this; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+   private:
+    const LazyMatrix* m_;
+    std::size_t i_;
+  };
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, rows_.size()}; }
+
+ private:
+  std::shared_ptr<const std::vector<float>> default_;
+  std::vector<std::unique_ptr<std::vector<float>>> rows_;
+};
+
+}  // namespace pdsl::fleet

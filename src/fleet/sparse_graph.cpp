@@ -1,0 +1,168 @@
+#include "fleet/sparse_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace pdsl::fleet {
+
+SparseGraph SparseGraph::from_edges(std::size_t n,
+                                    std::vector<std::pair<std::size_t, std::size_t>> edges) {
+  if (n == 0) throw std::invalid_argument("SparseGraph: zero nodes");
+  std::vector<std::set<std::size_t>> adj(n);
+  for (const auto& [a, b] : edges) {
+    if (a >= n || b >= n) throw std::invalid_argument("SparseGraph: edge endpoint out of range");
+    if (a == b) throw std::invalid_argument("SparseGraph: self loop");
+    adj[a].insert(b);
+    adj[b].insert(a);
+  }
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) offsets[i + 1] = offsets[i] + adj[i].size();
+  std::vector<std::size_t> cols;
+  cols.reserve(offsets[n]);
+  for (std::size_t i = 0; i < n; ++i) cols.insert(cols.end(), adj[i].begin(), adj[i].end());
+  return SparseGraph(std::move(offsets), std::move(cols));
+}
+
+SparseGraph SparseGraph::ring(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("SparseGraph::ring: need at least 3 nodes");
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  edges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return from_edges(n, std::move(edges));
+}
+
+SparseGraph SparseGraph::regular(std::size_t n, std::size_t degree) {
+  if (degree == 0 || degree % 2 != 0) {
+    throw std::invalid_argument("SparseGraph::regular: degree must be even and positive, got " +
+                                std::to_string(degree));
+  }
+  if (degree >= n) {
+    throw std::invalid_argument("SparseGraph::regular: degree " + std::to_string(degree) +
+                                " must be below the number of nodes " + std::to_string(n));
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  edges.reserve(n * degree / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 1; d <= degree / 2; ++d) edges.emplace_back(i, (i + d) % n);
+  }
+  return from_edges(n, std::move(edges));
+}
+
+SparseGraph SparseGraph::random_geometric(std::size_t n, double radius, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("SparseGraph::random_geometric: need at least 2 nodes");
+  if (!(radius > 0.0)) {
+    throw std::invalid_argument("SparseGraph::random_geometric: radius must be positive");
+  }
+  constexpr double kInv = 1.0 / 18446744073709551616.0;  // 2^-64
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = static_cast<double>(splitmix64(seed ^ splitmix64(0x6E0D0A11ULL ^ i))) * kInv;
+    ys[i] = static_cast<double>(splitmix64(seed ^ splitmix64(0xBEE5BEE5ULL ^ i))) * kInv;
+  }
+  double r = radius;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    const double r2 = r * r;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = xs[i] - xs[j];
+        const double dy = ys[i] - ys[j];
+        if (dx * dx + dy * dy <= r2) edges.emplace_back(i, j);
+      }
+    }
+    auto g = from_edges(n, std::move(edges));
+    if (g.is_connected()) return g;
+    r *= 1.25;
+  }
+  throw std::runtime_error("SparseGraph::random_geometric: failed to connect after 32 growths");
+}
+
+SparseGraph SparseGraph::from_topology(const graph::TopologyView& topo) {
+  const std::size_t n = topo.size();
+  std::vector<std::size_t> offsets(n + 1, 0);
+  std::vector<std::size_t> cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto nbrs = topo.neighbors(i);  // ascending by contract
+    offsets[i + 1] = offsets[i] + nbrs.size();
+    cols.insert(cols.end(), nbrs.begin(), nbrs.end());
+  }
+  return SparseGraph(std::move(offsets), std::move(cols));
+}
+
+bool SparseGraph::has_edge(std::size_t i, std::size_t j) const {
+  const auto first = cols_.begin() + static_cast<std::ptrdiff_t>(offsets_[i]);
+  const auto last = cols_.begin() + static_cast<std::ptrdiff_t>(offsets_[i + 1]);
+  return std::binary_search(first, last, j);
+}
+
+std::vector<std::size_t> SparseGraph::neighbors(std::size_t i) const {
+  return {cols_.begin() + static_cast<std::ptrdiff_t>(offsets_[i]),
+          cols_.begin() + static_cast<std::ptrdiff_t>(offsets_[i + 1])};
+}
+
+std::vector<std::size_t> SparseGraph::closed_neighborhood(std::size_t i) const {
+  std::vector<std::size_t> out;
+  out.reserve(degree(i) + 1);
+  bool placed = false;
+  for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+    if (!placed && cols_[k] > i) {
+      out.push_back(i);
+      placed = true;
+    }
+    out.push_back(cols_[k]);
+  }
+  if (!placed) out.push_back(i);
+  return out;
+}
+
+bool SparseGraph::is_connected() const {
+  const std::size_t n = size();
+  std::vector<unsigned char> seen(n, 0);
+  std::queue<std::size_t> q;
+  q.push(0);
+  seen[0] = 1;
+  std::size_t count = 1;
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (std::size_t k = offsets_[u]; k < offsets_[u + 1]; ++k) {
+      const std::size_t v = cols_[k];
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++count;
+        q.push(v);
+      }
+    }
+  }
+  return count == n;
+}
+
+SparseMetropolis::SparseMetropolis(const SparseGraph& g) : graph_(&g) {
+  const std::size_t n = g.size();
+  diag_.resize(n);
+  // Exact FP replay of MixingMatrix::metropolis: accumulate off-diagonal
+  // weights in ascending-neighbor order, then complement.
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j : g.neighbors(i)) {
+      off += 1.0 / (1.0 + static_cast<double>(std::max(g.degree(i), g.degree(j))));
+    }
+    diag_[i] = 1.0 - off;
+  }
+}
+
+double SparseMetropolis::weight(std::size_t i, std::size_t j) const {
+  if (i == j) return diag_[i];
+  if (!graph_->has_edge(i, j)) return 0.0;
+  return 1.0 / (1.0 + static_cast<double>(std::max(graph_->degree(i), graph_->degree(j))));
+}
+
+}  // namespace pdsl::fleet

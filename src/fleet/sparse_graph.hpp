@@ -1,0 +1,78 @@
+#pragma once
+// Sparse topology views (S-SCALE pillar 2). SparseGraph stores a CSR
+// adjacency (two flat arrays) so a 1024+-node fleet never materializes an
+// N x N matrix; SparseMetropolis computes the Metropolis-Hastings mixing
+// weights on demand from degrees, storing only the N diagonal entries. Both
+// are bit-identical to the dense graph/ classes on the same adjacency — the
+// diagonal accumulation replays the dense loop's exact FP order (ascending
+// neighbor ids) and the off-diagonal expression is the same arithmetic.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/view.hpp"
+
+namespace pdsl::fleet {
+
+class SparseGraph final : public graph::TopologyView {
+ public:
+  /// Cycle over n nodes (degree 2; n >= 3).
+  static SparseGraph ring(std::size_t n);
+
+  /// Circulant k-regular graph: node i connects to i +- 1 .. i +- k/2 mod n.
+  /// `degree` must be even, positive, and below n.
+  static SparseGraph regular(std::size_t n, std::size_t degree);
+
+  /// Random geometric graph: nodes at hash-derived positions in the unit
+  /// square, edges between pairs within `radius`. The radius is grown by 25%
+  /// until the graph is connected (deterministic in (n, radius, seed)).
+  static SparseGraph random_geometric(std::size_t n, double radius, std::uint64_t seed);
+
+  /// Snapshot any TopologyView (e.g. a dense Topology) into CSR form —
+  /// the golden-equivalence path.
+  static SparseGraph from_topology(const graph::TopologyView& topo);
+
+  /// Build from an explicit edge list (undirected, validated).
+  static SparseGraph from_edges(std::size_t n, std::vector<std::pair<std::size_t, std::size_t>> edges);
+
+  [[nodiscard]] std::size_t size() const override { return offsets_.size() - 1; }
+  [[nodiscard]] bool has_edge(std::size_t i, std::size_t j) const override;
+  [[nodiscard]] std::size_t degree(std::size_t i) const override {
+    return offsets_[i + 1] - offsets_[i];
+  }
+  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i) const override;
+  [[nodiscard]] std::vector<std::size_t> closed_neighborhood(std::size_t i) const override;
+  [[nodiscard]] std::size_t num_edges() const override { return cols_.size() / 2; }
+  [[nodiscard]] std::unique_ptr<graph::TopologyView> clone() const override {
+    return std::unique_ptr<graph::TopologyView>(new SparseGraph(*this));
+  }
+
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  SparseGraph(std::vector<std::size_t> offsets, std::vector<std::size_t> cols)
+      : offsets_(std::move(offsets)), cols_(std::move(cols)) {}
+
+  std::vector<std::size_t> offsets_;  ///< size n+1; row i spans [offsets_[i], offsets_[i+1])
+  std::vector<std::size_t> cols_;     ///< ascending neighbor ids per row
+};
+
+/// Metropolis-Hastings mixing weights over a SparseGraph, O(N + E) storage.
+/// w(i,j) = 1/(1 + max(deg_i, deg_j)) on edges, the precomputed complement on
+/// the diagonal, 0 elsewhere — bitwise equal to MixingMatrix::metropolis.
+class SparseMetropolis final : public graph::MixingView {
+ public:
+  /// Borrows `g`; the graph must outlive this view.
+  explicit SparseMetropolis(const SparseGraph& g);
+
+  [[nodiscard]] std::size_t size() const override { return graph_->size(); }
+  [[nodiscard]] double weight(std::size_t i, std::size_t j) const override;
+
+ private:
+  const SparseGraph* graph_;
+  std::vector<double> diag_;
+};
+
+}  // namespace pdsl::fleet

@@ -1,0 +1,58 @@
+#include "fleet/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pdsl::fleet {
+
+io::ByteBuffer wire_encode(const WireMessage& msg) {
+  io::ByteBuffer buf;
+  buf.reserve(64 + msg.tag.size() + msg.payload.size() * sizeof(float));
+  io::append_u64(buf, kWireMagic);
+  io::append_u32(buf, kWireVersion);
+  io::append_u32(buf, msg.src);
+  io::append_u32(buf, msg.dst);
+  io::append_u32(buf, msg.round);
+  io::append_u8(buf, msg.channel);
+  io::append_string(buf, msg.tag);
+  io::append_floats(buf, msg.payload);
+  io::append_u64(buf, io::fnv1a_bytes(buf.data(), buf.size()));
+  return buf;
+}
+
+WireMessage wire_decode(const io::ByteBuffer& buf) {
+  io::ByteReader r(buf, "wire_decode");
+  if (r.read_u64("magic") != kWireMagic) {
+    throw std::runtime_error("wire_decode: bad magic");
+  }
+  const auto version = r.read_u32("version");
+  if (version != kWireVersion) {
+    throw std::runtime_error("wire_decode: unsupported version " + std::to_string(version));
+  }
+  WireMessage msg;
+  msg.src = r.read_u32("src");
+  msg.dst = r.read_u32("dst");
+  msg.round = r.read_u32("round");
+  msg.channel = r.read_u8("channel");
+  msg.tag = r.read_string("tag");
+  msg.payload = r.read_floats("payload");
+  const std::size_t body = r.position();
+  const auto checksum = r.read_u64("checksum");
+  if (!r.exhausted()) throw std::runtime_error("wire_decode: trailing bytes");
+  if (io::fnv1a_bytes(buf.data(), body) != checksum) {
+    throw std::runtime_error("wire_decode: checksum mismatch");
+  }
+  return msg;
+}
+
+bool wire_equal(const WireMessage& a, const WireMessage& b) {
+  if (a.src != b.src || a.dst != b.dst || a.round != b.round || a.channel != b.channel ||
+      a.tag != b.tag || a.payload.size() != b.payload.size()) {
+    return false;
+  }
+  return a.payload.empty() ||
+         std::memcmp(a.payload.data(), b.payload.data(),
+                     a.payload.size() * sizeof(float)) == 0;
+}
+
+}  // namespace pdsl::fleet

@@ -1,0 +1,46 @@
+#pragma once
+// Versioned binary wire format for sim::Network messages (S-SCALE pillar 4) —
+// the stepping stone to multi-process sharding. A frame is:
+//
+//   u64 magic   "PDSLWIR1"
+//   u32 version (kWireVersion)
+//   u32 src, u32 dst, u32 round
+//   u8  channel
+//   u32 tag length + tag bytes
+//   u64 payload length + raw float bytes (memcpy: NaN/Inf bit patterns survive)
+//   u64 FNV-1a checksum over everything before it
+//
+// built from the same io/ codec primitives as the checkpoint files. decode()
+// fails loudly on bad magic, unknown version, truncation or checksum
+// mismatch. Network's wire_roundtrip mode encodes + decodes + verifies every
+// message at the send boundary, proving bit-identical serialization.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/codec.hpp"
+
+namespace pdsl::fleet {
+
+constexpr std::uint64_t kWireMagic = 0x5044534C'57495231ULL;  // "PDSLWIR1"
+constexpr std::uint32_t kWireVersion = 1;
+
+struct WireMessage {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t round = 0;
+  std::uint8_t channel = 0;  ///< sim::Channel as a stable integer
+  std::string tag;
+  std::vector<float> payload;
+};
+
+[[nodiscard]] io::ByteBuffer wire_encode(const WireMessage& msg);
+
+/// Throws std::runtime_error on bad magic / version / truncation / checksum.
+[[nodiscard]] WireMessage wire_decode(const io::ByteBuffer& buf);
+
+/// Exact equality including payload bit patterns (NaN-safe).
+[[nodiscard]] bool wire_equal(const WireMessage& a, const WireMessage& b);
+
+}  // namespace pdsl::fleet

@@ -10,10 +10,11 @@
 #include <vector>
 
 #include "graph/topology.hpp"
+#include "graph/view.hpp"
 
 namespace pdsl::graph {
 
-class MixingMatrix {
+class MixingMatrix final : public MixingView {
  public:
   /// Metropolis–Hastings weights on `topo`.
   static MixingMatrix metropolis(const Topology& topo);
@@ -27,7 +28,8 @@ class MixingMatrix {
   /// non-negative, zero where topo has no edge).
   static MixingMatrix from_dense(std::vector<std::vector<double>> w);
 
-  [[nodiscard]] std::size_t size() const { return w_.size(); }
+  [[nodiscard]] std::size_t size() const override { return w_.size(); }
+  [[nodiscard]] double weight(std::size_t i, std::size_t j) const override { return w_[i][j]; }
   [[nodiscard]] double operator()(std::size_t i, std::size_t j) const { return w_[i][j]; }
   [[nodiscard]] const std::vector<std::vector<double>>& dense() const { return w_; }
 

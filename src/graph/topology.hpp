@@ -4,10 +4,12 @@
 // we add a few extras (star, torus, Erdős–Rényi) for ablations.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "graph/view.hpp"
 
 namespace pdsl::graph {
 
@@ -23,7 +25,7 @@ enum class TopologyKind {
 TopologyKind topology_from_string(const std::string& name);
 std::string to_string(TopologyKind kind);
 
-class Topology {
+class Topology final : public TopologyView {
  public:
   /// Build a named topology over `num_agents` nodes. `rng` is only used by
   /// kErdosRenyi (edge probability `er_prob`).
@@ -33,18 +35,22 @@ class Topology {
   /// Build from an explicit symmetric adjacency (no self loops).
   static Topology from_adjacency(std::vector<std::vector<bool>> adj);
 
-  [[nodiscard]] std::size_t size() const { return adj_.size(); }
-  [[nodiscard]] bool has_edge(std::size_t i, std::size_t j) const { return adj_[i][j]; }
-  [[nodiscard]] std::size_t degree(std::size_t i) const;
+  [[nodiscard]] std::size_t size() const override { return adj_.size(); }
+  [[nodiscard]] bool has_edge(std::size_t i, std::size_t j) const override { return adj_[i][j]; }
+  [[nodiscard]] std::size_t degree(std::size_t i) const override;
 
   /// Neighbors of i *excluding* i itself.
-  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i) const;
+  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i) const override;
 
   /// Neighbors of i *including* i (the paper's M_i).
-  [[nodiscard]] std::vector<std::size_t> closed_neighborhood(std::size_t i) const;
+  [[nodiscard]] std::vector<std::size_t> closed_neighborhood(std::size_t i) const override;
 
   [[nodiscard]] bool is_connected() const;
-  [[nodiscard]] std::size_t num_edges() const;
+  [[nodiscard]] std::size_t num_edges() const override;
+
+  [[nodiscard]] std::unique_ptr<TopologyView> clone() const override {
+    return std::unique_ptr<TopologyView>(new Topology(*this));
+  }
 
  private:
   explicit Topology(std::vector<std::vector<bool>> adj) : adj_(std::move(adj)) {}

@@ -1,0 +1,54 @@
+#pragma once
+// Abstract read-only views over a communication graph and its mixing weights
+// (S-SCALE). The dense graph/ classes (Topology, MixingMatrix) and the sparse
+// fleet/ classes (SparseGraph, SparseMetropolis) both implement these, so the
+// algorithm layer can run over either representation without caring whether
+// an N x N matrix was ever materialized. The dense path remains the default
+// and is bit-identical to its pre-view behavior: the views only add virtual
+// dispatch, never different arithmetic.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace pdsl::graph {
+
+/// Read-only undirected-graph interface: everything the algorithms and the
+/// simulated network need from a topology. Implementations must return
+/// neighbor lists in ascending order (the mixing accumulation order depends
+/// on it for bit-exact reproducibility).
+class TopologyView {
+ public:
+  virtual ~TopologyView() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual bool has_edge(std::size_t i, std::size_t j) const = 0;
+  [[nodiscard]] virtual std::size_t degree(std::size_t i) const = 0;
+
+  /// Neighbors of i *excluding* i itself, ascending.
+  [[nodiscard]] virtual std::vector<std::size_t> neighbors(std::size_t i) const = 0;
+
+  /// Neighbors of i *including* i (the paper's M_i), ascending.
+  [[nodiscard]] virtual std::vector<std::size_t> closed_neighborhood(std::size_t i) const = 0;
+
+  [[nodiscard]] virtual std::size_t num_edges() const = 0;
+
+  /// Deep copy with the same dynamic type (sim::Network stores a clone so
+  /// callers may pass temporaries).
+  [[nodiscard]] virtual std::unique_ptr<TopologyView> clone() const = 0;
+};
+
+/// Read-only mixing-weight interface: w(i, j) lookups only. Dense
+/// MixingMatrix stores the full matrix; sparse implementations compute
+/// weights on demand from degrees.
+class MixingView {
+ public:
+  virtual ~MixingView() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual double weight(std::size_t i, std::size_t j) const = 0;
+
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const { return weight(i, j); }
+};
+
+}  // namespace pdsl::graph

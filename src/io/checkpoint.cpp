@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "io/codec.hpp"
+
 namespace pdsl::io {
 
 namespace {
@@ -78,13 +80,7 @@ std::vector<float> read_floats(std::ifstream& in, std::size_t n) {
 }  // namespace
 
 std::uint64_t fnv1a(const std::vector<float>& data) {
-  std::uint64_t hash = 0xCBF29CE484222325ULL;
-  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
-  for (std::size_t i = 0; i < data.size() * sizeof(float); ++i) {
-    hash ^= bytes[i];
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
+  return fnv1a_bytes(data.data(), data.size() * sizeof(float));
 }
 
 void save_params(const std::string& path, const std::vector<float>& params) {

@@ -22,6 +22,22 @@ std::vector<float> average_model(const std::vector<std::vector<float>>& models) 
   return mean_of(ptrs);
 }
 
+double consensus_distance(const fleet::LazyMatrix& models) {
+  if (models.empty()) return 0.0;
+  const auto avg = average_model(models);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < models.size(); ++i) acc += l2_distance(models[i], avg);
+  return acc / static_cast<double>(models.size());
+}
+
+std::vector<float> average_model(const fleet::LazyMatrix& models) {
+  if (models.empty()) throw std::invalid_argument("average_model: no models");
+  std::vector<const std::vector<float>*> ptrs;
+  ptrs.reserve(models.size());
+  for (std::size_t i = 0; i < models.size(); ++i) ptrs.push_back(&models[i]);
+  return mean_of(ptrs);
+}
+
 void write_metrics_csv(const std::string& path, const std::string& run_label,
                        const std::vector<RoundMetrics>& series) {
   CsvWriter csv(path, {"run", "round", "avg_loss", "test_accuracy", "consensus", "grad_norm",

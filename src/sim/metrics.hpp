@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/csv.hpp"
+#include "fleet/lazy_matrix.hpp"
 #include "obs/phase.hpp"
 
 namespace pdsl::sim {
@@ -46,9 +47,11 @@ struct RoundMetrics {
 
 /// Mean over agents of ||x_i - mean_j x_j||.
 double consensus_distance(const std::vector<std::vector<float>>& models);
+double consensus_distance(const fleet::LazyMatrix& models);
 
 /// Average of per-agent flat models.
 std::vector<float> average_model(const std::vector<std::vector<float>>& models);
+std::vector<float> average_model(const fleet::LazyMatrix& models);
 
 /// Write a metrics series to CSV (columns: round, avg_loss, test_accuracy,
 /// consensus, grad_norm, messages, bytes, dropped, delayed, offline,

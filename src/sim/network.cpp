@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fleet/wire.hpp"
 #include "obs/metrics.hpp"
 
 namespace pdsl::sim {
 
-Network::Network(const graph::Topology& topo, Options opts)
-    : topo_(topo), opts_(std::move(opts)) {
+Network::Network(const graph::TopologyView& topo, Options opts)
+    : topo_(topo.clone()), opts_(std::move(opts)) {
   if (opts_.drop_prob < 0.0 || opts_.drop_prob >= 1.0) {
     throw std::invalid_argument("Network: drop_prob must be in [0,1)");
   }
@@ -49,12 +50,12 @@ std::vector<LateMessage> Network::begin_round(std::size_t t) {
 
 bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
                    std::vector<float> payload, Channel channel) {
-  if (src >= topo_.size() || dst >= topo_.size()) {
+  if (src >= topo_->size() || dst >= topo_->size()) {
     throw std::out_of_range("Network::send: agent id out of range");
   }
   if (src == dst) {
     if (!opts_.allow_self_send) throw std::invalid_argument("Network::send: self send disabled");
-  } else if (!topo_.has_edge(src, dst)) {
+  } else if (!topo_->has_edge(src, dst)) {
     throw std::invalid_argument("Network::send: (" + std::to_string(src) + "," +
                                 std::to_string(dst) + ") is not an edge");
   }
@@ -66,6 +67,24 @@ bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
   if (lossy_channel) payload = opts_.compressor->apply(payload);
 
   std::unique_lock<std::mutex> lock(mu_);
+  if (opts_.wire_roundtrip) {
+    // S-SCALE: prove the message survives serialization bit-identically and
+    // deliver the decoded copy — exactly what a multi-process shard would see.
+    fleet::WireMessage msg{static_cast<std::uint32_t>(src), static_cast<std::uint32_t>(dst),
+                          static_cast<std::uint32_t>(clock_),
+                          static_cast<std::uint8_t>(channel == Channel::kContribution ? 1 : 0),
+                          tag, std::move(payload)};
+    const io::ByteBuffer frame = fleet::wire_encode(msg);
+    fleet::WireMessage decoded = fleet::wire_decode(frame);
+    if (!fleet::wire_equal(msg, decoded)) {
+      throw std::runtime_error("Network::send: wire round-trip mismatch on (" +
+                               std::to_string(src) + "->" + std::to_string(dst) + ", " + tag +
+                               ")");
+    }
+    ++wire_messages_;
+    wire_bytes_ += frame.size();
+    payload = std::move(decoded.payload);
+  }
   ++sent_;
   bytes_ += wire_bytes;
   auto& edge = edge_counts_[{src, dst}];
@@ -107,7 +126,7 @@ bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
     // what matures later). Every decision is a pure function of the plan and
     // the message identity, so attack traces are interleaving-independent.
     if (channel == Channel::kContribution && opts_.adversary.any()) {
-      const ByzRole role = opts_.adversary.role(src, topo_.size(), clock_);
+      const ByzRole role = opts_.adversary.role(src, topo_->size(), clock_);
       bool hit = false;
       if (role.mode == ByzMode::kStaleReplay) {
         const auto at = tag.find('@');
@@ -190,6 +209,16 @@ std::size_t Network::in_flight() const {
 std::size_t Network::bytes_sent() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bytes_;
+}
+
+std::size_t Network::wire_messages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wire_messages_;
+}
+
+std::size_t Network::wire_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wire_bytes_;
 }
 
 std::size_t Network::round() const {

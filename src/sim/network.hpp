@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <queue>
@@ -30,6 +31,7 @@
 #include "common/rng.hpp"
 #include "compress/compressor.hpp"
 #include "graph/topology.hpp"
+#include "graph/view.hpp"
 #include "sim/faults.hpp"
 
 namespace pdsl::sim {
@@ -62,6 +64,10 @@ struct NetworkOptions {
   FaultPlan faults;
   /// S-BYZ: Byzantine roles; adversary.seed = 0 uses the merged faults.seed.
   AdversaryPlan adversary;
+  /// S-SCALE: encode + decode + verify every send through the fleet wire
+  /// format (fleet/wire.hpp); the delivered payload is the decoded copy, so
+  /// any serialization defect fails the run loudly instead of silently.
+  bool wire_roundtrip = false;
 };
 
 /// A delayed payload that matured: begin_round() hands these back to the
@@ -79,7 +85,9 @@ class Network {
  public:
   using Options = NetworkOptions;
 
-  explicit Network(const graph::Topology& topo, Options opts = {});
+  /// Accepts any topology view (dense graph::Topology or fleet::SparseGraph)
+  /// and stores a clone, so callers may pass temporaries.
+  explicit Network(const graph::TopologyView& topo, Options opts = {});
 
   /// Advance the round clock to `t` (1-indexed) and collect every delayed
   /// message that matures by round t, in deterministic (src, dst, tag,
@@ -121,7 +129,10 @@ class Network {
   /// Delayed messages not yet matured by the last begin_round().
   [[nodiscard]] std::size_t in_flight() const;
   [[nodiscard]] std::size_t bytes_sent() const;
-  [[nodiscard]] const graph::Topology& topology() const { return topo_; }
+  /// S-SCALE wire-roundtrip counters (0 unless opts.wire_roundtrip).
+  [[nodiscard]] std::size_t wire_messages() const;
+  [[nodiscard]] std::size_t wire_bytes() const;
+  [[nodiscard]] const graph::TopologyView& topology() const { return *topo_; }
   /// The merged fault plan actually in effect (legacy drop_prob folded in).
   [[nodiscard]] const FaultPlan& faults() const { return opts_.faults; }
   /// The adversary plan actually in effect (seed fallback folded in).
@@ -185,7 +196,7 @@ class Network {
     std::size_t round = 0;  ///< the round the recorded payload was sent in
   };
 
-  graph::Topology topo_;  ///< owned copy: callers may pass temporaries
+  std::unique_ptr<const graph::TopologyView> topo_;  ///< owned clone
   Options opts_;
   mutable std::mutex mu_;  ///< guards boxes_, pending_ and every counter below
   std::map<Key, std::queue<std::vector<float>>> boxes_;
@@ -197,6 +208,8 @@ class Network {
   std::size_t delayed_ = 0;
   std::size_t corrupted_ = 0;
   std::size_t bytes_ = 0;
+  std::size_t wire_messages_ = 0;  ///< sends round-tripped through the wire format
+  std::size_t wire_bytes_ = 0;     ///< encoded frame bytes (header + payload + checksum)
   struct EdgeCount {
     std::size_t messages = 0;
     std::size_t bytes = 0;

@@ -14,6 +14,7 @@ LocalWorker::LocalWorker(const nn::Model& model, const data::Dataset& ds,
     : model_(model),
       ds_(&ds),
       sampler_(ds, indices, batch_size, rng.split(0xBA7C)),
+      stateless_seed_(splitmix64(rng.seed() ^ 0x57A7E1E5ULL)),
       dim_(model.num_params()) {
   // Deterministic eval subset: first min(kEvalSubset, n) indices of the
   // agent's shard (shard order is already randomized by the partitioner).
@@ -26,6 +27,14 @@ LocalWorker::LocalWorker(const nn::Model& model, const data::Dataset& ds,
 
 void LocalWorker::draw_batch() {
   auto [x, y] = sampler_.sample();
+  batch_x_ = std::move(x);
+  batch_y_ = std::move(y);
+  has_batch_ = true;
+}
+
+void LocalWorker::draw_batch(std::uint64_t salt) {
+  Rng rng(splitmix64(stateless_seed_ ^ splitmix64(salt)));
+  auto [x, y] = sampler_.sample_with(rng);
   batch_x_ = std::move(x);
   batch_y_ = std::move(y);
   has_batch_ = true;

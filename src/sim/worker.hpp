@@ -24,6 +24,11 @@ class LocalWorker {
   /// Draw the round's mini-batch xi_{i,t} (uniform with replacement).
   void draw_batch();
 
+  /// S-SCALE stateless draw: the mini-batch is a pure function of the
+  /// worker's construction seed and `salt` (the algorithm's draw counter),
+  /// so an evicted-and-rematerialized worker draws identical batches.
+  void draw_batch(std::uint64_t salt);
+
   /// grad F_i(x; xi_{i,t}) on the batch drawn by the last draw_batch().
   std::vector<float> gradient(const std::vector<float>& params);
 
@@ -47,6 +52,7 @@ class LocalWorker {
   nn::Model model_;
   const data::Dataset* ds_;
   data::BatchSampler sampler_;
+  std::uint64_t stateless_seed_;  ///< base for round-keyed draw_batch(salt)
   std::size_t dim_;
   Tensor batch_x_;
   std::vector<int> batch_y_;

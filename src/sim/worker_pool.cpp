@@ -1,0 +1,96 @@
+#include "sim/worker_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pdsl::sim {
+
+WorkerPool::WorkerPool(const nn::Model& init_model, const data::Dataset& train,
+                       const std::vector<std::vector<std::size_t>>& partition, std::size_t batch,
+                       Rng root, bool lazy, std::size_t cache_cap)
+    : init_model_(init_model),
+      train_(&train),
+      partition_(&partition),
+      batch_(batch),
+      root_(root),
+      lazy_(lazy),
+      cache_cap_(cache_cap),
+      slots_(partition.size()),
+      last_used_(partition.size(), 0) {
+  if (!lazy_) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) materialize(i);
+  }
+}
+
+void WorkerPool::init(const nn::Model& init_model, const data::Dataset& train,
+                      const std::vector<std::vector<std::size_t>>& partition, std::size_t batch,
+                      Rng root, bool lazy, std::size_t cache_cap) {
+  init_model_ = init_model;
+  train_ = &train;
+  partition_ = &partition;
+  batch_ = batch;
+  root_ = root;
+  lazy_ = lazy;
+  cache_cap_ = cache_cap;
+  slots_.clear();
+  slots_.resize(partition.size());
+  last_used_.assign(partition.size(), 0);
+  round_ = 0;
+  resident_.store(0);
+  peak_.store(0);
+  if (!lazy_) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) materialize(i);
+  }
+}
+
+LocalWorker& WorkerPool::materialize(std::size_t i) {
+  // split() is const and pure in (seed, salt): re-materialization hands the
+  // worker the exact RNG stream it got the first time.
+  slots_[i] = std::make_unique<LocalWorker>(init_model_, *train_, (*partition_)[i], batch_,
+                                            root_.split(0xD0 + i));
+  const std::size_t now = resident_.fetch_add(1) + 1;
+  std::size_t peak = peak_.load();
+  while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+  }
+  return *slots_[i];
+}
+
+LocalWorker& WorkerPool::get(std::size_t i) {
+  if (slots_[i]) {
+    last_used_[i] = round_;
+    return *slots_[i];
+  }
+  LocalWorker& w = materialize(i);
+  last_used_[i] = round_;
+  return w;
+}
+
+void WorkerPool::prepare(const std::vector<unsigned char>& need, std::size_t round) {
+  round_ = round;
+  if (!lazy_) return;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (need.size() > i && need[i]) {
+      if (!slots_[i]) materialize(i);
+      last_used_[i] = round;
+    }
+  }
+  if (cache_cap_ == 0) return;
+  std::size_t resident = resident_.load();
+  if (resident <= cache_cap_) return;
+  // Evict dormant workers, oldest stamp first (ties by id for determinism).
+  std::vector<std::pair<std::size_t, std::size_t>> dormant;  // (stamp, id)
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] && !(need.size() > i && need[i])) dormant.emplace_back(last_used_[i], i);
+  }
+  std::sort(dormant.begin(), dormant.end());
+  for (const auto& [stamp, i] : dormant) {
+    if (resident <= cache_cap_) break;
+    slots_[i].reset();
+    resident_.fetch_sub(1);
+    --resident;
+  }
+}
+
+std::size_t WorkerPool::materialized() const { return resident_.load(); }
+
+}  // namespace pdsl::sim

@@ -1,0 +1,80 @@
+#pragma once
+// Lazy per-agent worker storage (S-SCALE pillar 3). In eager mode (default)
+// every LocalWorker is constructed up front — byte-identical behavior to the
+// historical std::vector<LocalWorker>. In lazy mode a worker is materialized
+// only when touched, and prepare() evicts the least-recently-used dormant
+// workers above the cache cap, keeping resident state linear in the active
+// set. Re-materialization is exact: worker i is always built from the same
+// (init model, shard, batch, root.split(0xD0 + i)) tuple, and fleet-mode
+// batch draws are stateless (round-keyed), so an evicted worker loses no
+// observable state.
+//
+// Concurrency: operator[]/get(i) may be called from parallel per-agent loops
+// under the usual slot discipline (each agent touches only its own index);
+// materialization mutates only slot i plus atomic counters. prepare() and
+// the stat accessors are driver-thread only.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+#include "sim/worker.hpp"
+
+namespace pdsl::sim {
+
+class WorkerPool {
+ public:
+  /// `train` and `partition` are borrowed and must outlive the pool; the init
+  /// model is copied so workers can be re-materialized later. `cache_cap` is
+  /// the max resident workers in lazy mode (0 = auto: 4x the fleet's active
+  /// set is chosen by the caller; here 0 simply means "unbounded").
+  WorkerPool(const nn::Model& init_model, const data::Dataset& train,
+             const std::vector<std::vector<std::size_t>>& partition, std::size_t batch,
+             Rng root, bool lazy, std::size_t cache_cap);
+
+  /// Two-phase construction for owners whose init model is computed in the
+  /// constructor body (the pool's atomics make it non-movable). init() must
+  /// be called exactly once before any other member.
+  WorkerPool() = default;
+  void init(const nn::Model& init_model, const data::Dataset& train,
+            const std::vector<std::vector<std::size_t>>& partition, std::size_t batch,
+            Rng root, bool lazy, std::size_t cache_cap);
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// Access worker i, materializing it in lazy mode.
+  LocalWorker& get(std::size_t i);
+  LocalWorker& operator[](std::size_t i) { return get(i); }
+
+  /// Driver-thread round prologue: materialize every worker named by `need`,
+  /// stamp their last-use round, and evict LRU dormant workers above the cap.
+  void prepare(const std::vector<unsigned char>& need, std::size_t round);
+
+  [[nodiscard]] bool lazy() const { return lazy_; }
+  [[nodiscard]] std::size_t materialized() const;
+  /// High-water mark of simultaneously resident workers.
+  [[nodiscard]] std::size_t peak_materialized() const { return peak_.load(); }
+
+ private:
+  LocalWorker& materialize(std::size_t i);
+
+  nn::Model init_model_;
+  const data::Dataset* train_ = nullptr;
+  const std::vector<std::vector<std::size_t>>* partition_ = nullptr;
+  std::size_t batch_ = 0;
+  Rng root_{0};
+  bool lazy_ = false;
+  std::size_t cache_cap_ = 0;
+
+  std::vector<std::unique_ptr<LocalWorker>> slots_;
+  std::vector<std::size_t> last_used_;  ///< round stamp per slot (LRU key)
+  std::size_t round_ = 0;
+  std::atomic<std::size_t> resident_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+}  // namespace pdsl::sim

@@ -1,0 +1,466 @@
+// S-SCALE unit tests: sparse CSR topologies vs the dense graph/ classes,
+// deterministic participation sampling, the wire codec, LazyMatrix COW
+// semantics, and the end-to-end bit-identity contracts (dense vs sparse,
+// eager vs lazy, wire on vs off, sampled reruns and thread widths).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+#include "fleet/lazy_matrix.hpp"
+#include "fleet/options.hpp"
+#include "fleet/participation.hpp"
+#include "fleet/sparse_graph.hpp"
+#include "fleet/wire.hpp"
+#include "graph/mixing.hpp"
+#include "graph/topology.hpp"
+
+namespace {
+
+using pdsl::core::ExperimentConfig;
+using pdsl::core::ExperimentResult;
+using pdsl::fleet::FleetOptions;
+using pdsl::fleet::LazyMatrix;
+using pdsl::fleet::ParticipationMode;
+using pdsl::fleet::ParticipationPlan;
+using pdsl::fleet::SparseGraph;
+using pdsl::fleet::SparseMetropolis;
+using pdsl::fleet::WireMessage;
+using pdsl::graph::MixingMatrix;
+using pdsl::graph::Topology;
+using pdsl::graph::TopologyKind;
+
+void expect_same_graph(const pdsl::graph::TopologyView& a,
+                       const pdsl::graph::TopologyView& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.degree(i), b.degree(i)) << "degree of " << i;
+    EXPECT_EQ(a.neighbors(i), b.neighbors(i)) << "neighbors of " << i;
+    EXPECT_EQ(a.closed_neighborhood(i), b.closed_neighborhood(i));
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a.has_edge(i, j), b.has_edge(i, j)) << i << "," << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SparseGraph vs dense Topology
+// ---------------------------------------------------------------------------
+
+TEST(SparseGraph, FromTopologyMatchesDense) {
+  for (const auto kind : {TopologyKind::kFullyConnected, TopologyKind::kRing,
+                          TopologyKind::kBipartite, TopologyKind::kStar}) {
+    const Topology dense = Topology::make(kind, 8);
+    const SparseGraph sparse = SparseGraph::from_topology(dense);
+    expect_same_graph(dense, sparse);
+  }
+}
+
+TEST(SparseGraph, RingGeneratorMatchesDenseRing) {
+  const Topology dense = Topology::make(TopologyKind::kRing, 12);
+  const SparseGraph sparse = SparseGraph::ring(12);
+  expect_same_graph(dense, sparse);
+}
+
+TEST(SparseGraph, RegularGeneratorProperties) {
+  const SparseGraph g = SparseGraph::regular(12, 4);
+  ASSERT_EQ(g.size(), 12u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.num_edges(), 12u * 4u / 2u);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g.degree(i), 4u);
+    for (const auto j : g.neighbors(i)) {
+      EXPECT_TRUE(g.has_edge(j, i)) << "asymmetric edge " << i << "," << j;
+    }
+  }
+  EXPECT_THROW(SparseGraph::regular(12, 3), std::invalid_argument);   // odd
+  EXPECT_THROW(SparseGraph::regular(12, 0), std::invalid_argument);
+  EXPECT_THROW(SparseGraph::regular(4, 4), std::invalid_argument);    // >= n
+}
+
+TEST(SparseGraph, GeometricGeneratorConnectedAndDeterministic) {
+  const SparseGraph a = SparseGraph::random_geometric(32, 0.05, 7);
+  const SparseGraph b = SparseGraph::random_geometric(32, 0.05, 7);
+  EXPECT_TRUE(a.is_connected());  // radius auto-grows until connected
+  expect_same_graph(a, b);
+}
+
+TEST(SparseGraph, CloneIsDeepAndEqual) {
+  const SparseGraph g = SparseGraph::regular(8, 2);
+  const auto copy = g.clone();
+  expect_same_graph(g, *copy);
+}
+
+// ---------------------------------------------------------------------------
+// SparseMetropolis vs MixingMatrix::metropolis — bitwise
+// ---------------------------------------------------------------------------
+
+TEST(SparseMetropolis, BitwiseEqualsDenseMetropolis) {
+  for (const auto kind : {TopologyKind::kFullyConnected, TopologyKind::kRing,
+                          TopologyKind::kBipartite, TopologyKind::kStar}) {
+    const Topology dense = Topology::make(kind, 8);
+    const MixingMatrix w = MixingMatrix::metropolis(dense);
+    const SparseGraph sparse = SparseGraph::from_topology(dense);
+    const SparseMetropolis sw(sparse);
+    ASSERT_EQ(sw.size(), w.size());
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      for (std::size_t j = 0; j < w.size(); ++j) {
+        // EXPECT_EQ, not NEAR: the sparse view must replay the dense FP
+        // accumulation order exactly (the golden-equivalence contract).
+        EXPECT_EQ(sw.weight(i, j), w.weight(i, j)) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(SparseMetropolis, RowsSumToOne) {
+  const SparseGraph g = SparseGraph::regular(16, 4);
+  const SparseMetropolis w(g);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < g.size(); ++j) row += w.weight(i, j);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Participation sampling
+// ---------------------------------------------------------------------------
+
+TEST(Participation, FullModeIsAllOnes) {
+  const SparseGraph g = SparseGraph::ring(8);
+  ParticipationPlan plan;  // kFull
+  const auto mask = pdsl::fleet::participation_mask(plan, g, 1, 42);
+  ASSERT_EQ(mask.size(), 8u);
+  for (const auto m : mask) EXPECT_EQ(m, 1);
+}
+
+TEST(Participation, SampledExactlyKDeterministicAndRoundVarying) {
+  const SparseGraph g = SparseGraph::regular(64, 4);
+  ParticipationPlan plan;
+  plan.mode = ParticipationMode::kSampled;
+  plan.active = 8;
+  const std::uint64_t seed = pdsl::fleet::resolve_participation_seed(plan, 1);
+  ASSERT_NE(seed, 0u);
+
+  bool any_round_differs = false;
+  std::vector<unsigned char> prev;
+  for (std::size_t t = 1; t <= 6; ++t) {
+    const auto mask = pdsl::fleet::participation_mask(plan, g, t, seed);
+    const auto again = pdsl::fleet::participation_mask(plan, g, t, seed);
+    EXPECT_EQ(mask, again) << "round " << t << " not deterministic";
+    std::size_t count = 0;
+    for (const auto m : mask) count += m;
+    EXPECT_EQ(count, 8u) << "round " << t;
+    if (!prev.empty() && mask != prev) any_round_differs = true;
+    prev = mask;
+  }
+  EXPECT_TRUE(any_round_differs) << "active set frozen across rounds";
+}
+
+TEST(Participation, RateResolvesToCeil) {
+  ParticipationPlan plan;
+  plan.mode = ParticipationMode::kSampled;
+  plan.rate = 0.1;
+  EXPECT_EQ(plan.resolved_active(64), 7u);  // ceil(6.4)
+  EXPECT_EQ(plan.resolved_active(4), 1u);
+}
+
+TEST(Participation, WalkIsAnEdgeHandoffChain) {
+  const SparseGraph g = SparseGraph::ring(9);
+  ParticipationPlan plan;
+  plan.mode = ParticipationMode::kWalk;
+  const std::uint64_t seed = 99;
+  for (std::size_t t = 2; t <= 8; ++t) {
+    const auto now = pdsl::fleet::walk_position(g, t, seed);
+    const auto prev = pdsl::fleet::walk_position(g, t - 1, seed);
+    EXPECT_TRUE(now == prev || g.has_edge(prev, now))
+        << "round " << t << ": " << prev << " -> " << now << " is not an edge";
+    const auto mask = pdsl::fleet::participation_mask(plan, g, t, seed);
+    std::size_t count = 0;
+    for (const auto m : mask) count += m;
+    EXPECT_GE(count, 1u);
+    EXPECT_LE(count, 2u);
+    EXPECT_EQ(mask[now], 1);
+    EXPECT_EQ(mask[prev], 1);
+  }
+}
+
+TEST(Participation, ValidationThrowsWithFieldNames) {
+  FleetOptions f;
+  f.participation.mode = ParticipationMode::kSampled;
+  // Neither active nor rate set.
+  EXPECT_THROW(f.validate(8), std::invalid_argument);
+  f.participation.active = 9;
+  EXPECT_THROW(f.validate(8), std::invalid_argument);  // k > N
+  f.participation.active = 0;
+  f.participation.rate = 1.5;
+  EXPECT_THROW(f.validate(8), std::invalid_argument);  // rate out of (0,1]
+  f.participation.rate = 0.5;
+  EXPECT_NO_THROW(f.validate(8));
+
+  FleetOptions s;
+  s.sparse = true;
+  s.degree = 0;
+  EXPECT_THROW(s.validate(8), std::invalid_argument);  // degree must be > 0
+  s.degree = 4;
+  s.radius = 0.0;
+  EXPECT_THROW(s.validate(8), std::invalid_argument);  // radius <= 0
+}
+
+TEST(Participation, OptionsJsonRoundTrip) {
+  FleetOptions f;
+  f.participation.mode = ParticipationMode::kSampled;
+  f.participation.active = 8;
+  f.lazy_state = true;
+  f.wire_roundtrip = true;
+  f.sparse = true;
+  f.degree = 6;
+  const auto j = pdsl::fleet::fleet_options_to_json(f);
+  const FleetOptions g = pdsl::fleet::fleet_options_from_json(j);
+  EXPECT_EQ(g.participation.mode, ParticipationMode::kSampled);
+  EXPECT_EQ(g.participation.active, 8u);
+  EXPECT_TRUE(g.lazy_state);
+  EXPECT_TRUE(g.wire_roundtrip);
+  EXPECT_TRUE(g.sparse);
+  EXPECT_EQ(g.degree, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+WireMessage sample_message() {
+  WireMessage m;
+  m.src = 3;
+  m.dst = 7;
+  m.round = 42;
+  m.channel = 1;
+  m.tag = "xgrad:3";
+  m.payload = {1.5f, -2.25f, 0.0f, 3.0e-38f};
+  return m;
+}
+
+TEST(Wire, RoundTripIsExact) {
+  const WireMessage m = sample_message();
+  const WireMessage back = pdsl::fleet::wire_decode(pdsl::fleet::wire_encode(m));
+  EXPECT_TRUE(pdsl::fleet::wire_equal(m, back));
+  EXPECT_EQ(back.tag, "xgrad:3");
+  EXPECT_EQ(back.payload, m.payload);
+}
+
+TEST(Wire, NanAndInfBitPatternsSurvive) {
+  WireMessage m = sample_message();
+  m.payload = {std::numeric_limits<float>::quiet_NaN(),
+               std::numeric_limits<float>::infinity(),
+               -std::numeric_limits<float>::infinity(), -0.0f};
+  const WireMessage back = pdsl::fleet::wire_decode(pdsl::fleet::wire_encode(m));
+  ASSERT_EQ(back.payload.size(), m.payload.size());
+  for (std::size_t i = 0; i < m.payload.size(); ++i) {
+    std::uint32_t a = 0, b = 0;
+    std::memcpy(&a, &m.payload[i], 4);
+    std::memcpy(&b, &back.payload[i], 4);
+    EXPECT_EQ(a, b) << "payload bit pattern " << i;
+  }
+  EXPECT_TRUE(pdsl::fleet::wire_equal(m, back));  // NaN-safe equality
+}
+
+TEST(Wire, EmptyPayloadAndTag) {
+  WireMessage m;
+  const WireMessage back = pdsl::fleet::wire_decode(pdsl::fleet::wire_encode(m));
+  EXPECT_TRUE(pdsl::fleet::wire_equal(m, back));
+}
+
+TEST(Wire, CorruptionTruncationAndBadHeaderThrow) {
+  const auto buf = pdsl::fleet::wire_encode(sample_message());
+
+  auto corrupted = buf;
+  corrupted[corrupted.size() / 2] ^= 0x40;  // flip a payload bit
+  EXPECT_THROW((void)pdsl::fleet::wire_decode(corrupted), std::runtime_error);
+
+  auto truncated = buf;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW((void)pdsl::fleet::wire_decode(truncated), std::runtime_error);
+
+  auto bad_magic = buf;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW((void)pdsl::fleet::wire_decode(bad_magic), std::runtime_error);
+
+  auto bad_version = buf;
+  bad_version[8] ^= 0xFF;  // version field follows the u64 magic
+  EXPECT_THROW((void)pdsl::fleet::wire_decode(bad_version), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// LazyMatrix
+// ---------------------------------------------------------------------------
+
+TEST(LazyMatrix, SharesDefaultUntilWritten) {
+  LazyMatrix m(4, {1.0f, 2.0f});
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.dim(), 2u);
+  EXPECT_EQ(m.materialized_count(), 0u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m[i], (std::vector<float>{1.0f, 2.0f}));
+    EXPECT_FALSE(m.materialized(i));
+  }
+}
+
+TEST(LazyMatrix, MutCopiesDefaultOnFirstTouch) {
+  LazyMatrix m(4, {1.0f, 2.0f});
+  m.mut(2)[0] = 9.0f;
+  EXPECT_EQ(m.materialized_count(), 1u);
+  EXPECT_EQ(m[2], (std::vector<float>{9.0f, 2.0f}));
+  EXPECT_EQ(m[0], (std::vector<float>{1.0f, 2.0f}));  // others untouched
+}
+
+TEST(LazyMatrix, SetReplacesRowAndChecksDim) {
+  LazyMatrix m(3, {0.0f, 0.0f});
+  m.set(1, {5.0f, 6.0f});
+  EXPECT_EQ(m[1], (std::vector<float>{5.0f, 6.0f}));
+  EXPECT_THROW(m.set(0, {1.0f}), std::invalid_argument);
+}
+
+TEST(LazyMatrix, DenseAssignAndEquality) {
+  LazyMatrix a(2, {1.0f});
+  LazyMatrix b(2, {1.0f});
+  EXPECT_TRUE(a == b);
+  b.set(0, {2.0f});
+  EXPECT_TRUE(a != b);
+  a.assign(b.dense());
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.materialized_count(), 2u);  // assign materializes everything
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end bit-identity contracts
+// ---------------------------------------------------------------------------
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.algorithm = "pdsl";
+  cfg.dataset = "mnist_like";
+  cfg.model = "logistic";
+  cfg.image = 8;
+  cfg.topology = "ring";
+  cfg.partition = "iid";
+  cfg.agents = 8;
+  cfg.rounds = 3;
+  cfg.train_samples = 256;
+  cfg.test_samples = 64;
+  cfg.validation_samples = 64;
+  cfg.hp.batch = 8;
+  cfg.hp.shapley_permutations = 2;
+  cfg.hp.validation_batch = 16;
+  cfg.sigma_mode = "none";
+  cfg.seed = 5;
+  cfg.metrics.eval_every = 0;
+  cfg.metrics.test_subsample = 32;
+  return cfg;
+}
+
+TEST(FleetContract, SparseRingBitIdenticalToDense) {
+  ExperimentConfig dense = tiny_config();
+  ExperimentConfig sparse = tiny_config();
+  sparse.fleet.sparse = true;
+  const ExperimentResult a = pdsl::core::run_experiment(dense);
+  const ExperimentResult b = pdsl::core::run_experiment(sparse);
+  EXPECT_EQ(a.average_model, b.average_model);
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(FleetContract, WireRoundTripDoesNotChangeResults) {
+  ExperimentConfig plain = tiny_config();
+  ExperimentConfig wired = tiny_config();
+  wired.fleet.wire_roundtrip = true;
+  const ExperimentResult a = pdsl::core::run_experiment(plain);
+  const ExperimentResult b = pdsl::core::run_experiment(wired);
+  EXPECT_EQ(a.average_model, b.average_model);
+  EXPECT_GT(b.wire_messages, 0u);
+  EXPECT_GT(b.wire_bytes, 0u);
+  EXPECT_EQ(a.wire_messages, 0u);
+}
+
+TEST(FleetContract, LazyStateBitIdenticalToEagerUnderSampling) {
+  // Both sides sample (so both use stateless batch draws); only the worker
+  // materialization policy differs. Eviction must not change the math.
+  ExperimentConfig eager = tiny_config();
+  eager.fleet.participation.mode = ParticipationMode::kSampled;
+  eager.fleet.participation.active = 3;
+  eager.metrics.metric_agents = 2;  // metric eval materializes workers too
+  ExperimentConfig lazy = eager;
+  lazy.fleet.lazy_state = true;
+  lazy.fleet.worker_cache = 4;
+  const ExperimentResult a = pdsl::core::run_experiment(eager);
+  const ExperimentResult b = pdsl::core::run_experiment(lazy);
+  EXPECT_EQ(a.average_model, b.average_model);
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.workers_peak, 8u);  // eager materializes the whole fleet
+  // Lazy transient bound: prepare() materializes this round's actives first
+  // and then evicts down to the cap, so peak <= cache_cap + active (4 + 3).
+  EXPECT_LE(b.workers_peak, 7u);
+  EXPECT_LT(b.workers_peak, a.workers_peak);
+  EXPECT_EQ(a.participants, 3u);
+  EXPECT_EQ(b.participants, 3u);
+}
+
+TEST(FleetContract, WorkerCacheSizeDoesNotChangeResults) {
+  ExperimentConfig small = tiny_config();
+  small.fleet.participation.mode = ParticipationMode::kSampled;
+  small.fleet.participation.active = 3;
+  small.fleet.lazy_state = true;
+  small.fleet.worker_cache = 4;
+  ExperimentConfig big = small;
+  big.fleet.worker_cache = 64;
+  const ExperimentResult a = pdsl::core::run_experiment(small);
+  const ExperimentResult b = pdsl::core::run_experiment(big);
+  EXPECT_EQ(a.average_model, b.average_model);
+}
+
+TEST(FleetContract, SampledRerunAndThreadWidthBitIdentical) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.fleet.participation.mode = ParticipationMode::kSampled;
+  cfg.fleet.participation.active = 4;
+  cfg.fleet.sparse = true;
+  cfg.fleet.wire_roundtrip = true;
+  const ExperimentResult a = pdsl::core::run_experiment(cfg);
+  const ExperimentResult b = pdsl::core::run_experiment(cfg);
+  cfg.threads = 4;
+  const ExperimentResult c = pdsl::core::run_experiment(cfg);
+  EXPECT_EQ(a.average_model, b.average_model);
+  EXPECT_EQ(a.average_model, c.average_model);
+}
+
+TEST(FleetContract, WalkModeRunsWithTinyActiveSet) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.fleet.participation.mode = ParticipationMode::kWalk;
+  cfg.fleet.lazy_state = true;
+  const ExperimentResult res = pdsl::core::run_experiment(cfg);
+  EXPECT_LE(res.participants, 2u);
+  EXPECT_GE(res.participants, 1u);
+  const ExperimentResult again = pdsl::core::run_experiment(cfg);
+  EXPECT_EQ(res.average_model, again.average_model);
+}
+
+TEST(FleetContract, SparseOnlyTopologyRequiresSparseFlag) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.topology = "regular";  // sparse-only generator without fleet.sparse
+  EXPECT_THROW((void)pdsl::core::run_experiment(cfg), std::invalid_argument);
+  cfg.fleet.sparse = true;
+  EXPECT_NO_THROW((void)pdsl::core::run_experiment(cfg));
+}
+
+TEST(FleetContract, Theorem1SigmaRejectedOnSparseRuns) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.fleet.sparse = true;
+  cfg.sigma_mode = "theorem1";
+  EXPECT_THROW((void)pdsl::core::run_experiment(cfg), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+// S-SCALE acceptance (ctest -L chaos): a 1024-agent PDSL fleet on a sparse
+// regular-4 graph with sampled participation, lazy worker state and wire
+// round-trip verification, under chaos (drop + delay + churn) plus sign-flip
+// Byzantine agents, must be bit-identical across a rerun and across
+// --threads 1 vs 4 — the fleet-scale version of the determinism contract.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace {
+
+using pdsl::core::ExperimentConfig;
+using pdsl::core::ExperimentResult;
+
+ExperimentConfig chaos_config() {
+  ExperimentConfig cfg;
+  cfg.algorithm = "pdsl";
+  cfg.dataset = "mnist_like";
+  cfg.model = "logistic";
+  cfg.image = 8;
+  cfg.partition = "iid";  // 2 samples per agent at this scale
+  cfg.agents = 1024;
+  cfg.rounds = 2;
+  cfg.train_samples = 2048;
+  cfg.test_samples = 64;
+  cfg.validation_samples = 64;
+  cfg.hp.batch = 2;
+  cfg.hp.shapley_permutations = 2;
+  cfg.hp.validation_batch = 16;
+  cfg.sigma_mode = "none";
+  cfg.seed = 11;
+  cfg.metrics.eval_every = 0;
+  cfg.metrics.test_subsample = 32;
+  cfg.metrics.metric_agents = 8;
+
+  cfg.topology = "regular";
+  cfg.fleet.sparse = true;
+  cfg.fleet.degree = 4;
+  cfg.fleet.lazy_state = true;
+  cfg.fleet.wire_roundtrip = true;
+  // 64 participants: enough that some sampled agents are graph-adjacent and
+  // traffic actually flows (8-of-1024 on a degree-4 graph is almost always
+  // an independent set — agents would only do local steps).
+  cfg.fleet.participation.mode = pdsl::fleet::ParticipationMode::kSampled;
+  cfg.fleet.participation.active = 64;
+
+  cfg.faults.drop_prob = 0.05;
+  cfg.faults.delay_prob = 0.10;
+  cfg.faults.delay_rounds = 2;
+  cfg.faults.churn_prob = 0.05;
+  cfg.faults.churn_interval = 2;
+  cfg.adversary.frac = 0.1;  // lowest 102 ids sign-flip at the default scale
+  return cfg;
+}
+
+TEST(FleetChaos, ThousandAgentChaosByzantineIsDeterministic) {
+  ExperimentConfig cfg = chaos_config();
+  const ExperimentResult a = pdsl::core::run_experiment(cfg);
+  const ExperimentResult b = pdsl::core::run_experiment(cfg);
+  cfg.threads = 4;
+  const ExperimentResult c = pdsl::core::run_experiment(cfg);
+
+  ASSERT_FALSE(a.average_model.empty());
+  EXPECT_EQ(a.average_model, b.average_model) << "rerun diverged";
+  EXPECT_EQ(a.average_model, c.average_model) << "threads 1 vs 4 diverged";
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.final_loss, c.final_loss);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+
+  // Fleet accounting: memory-side state tracked the active set, not N.
+  EXPECT_EQ(a.participants, 64u);
+  EXPECT_LT(a.workers_peak, 1024u);
+  EXPECT_GT(a.messages, 0u);
+  EXPECT_GT(a.wire_messages, 0u);
+}
+
+}  // namespace

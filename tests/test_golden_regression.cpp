@@ -164,6 +164,28 @@ TEST(GoldenRegression, MetricsSeriesMatchFixtures) {
   }
 }
 
+// S-SCALE: every fixture re-run with the topology routed through
+// fleet::SparseGraph / SparseMetropolis must reproduce the SAME bytes as the
+// dense path — the sparse views are a storage change, not a numerics change.
+TEST(GoldenRegression, SparseTopologyPathMatchesSameFixtures) {
+  for (Scenario s : scenarios()) {
+    // Centralized/event-driven baselines reject fleet mode by design
+    // (run_experiment throws); the mixing-based algorithms are the contract.
+    if (s.cfg.algorithm == "fedavg" || s.cfg.algorithm == "dp_fedavg" ||
+        s.cfg.algorithm == "async_dp_gossip") {
+      continue;
+    }
+    SCOPED_TRACE(s.name + " (fleet.sparse)");
+    s.cfg.fleet.sparse = true;
+    const std::string golden = golden_path(s.name);
+    ASSERT_TRUE(std::filesystem::exists(golden)) << "missing fixture " << golden;
+    const std::string candidate = candidate_path(s.name + "_sparse");
+    run_scenario_to_csv(s, candidate);
+    compare_csv(golden, candidate);
+    std::filesystem::remove(candidate);
+  }
+}
+
 // Custom main so the same binary can regenerate its fixtures; the object
 // file's main wins over the one in the static gtest_main library.
 int main(int argc, char** argv) {

@@ -182,11 +182,11 @@ TEST(Checkpoint, WarmStartRestoresAlgorithmFleet) {
   core::Pdsl a(env);
   for (std::size_t t = 1; t <= 3; ++t) a.run_round(t);
   const std::string path = "/tmp/pdsl_ckpt_warm.bin";
-  save_fleet(path, a.models());
+  save_fleet(path, a.models().dense());
 
   core::Pdsl b(env);
   b.set_models(load_fleet(path));
-  EXPECT_EQ(b.models(), a.models());
+  EXPECT_EQ(b.models().dense(), a.models().dense());
   EXPECT_THROW(b.set_models({{1.0f}}), std::invalid_argument);
 }
 

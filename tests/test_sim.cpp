@@ -151,16 +151,19 @@ TEST(Evaluate, FixedBatchScoring) {
 }
 
 TEST(Metrics, ConsensusDistance) {
-  EXPECT_DOUBLE_EQ(consensus_distance({{1.0f, 0.0f}, {1.0f, 0.0f}}), 0.0);
+  const std::vector<std::vector<float>> same = {{1.0f, 0.0f}, {1.0f, 0.0f}};
+  EXPECT_DOUBLE_EQ(consensus_distance(same), 0.0);
   // Two models at distance 2 from each other: each is 1 from the mean.
-  EXPECT_NEAR(consensus_distance({{1.0f, 0.0f}, {-1.0f, 0.0f}}), 1.0, 1e-6);
+  const std::vector<std::vector<float>> split = {{1.0f, 0.0f}, {-1.0f, 0.0f}};
+  EXPECT_NEAR(consensus_distance(split), 1.0, 1e-6);
 }
 
 TEST(Metrics, AverageModel) {
-  const auto avg = average_model({{2.0f, 0.0f}, {0.0f, 2.0f}});
+  const std::vector<std::vector<float>> models = {{2.0f, 0.0f}, {0.0f, 2.0f}};
+  const auto avg = average_model(models);
   EXPECT_FLOAT_EQ(avg[0], 1.0f);
   EXPECT_FLOAT_EQ(avg[1], 1.0f);
-  EXPECT_THROW(average_model({}), std::invalid_argument);
+  EXPECT_THROW(average_model(std::vector<std::vector<float>>{}), std::invalid_argument);
 }
 
 TEST(Metrics, CsvRoundTrip) {

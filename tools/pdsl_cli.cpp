@@ -27,6 +27,7 @@
 #include "graph/spectral.hpp"
 #include "io/checkpoint.hpp"
 #include "obs/metrics.hpp"
+#include "fleet/options.hpp"
 #include "obs/phase.hpp"
 #include "obs/trace.hpp"
 #include "sim/metrics.hpp"
@@ -59,6 +60,17 @@ int usage() {
       "                      first round(F*M) agents attack from round T on)\n"
       "                    --robust-agg none|trimmed_mean|median --sanitize\n"
       "                      auto|on|off (consumer-side defense screening)\n"
+      "                    --participation full|sampled|walk --active K\n"
+      "                      --participation-rate R (S-SCALE: k of N agents\n"
+      "                      per round, or a single random walker)\n"
+      "                    --sparse --degree D (CSR graphs; enables the\n"
+      "                      regular/geometric topologies at fleet scale)\n"
+      "                    --lazy-state --worker-cache N (materialize agent\n"
+      "                      state on demand, LRU-evict above N)\n"
+      "                    --wire-roundtrip (encode+decode+verify every\n"
+      "                      message through the fleet wire format)\n"
+      "                    --metric-agents K (evaluate loss/acc on the first\n"
+      "                      K agents only; 0 = all)\n"
       "                    --threads N (parallel agents; 1=sequential, 0=auto-detect)\n"
       "                    --backend blocked|naive (S-KER math kernels; default\n"
       "                      blocked, or the PDSL_KERNEL_BACKEND env var)\n"
@@ -92,7 +104,11 @@ int cmd_run(int argc, const char* const* argv) {
                       "staleness",
                       "byz-frac", "byz_frac", "byz-mode", "byz_mode",
                       "byz-scale", "byz_scale", "byz-onset", "byz_onset",
-                      "robust-agg", "robust_agg", "sanitize"});
+                      "robust-agg", "robust_agg", "sanitize",
+                      "participation", "active", "participation-rate", "participation_rate",
+                      "sparse", "degree", "radius", "lazy-state", "lazy_state",
+                      "worker-cache", "worker_cache", "wire-roundtrip", "wire_roundtrip",
+                      "metric-agents", "metric_agents"});
   core::ExperimentConfig cfg;
   if (args.has("config")) {
     cfg = core::load_config(args.get_string("config", ""));
@@ -215,6 +231,51 @@ int cmd_run(int argc, const char* const* argv) {
   cfg.threads = nonneg(
       "threads", args.get_int("threads", static_cast<std::int64_t>(cfg.threads)));
   cfg.backend = args.get_string("backend", cfg.backend);
+  // S-SCALE fleet flags. Range checks happen here (loud, naming the flag)
+  // and again in FleetOptions::validate once the agent count is known.
+  if (args.has("participation")) {
+    cfg.fleet.participation.mode =
+        fleet::participation_mode_from_string(args.get_string("participation", "full"));
+  }
+  cfg.fleet.participation.active = nonneg(
+      "active", args.get_int("active", static_cast<std::int64_t>(cfg.fleet.participation.active)));
+  if (cfg.fleet.participation.active > cfg.agents) {
+    throw std::invalid_argument("--active (" + std::to_string(cfg.fleet.participation.active) +
+                                ") exceeds --agents (" + std::to_string(cfg.agents) + ")");
+  }
+  cfg.fleet.participation.rate =
+      args.get_double("participation-rate",
+                      args.get_double("participation_rate", cfg.fleet.participation.rate));
+  if (cfg.fleet.participation.rate < 0.0 || cfg.fleet.participation.rate > 1.0) {
+    throw std::invalid_argument("--participation-rate must be in (0,1], got " +
+                                std::to_string(cfg.fleet.participation.rate));
+  }
+  if (cfg.fleet.participation.mode == fleet::ParticipationMode::kSampled &&
+      cfg.fleet.participation.active == 0 && cfg.fleet.participation.rate == 0.0) {
+    throw std::invalid_argument(
+        "--participation sampled needs --active K or --participation-rate R");
+  }
+  cfg.fleet.sparse = args.get_bool("sparse", cfg.fleet.sparse);
+  cfg.fleet.degree = nonneg(
+      "degree", args.get_int("degree", static_cast<std::int64_t>(cfg.fleet.degree)));
+  if (cfg.topology == "regular" && cfg.fleet.degree >= cfg.agents) {
+    throw std::invalid_argument("--degree (" + std::to_string(cfg.fleet.degree) +
+                                ") must be below --agents (" + std::to_string(cfg.agents) + ")");
+  }
+  cfg.fleet.radius = args.get_double("radius", cfg.fleet.radius);
+  cfg.fleet.lazy_state =
+      args.get_bool("lazy-state", args.get_bool("lazy_state", cfg.fleet.lazy_state));
+  cfg.fleet.worker_cache = nonneg(
+      "worker-cache",
+      args.get_int("worker-cache",
+                   args.get_int("worker_cache", static_cast<std::int64_t>(cfg.fleet.worker_cache))));
+  cfg.fleet.wire_roundtrip =
+      args.get_bool("wire-roundtrip", args.get_bool("wire_roundtrip", cfg.fleet.wire_roundtrip));
+  cfg.fleet.validate(cfg.agents);
+  cfg.metrics.metric_agents = nonneg(
+      "metric-agents",
+      args.get_int("metric-agents",
+                   args.get_int("metric_agents", static_cast<std::int64_t>(cfg.metrics.metric_agents))));
   if (cfg.metrics.eval_every == 1) cfg.metrics.eval_every = 5;
   cfg.profile = args.get_bool("profile", cfg.profile);
   cfg.trace_out =
@@ -264,6 +325,15 @@ int cmd_run(int argc, const char* const* argv) {
   if (res.corrupted != 0 || res.rejected != 0 || res.reclipped != 0) {
     std::printf("byzantine: corrupted=%zu rejected=%zu reclipped=%zu\n", res.corrupted,
                 res.rejected, res.reclipped);
+  }
+  if (cfg.fleet.enabled()) {
+    std::printf("fleet: participants=%zu/%zu workers_peak=%zu models_materialized=%zu",
+                res.participants, cfg.agents, res.workers_peak, res.models_materialized);
+    if (res.wire_messages != 0) {
+      std::printf(" wire=%zu msgs/%.1fMB", res.wire_messages,
+                  static_cast<double>(res.wire_bytes) / 1e6);
+    }
+    std::printf("\n");
   }
 
   if (cfg.profile) {

@@ -57,6 +57,15 @@ BENCHES = {
                      "conv_cifar_l2.speedup", "gemm_square_256.speedup"],
         "ab": True,
     },
+    "scale": {
+        "binary": "bench_scale",
+        "quick": ["--agents", "8,32,64", "--rounds", "3", "--train", "1024",
+                  "--active", "8"],
+        "default": [],
+        "headline": ["n64.ms_per_round", "n256.ms_per_round",
+                     "n1024.ms_per_round", "n1024.peak_rss_mb"],
+        "ab": True,
+    },
     "byzantine": {
         "binary": "bench_byzantine",
         "quick": ["--rounds", "8", "--train", "600", "--mc_perms", "4",
@@ -129,7 +138,7 @@ BENCHES = {
         "ab": False,
     },
 }
-DEFAULT_SUBSET = ["threads", "kernels", "byzantine"]
+DEFAULT_SUBSET = ["threads", "kernels", "byzantine", "scale"]
 
 
 def log(msg):
