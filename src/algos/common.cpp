@@ -488,6 +488,13 @@ std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t roun
       m.pi_attacker = split->first;
       m.pi_honest = split->second;
     }
+    if (const auto sstats = alg.shapley_round_stats()) {
+      m.shapley_evals = sstats->coalition_evals;
+      m.shapley_batched = sstats->coalitions_batched;
+      m.shapley_cache_hits = sstats->cache_hits;
+      m.shapley_cache_misses = sstats->cache_misses;
+      m.shapley_early_stops = sstats->early_stopped;
+    }
     if (noise_multiplier > 0.0) {
       accountant.add_gaussian(noise_multiplier, 1);
       m.epsilon_spent = accountant.epsilon(alg.env().dp_delta);

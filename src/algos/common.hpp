@@ -41,10 +41,20 @@ struct HyperParams {
   std::size_t shapley_permutations = 8;  ///< R in Algorithm 2
   bool exact_shapley = false;            ///< use Eq. 18 enumeration instead
   /// Estimator: "mc" (Algorithm 2) | "exact" | "tmc" (truncated MC) |
-  /// "stratified" (Castro et al. [37]). exact_shapley=true overrides to exact.
+  /// "stratified" (Castro et al. [37]) | "adaptive" (S-SHAP antithetic pairs
+  /// + CI early stop). exact_shapley=true overrides to exact.
   std::string shapley_method = "mc";
   double tmc_tolerance = 0.01;           ///< truncation tolerance for "tmc"
   std::size_t validation_batch = 64;     ///< per-round subsample of Q for v(.)
+  /// S-SHAP coalition scoring path: "sequential" (one forward pass per
+  /// coalition — the bit-identical reference) | "batched" (stacked-GEMM
+  /// evaluation + cross-round value cache; bit-identical on supported
+  /// models, verified by tests/test_shapley.cpp).
+  std::string shapley_eval = "sequential";
+  /// "adaptive" floor: permutations drawn before the CI stop may trigger.
+  /// The budget ceiling is shapley_permutations.
+  std::size_t shapley_min_permutations = 4;
+  double shapley_ci_z = 2.0;             ///< "adaptive" CI half-width z-score
 
   // MUFFLIATO
   std::size_t gossip_steps = 2;  ///< gossip iterations after noise injection
@@ -104,6 +114,18 @@ struct Env {
   /// S-SCALE: sampled/walk participation, lazy agent state, wire round-trip.
   /// All-defaults = historical behavior, bit-identical.
   fleet::FleetOptions fleet;
+};
+
+/// S-SHAP per-round Shapley-phase accounting, snapshotted by
+/// run_with_metrics into the CSV so the batched/cached/adaptive speedup is
+/// attributable round by round.
+struct ShapleyRoundStats {
+  std::size_t coalition_evals = 0;      ///< characteristic evaluations run
+  std::size_t coalitions_batched = 0;   ///< of those, scored via stacked GEMM
+  std::size_t cache_hits = 0;           ///< served from the cross-round cache
+  std::size_t cache_misses = 0;         ///< cache lookups that had to evaluate
+  std::size_t permutations_used = 0;    ///< MC permutations consumed (all agents)
+  std::size_t early_stopped = 0;        ///< agents whose sampler CI-stopped early
 };
 
 /// Per-round graceful-degradation accounting (S-FAULT), reset at the top of
@@ -181,6 +203,12 @@ class Algorithm {
   /// overrides with its Shapley-derived pi split.
   [[nodiscard]] virtual std::optional<std::pair<double, double>>
   attacker_honest_weight_split() const {
+    return std::nullopt;
+  }
+
+  /// S-SHAP: Shapley-phase accounting for the last round run. nullopt for
+  /// algorithms without a Shapley phase (the base default); Pdsl overrides.
+  [[nodiscard]] virtual std::optional<ShapleyRoundStats> shapley_round_stats() const {
     return std::nullopt;
   }
 

@@ -63,6 +63,9 @@ json::Value config_to_json(const ExperimentConfig& cfg) {
   o["batch"] = cfg.hp.batch;
   o["shapley_permutations"] = cfg.hp.shapley_permutations;
   o["shapley_method"] = cfg.hp.shapley_method;
+  o["shapley_eval"] = cfg.hp.shapley_eval;
+  o["shapley_min_permutations"] = cfg.hp.shapley_min_permutations;
+  o["shapley_ci_z"] = cfg.hp.shapley_ci_z;
   o["validation_batch"] = cfg.hp.validation_batch;
   o["gossip_steps"] = cfg.hp.gossip_steps;
   o["local_steps"] = cfg.hp.local_steps;
@@ -97,6 +100,7 @@ ExperimentConfig config_from_json(const json::Value& v) {
       "image",      "hidden",    "mu",        "iid",           "partition",
       "shards_per_agent", "corrupt_agents", "byzantine_agents", "gamma", "alpha", "clip",
       "sigma",      "batch",     "shapley_permutations", "shapley_method",
+      "shapley_eval", "shapley_min_permutations", "shapley_ci_z",
       "validation_batch", "gossip_steps", "local_steps", "sigma_mode",
       "noise_scale", "epsilon",  "delta",     "phi_hat_min",   "threads",
       "backend",    "seed",      "drop_prob",  "faults", "adversary", "defense",
@@ -142,6 +146,9 @@ ExperimentConfig config_from_json(const json::Value& v) {
   idx("batch", cfg.hp.batch);
   idx("shapley_permutations", cfg.hp.shapley_permutations);
   str("shapley_method", cfg.hp.shapley_method);
+  str("shapley_eval", cfg.hp.shapley_eval);
+  idx("shapley_min_permutations", cfg.hp.shapley_min_permutations);
+  num("shapley_ci_z", cfg.hp.shapley_ci_z);
   idx("validation_batch", cfg.hp.validation_batch);
   idx("gossip_steps", cfg.hp.gossip_steps);
   idx("local_steps", cfg.hp.local_steps);

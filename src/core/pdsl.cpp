@@ -1,6 +1,8 @@
 #include "core/pdsl.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "common/vec_math.hpp"
@@ -20,6 +22,39 @@ Pdsl::Pdsl(const algos::Env& env, Options options)
       val_rng_(splitmix64(env.seed ^ 0x5A11DA7E)) {
   if (env.validation == nullptr || env.validation->empty()) {
     throw std::invalid_argument("Pdsl: a non-empty validation dataset Q is required");
+  }
+  if (env.hp.shapley_eval != "sequential" && env.hp.shapley_eval != "batched" &&
+      env.hp.shapley_eval != "linear") {
+    throw std::invalid_argument("Pdsl: unknown shapley_eval '" + env.hp.shapley_eval +
+                                "' (expected sequential | batched | linear)");
+  }
+  if (env.hp.shapley_method != "mc" && env.hp.shapley_method != "exact" &&
+      env.hp.shapley_method != "tmc" && env.hp.shapley_method != "stratified" &&
+      env.hp.shapley_method != "adaptive") {
+    throw std::invalid_argument(
+        "Pdsl: unknown shapley_method '" + env.hp.shapley_method +
+        "' (expected mc | exact | tmc | stratified | adaptive)");
+  }
+  // Coalitions are uint64_t bitmasks, so the Shapley game is capped at 63
+  // players. The fleet layer allows 1024+ agents; fail loudly HERE — before
+  // any round runs — instead of overflowing a mask mid-round.
+  std::size_t max_hood = 0;
+  for (std::size_t i = 0; i < num_agents(); ++i) {
+    max_hood = std::max(max_hood, env.topo->closed_neighborhood(i).size());
+  }
+  if (max_hood > 63) {
+    throw std::invalid_argument(
+        "Pdsl: a closed neighborhood has " + std::to_string(max_hood) +
+        " members, but Shapley coalitions are uint64_t bitmasks (<= 63 players). "
+        "With " + std::to_string(num_agents()) +
+        " agents, use a sparse topology with bounded degree "
+        "(--sparse --degree <= 62) so every closed neighborhood fits.");
+  }
+  use_batched_ = env.hp.shapley_eval != "sequential";
+  use_linear_ = env.hp.shapley_eval == "linear";
+  if (use_batched_) {
+    batch_supported_ = sim::CoalitionBatchEvaluator::batchable(*env.model_template);
+    value_caches_.assign(num_agents(), shapley::ValueCache());
   }
   momentum_.reset(num_agents(), std::vector<float>(models_.dim(), 0.0f));
   Rng shapley_root(splitmix64(env.seed ^ 0x5876BE7));
@@ -126,6 +161,15 @@ void Pdsl::round_impl(std::size_t t) {
   // Shared validation batch for this round's characteristic function.
   const sim::FixedBatch val = draw_validation_batch();
 
+  // S-SHAP: the cross-round cache context — everything shared by all of this
+  // round's coalition scores except the member models themselves.
+  std::uint64_t val_ctx = 0;
+  if (use_batched_) {
+    val_ctx = shapley::hash_bytes(val.x.data(), val.x.numel() * sizeof(float));
+    val_ctx = shapley::hash_bytes(val.y.data(), val.y.size() * sizeof(int), val_ctx);
+    val_ctx = shapley::hash_mix(val_ctx, options_.loss_characteristic ? 1 : 0);
+  }
+
   // ---- Lines 13-20: virtual models, Shapley weights ----
   // Under faults each agent plays the Shapley game over the *present* subset
   // of its closed neighborhood: members whose perturbed cross-gradient is
@@ -138,6 +182,11 @@ void Pdsl::round_impl(std::size_t t) {
   std::vector<double> agent_phi_min(m, 1.0);
   std::vector<std::size_t> agent_stale(m, 0);      // slot-written, folded below
   std::vector<unsigned char> agent_fallback(m, 0);
+  std::vector<std::size_t> agent_batched(m, 0);    // S-SHAP slots
+  std::vector<std::size_t> agent_hits(m, 0);
+  std::vector<std::size_t> agent_misses(m, 0);
+  std::vector<std::size_t> agent_perms(m, 0);
+  std::vector<unsigned char> agent_early(m, 0);
   {
     auto timer = phase(obs::Phase::kShapley);
     runtime::parallel_for(0, m, 1, [&](std::size_t i) {
@@ -208,37 +257,127 @@ void Pdsl::round_impl(std::size_t t) {
       // Agent i scores coalitions in its own worker's model workspace — idle
       // between the gradient phases — so no two agents share a forward buffer.
       nn::Model& ws = workers_[i].workspace();
-      shapley::CachedGame game(p, [&](const std::vector<std::size_t>& coalition) {
-        std::vector<const std::vector<float>*> members;
-        members.reserve(coalition.size());
-        for (std::size_t k : coalition) members.push_back(&virtual_models[k]);
-        const auto avg = mean_of(members);
-        return options_.loss_characteristic ? -sim::loss_on(ws, avg, val)
-                                            : sim::accuracy_on(ws, avg, val);
-      });
-
       // Line 15 / Algorithm 2 (or an alternative estimator when requested).
       std::vector<double> phi;
       const std::string& method =
           env_.hp.exact_shapley ? std::string("exact") : env_.hp.shapley_method;
       if (options_.uniform_weights) {
         phi.assign(p, 1.0);
-      } else if (method == "exact" && p <= 20) {
-        phi = shapley::exact_shapley(game);
-      } else if (method == "tmc") {
-        shapley::TruncatedMcOptions topts;
-        topts.num_permutations = env_.hp.shapley_permutations;
-        topts.tolerance = env_.hp.tmc_tolerance;
-        phi = shapley::truncated_monte_carlo_shapley(game, topts, shapley_rngs_[i]);
-      } else if (method == "stratified") {
-        const std::size_t per_stratum =
-            std::max<std::size_t>(1, env_.hp.shapley_permutations / 2);
-        phi = shapley::stratified_shapley(game, per_stratum, shapley_rngs_[i]);
-      } else {  // "mc" and the exact fallback for oversized neighborhoods
-        phi = shapley::monte_carlo_shapley(game, env_.hp.shapley_permutations,
-                                           shapley_rngs_[i]);
+      } else {
+        const auto score_members = [&](const std::vector<const std::vector<float>*>& mem) {
+          const auto avg = mean_of(mem);
+          return options_.loss_characteristic ? -sim::loss_on(ws, avg, val)
+                                              : sim::accuracy_on(ws, avg, val);
+        };
+        // Either the reference one-at-a-time game, or the S-SHAP batched game
+        // (stacked-GEMM scoring + per-agent cross-round value cache). Both
+        // score coalition averages over the SAME virtual-model pointers via
+        // the same mean_of fold, so values are bit-identical by construction.
+        std::unique_ptr<shapley::Game> game;
+        std::optional<sim::CoalitionBatchEvaluator> batch_eval;
+        if (use_batched_) {
+          if (batch_supported_) {
+            batch_eval.emplace(*env_.model_template, val);
+            if (use_linear_) {
+              std::vector<const std::vector<float>*> member_ptrs(p);
+              for (std::size_t k = 0; k < p; ++k) member_ptrs[k] = &virtual_models[k];
+              batch_eval->set_members(member_ptrs);
+            }
+          }
+          std::vector<std::uint64_t> member_hashes(p);
+          for (std::size_t k = 0; k < p; ++k) {
+            member_hashes[k] = shapley::hash_bytes(
+                virtual_models[k].data(), virtual_models[k].size() * sizeof(float));
+          }
+          value_caches_[i].begin_round(t, val_ctx, std::move(member_hashes));
+          game = std::make_unique<shapley::BatchedGame>(
+              p,
+              [&](const std::vector<std::uint64_t>& masks) {
+                if (use_linear_ && batch_eval) {
+                  // First-layer linearity: member pre-activations were scored
+                  // once in set_members(); each coalition is a cheap average
+                  // + the small later layers. No mean_of, no big GEMM.
+                  auto out = options_.loss_characteristic
+                                 ? batch_eval->coalition_losses(masks)
+                                 : batch_eval->coalition_accuracies(masks);
+                  if (options_.loss_characteristic) {
+                    for (double& v : out) v = -v;
+                  }
+                  return out;
+                }
+                std::vector<std::vector<float>> avgs(masks.size());
+                std::vector<const std::vector<float>*> mem;
+                for (std::size_t q = 0; q < masks.size(); ++q) {
+                  mem.clear();
+                  for (std::size_t k : shapley::Game::members(masks[q])) {
+                    mem.push_back(&virtual_models[k]);
+                  }
+                  avgs[q] = mean_of(mem);
+                }
+                std::vector<double> out;
+                if (batch_eval) {
+                  std::vector<const std::vector<float>*> ptrs(avgs.size());
+                  for (std::size_t q = 0; q < avgs.size(); ++q) ptrs[q] = &avgs[q];
+                  out = options_.loss_characteristic ? batch_eval->losses(ptrs)
+                                                     : batch_eval->accuracies(ptrs);
+                  if (options_.loss_characteristic) {
+                    for (double& v : out) v = -v;
+                  }
+                } else {
+                  out.reserve(avgs.size());
+                  for (const auto& avg : avgs) {
+                    out.push_back(options_.loss_characteristic
+                                      ? -sim::loss_on(ws, avg, val)
+                                      : sim::accuracy_on(ws, avg, val));
+                  }
+                }
+                return out;
+              },
+              &value_caches_[i]);
+        } else {
+          game = std::make_unique<shapley::CachedGame>(
+              p, [&](const std::vector<std::size_t>& coalition) {
+                std::vector<const std::vector<float>*> mem;
+                mem.reserve(coalition.size());
+                for (std::size_t k : coalition) mem.push_back(&virtual_models[k]);
+                return score_members(mem);
+              });
+        }
+
+        if (method == "exact" && p <= 20) {
+          phi = shapley::exact_shapley(*game);
+        } else if (method == "tmc") {
+          shapley::TruncatedMcOptions topts;
+          topts.num_permutations = env_.hp.shapley_permutations;
+          topts.tolerance = env_.hp.tmc_tolerance;
+          phi = shapley::truncated_monte_carlo_shapley(*game, topts, shapley_rngs_[i]);
+          agent_perms[i] = topts.num_permutations;
+        } else if (method == "stratified") {
+          const std::size_t per_stratum =
+              std::max<std::size_t>(1, env_.hp.shapley_permutations / 2);
+          phi = shapley::stratified_shapley(*game, per_stratum, shapley_rngs_[i]);
+        } else if (method == "adaptive") {
+          shapley::AdaptiveMcOptions aopts;
+          aopts.min_permutations = env_.hp.shapley_min_permutations;
+          aopts.max_permutations = env_.hp.shapley_permutations;
+          aopts.ci_z = env_.hp.shapley_ci_z;
+          auto res = shapley::adaptive_monte_carlo_shapley(*game, aopts, shapley_rngs_[i]);
+          phi = std::move(res.phi);
+          agent_perms[i] = res.permutations_used;
+          agent_early[i] = res.early_stopped ? 1 : 0;
+        } else {  // "mc" and the exact fallback for oversized neighborhoods
+          phi = shapley::monte_carlo_shapley(*game, env_.hp.shapley_permutations,
+                                             shapley_rngs_[i]);
+          agent_perms[i] = env_.hp.shapley_permutations;
+        }
+        agent_evals[i] = game->evaluations();
+        if (use_batched_) {
+          const auto& st = static_cast<shapley::BatchedGame&>(*game).stats();
+          agent_batched[i] = st.coalitions_batched;
+          agent_hits[i] = st.cache_hits;
+          agent_misses[i] = st.cache_misses;
+        }
       }
-      agent_evals[i] = game.evaluations();
 
       // Eq. 19 normalization (or the robust ReLU variant), Eq. 20 weights.
       // Restricting to `present` renormalizes pi over the survivors: the
@@ -261,18 +400,37 @@ void Pdsl::round_impl(std::size_t t) {
     });
 
     // Sequential fold of the per-agent reductions (scheduling-independent).
-    last_evals_ = 0;
+    algos::ShapleyRoundStats sstats;
     std::size_t stale = 0;
     std::size_t fallbacks = 0;
     for (std::size_t i = 0; i < m; ++i) {
-      last_evals_ += agent_evals[i];
+      sstats.coalition_evals += agent_evals[i];
+      sstats.coalitions_batched += agent_batched[i];
+      sstats.cache_hits += agent_hits[i];
+      sstats.cache_misses += agent_misses[i];
+      sstats.permutations_used += agent_perms[i];
+      sstats.early_stopped += agent_early[i];
       observed_phi_hat_min_ = std::min(observed_phi_hat_min_, agent_phi_min[i]);
       stale += agent_stale[i];
       fallbacks += agent_fallback[i];
     }
+    last_shapley_stats_ = sstats;
+    last_evals_ = sstats.coalition_evals;
     static obs::Counter& evals =
         obs::MetricsRegistry::global().counter("shapley.coalition_evals");
     evals.add(last_evals_);
+    static obs::Counter& batched_c =
+        obs::MetricsRegistry::global().counter("shapley.coalitions_batched");
+    static obs::Counter& hits_c =
+        obs::MetricsRegistry::global().counter("shapley.cache_hits");
+    static obs::Counter& misses_c =
+        obs::MetricsRegistry::global().counter("shapley.cache_misses");
+    static obs::Counter& early_c =
+        obs::MetricsRegistry::global().counter("shapley.permutations_early_stopped");
+    batched_c.add(sstats.coalitions_batched);
+    hits_c.add(sstats.cache_hits);
+    misses_c.add(sstats.cache_misses);
+    early_c.add(sstats.early_stopped);
     if (stale != 0) {
       fault_stats_.stale_reused += stale;
       obs::MetricsRegistry::global().counter("pdsl.stale_reused").add(stale);
@@ -355,6 +513,15 @@ void Pdsl::ledger_round(obs::RunLedger& ledger, std::size_t t) const {
   ev["phi"] = json::Value(std::move(phi));
   ev["pi"] = json::Value(std::move(pi));
   ev["characteristic_evals"] = last_evals_;
+  // S-SHAP evaluation budget: where the round's coalition scores came from
+  // (stacked-GEMM batches vs cross-round cache) and how many permutations
+  // the sampler actually consumed. Deterministic, so it stays inside the
+  // ledger's bit-identity contract.
+  ev["coalitions_batched"] = last_shapley_stats_.coalitions_batched;
+  ev["cache_hits"] = last_shapley_stats_.cache_hits;
+  ev["cache_misses"] = last_shapley_stats_.cache_misses;
+  ev["permutations_used"] = last_shapley_stats_.permutations_used;
+  ev["early_stopped"] = last_shapley_stats_.early_stopped;
   ledger.event("shapley", std::move(ev));
 }
 

@@ -14,6 +14,7 @@
 #include <map>
 
 #include "algos/common.hpp"
+#include "shapley/value_cache.hpp"
 #include "sim/evaluate.hpp"
 
 namespace pdsl::core {
@@ -65,6 +66,11 @@ class Pdsl final : public algos::Algorithm {
   [[nodiscard]] const std::vector<std::vector<double>>& last_pi() const { return last_pi_; }
   /// Distinct coalition evaluations performed last round (all agents).
   [[nodiscard]] std::size_t last_characteristic_evals() const { return last_evals_; }
+
+  /// S-SHAP: batching/caching/early-stop accounting for the last round.
+  [[nodiscard]] std::optional<algos::ShapleyRoundStats> shapley_round_stats() const override {
+    return last_shapley_stats_;
+  }
   /// Smallest normalized Shapley share observed so far (empirical
   /// counterpart of Theorem 1's phi_hat_min).
   [[nodiscard]] double observed_phi_hat_min() const { return observed_phi_hat_min_; }
@@ -112,6 +118,23 @@ class Pdsl final : public algos::Algorithm {
   std::vector<std::vector<double>> last_pi_;
   std::size_t last_evals_ = 0;
   double observed_phi_hat_min_ = 1.0;
+  algos::ShapleyRoundStats last_shapley_stats_;
+
+  /// S-SHAP: hp.shapley_eval == "batched" or "linear" (validated in the
+  /// ctor). Both share the BatchedGame dedup/cache machinery.
+  bool use_batched_ = false;
+  /// S-SHAP: hp.shapley_eval == "linear" — score coalitions via first-layer
+  /// linearity (member pre-activations averaged instead of re-running the
+  /// dominant GEMM per coalition). Mathematically the same characteristic,
+  /// ulp-level numeric differences; NOT bit-identical to sequential.
+  bool use_linear_ = false;
+  /// Is the model a chain CoalitionBatchEvaluator can stack? When false the
+  /// batched path still deduplicates and caches via BatchedGame, but scores
+  /// each coalition with a sequential forward pass.
+  bool batch_supported_ = false;
+  /// Per-agent cross-round coalition score caches (slot discipline: agent i's
+  /// phase body is the only writer of value_caches_[i]). Empty unless batched.
+  std::vector<shapley::ValueCache> value_caches_;
   /// xgrad_cache_[i][j]: agent i's cached cross-gradient from neighbor j.
   /// Written only by agent i's phase body (slot discipline) or the sequential
   /// absorb_late hook, so no synchronization is needed.

@@ -1,13 +1,36 @@
 #include "shapley/game.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "shapley/value_cache.hpp"
 
 namespace pdsl::shapley {
 
+Game::Game(std::size_t num_players) : n_(num_players) {
+  if (n_ == 0) throw std::invalid_argument("shapley::Game: need at least one player");
+  if (n_ > 63) {
+    throw std::invalid_argument(
+        "shapley::Game: at most 63 players — coalitions are uint64_t bitmasks. "
+        "Dense neighborhoods of a large fleet exceed this; use a sparse topology "
+        "(--sparse with bounded degree) so every closed neighborhood stays <= 63.");
+  }
+}
+
+std::vector<std::size_t> Game::members(std::uint64_t mask) {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; mask != 0; ++j, mask >>= 1) {
+    if (mask & 1ULL) out.push_back(j);
+  }
+  return out;
+}
+
+std::uint64_t Game::full_mask() const {
+  return n_ == 63 ? ~0ULL >> 1 : (1ULL << n_) - 1;
+}
+
 CachedGame::CachedGame(std::size_t num_players, CharacteristicFn v)
-    : n_(num_players), v_(std::move(v)) {
-  if (n_ == 0) throw std::invalid_argument("CachedGame: need at least one player");
-  if (n_ > 63) throw std::invalid_argument("CachedGame: at most 63 players (bitmask coalitions)");
+    : Game(num_players), v_(std::move(v)) {
   if (!v_) throw std::invalid_argument("CachedGame: null characteristic function");
 }
 
@@ -22,16 +45,83 @@ double CachedGame::value(std::uint64_t mask) {
   return val;
 }
 
-std::vector<std::size_t> CachedGame::members(std::uint64_t mask) {
-  std::vector<std::size_t> out;
-  for (std::size_t j = 0; mask != 0; ++j, mask >>= 1) {
-    if (mask & 1ULL) out.push_back(j);
-  }
-  return out;
+BatchedGame::BatchedGame(std::size_t num_players, BatchCharacteristicFn batch_v,
+                         ValueCache* cache)
+    : Game(num_players), batch_v_(std::move(batch_v)), cache_(cache) {
+  if (!batch_v_) throw std::invalid_argument("BatchedGame: null batch characteristic function");
 }
 
-std::uint64_t CachedGame::full_mask() const {
-  return n_ == 63 ? ~0ULL >> 1 : (1ULL << n_) - 1;
+void BatchedGame::check_range(std::uint64_t mask) const {
+  if (mask >= (1ULL << n_)) throw std::out_of_range("BatchedGame: mask out of range");
+}
+
+bool BatchedGame::from_cache(std::uint64_t mask) {
+  if (cache_ == nullptr) return false;
+  double v = 0.0;
+  if (cache_->lookup(mask, v)) {
+    memo_.emplace(mask, v);
+    ++stats_.cache_hits;
+    return true;
+  }
+  ++stats_.cache_misses;
+  return false;
+}
+
+double BatchedGame::value(std::uint64_t mask) {
+  if (mask == 0) return 0.0;
+  check_range(mask);
+  const auto it = memo_.find(mask);
+  if (it != memo_.end()) return it->second;
+  if (from_cache(mask)) return memo_.at(mask);
+  const std::vector<double> vals = batch_v_({mask});
+  if (vals.size() != 1) throw std::logic_error("BatchedGame: batch fn returned wrong count");
+  memo_.emplace(mask, vals[0]);
+  if (cache_ != nullptr) cache_->store(mask, vals[0]);
+  ++stats_.evaluations;
+  return vals[0];
+}
+
+void BatchedGame::prefetch(const std::vector<std::uint64_t>& masks) {
+  // Pending = first occurrence of each mask that is non-empty, unknown to the
+  // within-round memo and absent from the cross-round cache, in announcement
+  // order (so the batch composition is deterministic).
+  std::vector<std::uint64_t> pending;
+  pending.reserve(masks.size());
+  for (const std::uint64_t mask : masks) {
+    if (mask == 0) continue;
+    check_range(mask);
+    if (memo_.count(mask) != 0) continue;
+    bool seen = false;
+    for (const std::uint64_t p : pending) {
+      if (p == mask) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    if (from_cache(mask)) continue;
+    pending.push_back(mask);
+  }
+  if (pending.empty()) return;
+  // Chunk so the batch evaluator's stacked weight/activation buffers stay
+  // bounded even when an exact enumeration announces 2^n coalitions at once.
+  constexpr std::size_t kMaxBatch = 512;
+  std::vector<std::uint64_t> chunk;
+  for (std::size_t start = 0; start < pending.size(); start += kMaxBatch) {
+    const std::size_t count = std::min(kMaxBatch, pending.size() - start);
+    chunk.assign(pending.begin() + static_cast<std::ptrdiff_t>(start),
+                 pending.begin() + static_cast<std::ptrdiff_t>(start + count));
+    const std::vector<double> vals = batch_v_(chunk);
+    if (vals.size() != chunk.size()) {
+      throw std::logic_error("BatchedGame: batch fn returned wrong count");
+    }
+    for (std::size_t k = 0; k < chunk.size(); ++k) {
+      memo_.emplace(chunk[k], vals[k]);
+      if (cache_ != nullptr) cache_->store(chunk[k], vals[k]);
+    }
+    stats_.evaluations += chunk.size();
+    stats_.coalitions_batched += chunk.size();
+  }
 }
 
 }  // namespace pdsl::shapley

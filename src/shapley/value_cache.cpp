@@ -1,0 +1,75 @@
+#include "shapley/value_cache.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pdsl::shapley {
+
+std::uint64_t hash_bytes(const void* data, std::size_t bytes, std::uint64_t seed) {
+  // FNV-1a, folding 8 bytes per multiply. Not the textbook byte-stepped
+  // variant, but the same avalanche structure; all that matters here is a
+  // stable, well-mixed 64-bit content digest.
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  std::size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, p + i, 8);
+    h = (h ^ word) * kPrime;
+  }
+  for (; i < bytes; ++i) h = (h ^ p[i]) * kPrime;
+  return h;
+}
+
+ValueCache::ValueCache(std::size_t max_age_rounds) : max_age_(max_age_rounds) {
+  if (max_age_ == 0) throw std::invalid_argument("ValueCache: max_age_rounds must be >= 1");
+}
+
+void ValueCache::begin_round(std::size_t round, std::uint64_t context_hash,
+                             std::vector<std::uint64_t> member_hashes) {
+  round_ = round;
+  context_ = context_hash;
+  member_hashes_ = std::move(member_hashes);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (round_ > it->second.last_used && round_ - it->second.last_used > max_age_) {
+      it = map_.erase(it);
+      ++stats_.evictions;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t ValueCache::key_for(std::uint64_t mask) const {
+  if (mask == 0 || (member_hashes_.size() < 64 && mask >= (1ULL << member_hashes_.size()))) {
+    throw std::out_of_range("ValueCache: mask out of range for the armed round");
+  }
+  // Chain member content hashes in ascending member order on top of the
+  // round context. Two coalitions with identical member contents (across any
+  // pair of rounds) produce the same key; any content change changes it.
+  std::uint64_t h = context_;
+  std::uint64_t m = mask;
+  for (std::size_t j = 0; m != 0; ++j, m >>= 1) {
+    if (m & 1ULL) h = hash_mix(h, member_hashes_[j]);
+  }
+  return h;
+}
+
+bool ValueCache::lookup(std::uint64_t mask, double& out) {
+  const auto it = map_.find(key_for(mask));
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  it->second.last_used = round_;
+  out = it->second.value;
+  ++stats_.hits;
+  return true;
+}
+
+void ValueCache::store(std::uint64_t mask, double value) {
+  map_[key_for(mask)] = Entry{value, round_};
+}
+
+}  // namespace pdsl::shapley

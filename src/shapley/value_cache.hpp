@@ -1,0 +1,89 @@
+#pragma once
+// S-SHAP cross-round coalition value cache.
+//
+// A coalition's score v(S) (Eq. 16) depends only on (a) the bytes of every
+// member's virtual model and (b) the evaluation context — the shared
+// validation batch and the characteristic kind (accuracy vs -loss). Keys are
+// therefore CONTENT-ADDRESSED: a per-round context hash chained (ascending
+// member order) with the content hash of each member's virtual model. Under
+// PDSL dynamics virtual models change every round, so cross-round hits come
+// from coalitions whose members' inputs did not change — stale neighbors
+// whose cached cross-gradient was reused (S-FAULT staleness), offline
+// rounds, frozen/converged agents. Invalidation is implicit: changed content
+// makes the old key unreachable, and round-stamped age eviction bounds the
+// footprint.
+//
+// A hit returns the PREVIOUSLY COMPUTED double verbatim, so a cached path is
+// bit-identical to recomputation (modulo 64-bit hash collisions, whose
+// probability is ~ entries^2 / 2^65 — negligible at the <=2^16 entries a
+// fleet agent ever holds).
+//
+// One ValueCache per agent: BatchedGame mutates it from inside
+// runtime::parallel_for agent bodies, and the per-agent slot discipline
+// (each index touched by exactly one task) is the concurrency story — no
+// locks needed, TSan-verified by test_shapley under the verify skill.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace pdsl::shapley {
+
+/// FNV-1a over raw bytes, word-stepped (8 bytes per round + byte tail) so
+/// hashing a ~50k-float model costs microseconds, not the round budget.
+/// Seedable for chaining; deterministic across platforms of equal endianness
+/// (we only compare hashes computed in-process, so endianness is moot).
+std::uint64_t hash_bytes(const void* data, std::size_t bytes,
+                         std::uint64_t seed = 14695981039346656037ULL);
+
+/// Chain a 64-bit value into a running hash.
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  return hash_bytes(&v, sizeof v, h);
+}
+
+class ValueCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;       ///< lifetime lookup hits
+    std::size_t misses = 0;     ///< lifetime lookup misses
+    std::size_t evictions = 0;  ///< entries dropped by age
+  };
+
+  /// Entries unused for `max_age_rounds` consecutive rounds are evicted at
+  /// the next begin_round().
+  explicit ValueCache(std::size_t max_age_rounds = 8);
+
+  /// Arm the cache for a round: `context_hash` covers everything shared by
+  /// all coalitions (validation batch bytes, characteristic kind), and
+  /// `member_hashes[j]` is the content hash of local player j's virtual
+  /// model. Also performs age-based eviction.
+  void begin_round(std::size_t round, std::uint64_t context_hash,
+                   std::vector<std::uint64_t> member_hashes);
+
+  /// True + fills `out` if the coalition's content key is present.
+  bool lookup(std::uint64_t mask, double& out);
+
+  /// Record a freshly computed value under the coalition's content key.
+  void store(std::uint64_t mask, double value);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] std::uint64_t key_for(std::uint64_t mask) const;
+
+  struct Entry {
+    double value;
+    std::size_t last_used;
+  };
+
+  std::size_t max_age_;
+  std::size_t round_ = 0;
+  std::uint64_t context_ = 0;
+  std::vector<std::uint64_t> member_hashes_;
+  std::unordered_map<std::uint64_t, Entry> map_;
+  Stats stats_;
+};
+
+}  // namespace pdsl::shapley

@@ -161,8 +161,8 @@ TEST(Pdsl, AlternativeShapleyEstimatorsRun) {
 TEST(Pdsl, RobustVariantSurvivesByzantineAgents) {
   // Gradient-poisoning adversaries: 1 of 4 agents flips+amplifies the
   // cross-gradients it sends. The robust variant (loss characteristic +
-  // ReLU normalization) must keep learning; see bench_ablation_shapley for
-  // the full comparison.
+  // ReLU normalization) must keep learning; see bench_shapley (weighting
+  // section) for the full comparison.
   const auto fx = Fixture::make(4, "full", false, 57);
   Pdsl::Options popts;
   popts.relu_normalization = true;
@@ -219,4 +219,147 @@ TEST(Pdsl, ConsensusTightensOverRounds) {
   // Fully-connected metropolis averages to exact consensus every round.
   EXPECT_LE(late, early + 1e-4);
   EXPECT_LT(late, 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// S-SHAP: batched coalition evaluation + adaptive sampling inside PDSL
+// ---------------------------------------------------------------------------
+
+TEST(Pdsl, BatchedEvalBitIdenticalToSequential) {
+  // --shapley-eval batched must reproduce the default path to the bit: the
+  // stacked GEMM scores the same coalition averages to the same doubles, so
+  // phi, pi and every model float agree exactly.
+  const auto fx = Fixture::make(4, "full", true);
+  Env bat_env = fx.env(0.1);
+  bat_env.hp.shapley_eval = "batched";
+  Pdsl seq(fx.env(0.1));
+  Pdsl bat(bat_env);
+  for (std::size_t t = 1; t <= 3; ++t) {
+    seq.run_round(t);
+    bat.run_round(t);
+  }
+  EXPECT_EQ(seq.models(), bat.models());
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(seq.last_shapley()[i].size(), bat.last_shapley()[i].size());
+    for (std::size_t k = 0; k < seq.last_shapley()[i].size(); ++k) {
+      EXPECT_EQ(seq.last_shapley()[i][k], bat.last_shapley()[i][k]);
+      EXPECT_EQ(seq.last_pi()[i][k], bat.last_pi()[i][k]);
+    }
+  }
+  const auto stats = bat.shapley_round_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->coalition_evals, 0u);
+  EXPECT_EQ(stats->coalitions_batched, stats->coalition_evals);  // mc prefetches all
+  EXPECT_GT(stats->cache_misses, 0u);
+  const auto seq_stats = seq.shapley_round_stats();
+  ASSERT_TRUE(seq_stats.has_value());
+  EXPECT_EQ(seq_stats->coalitions_batched, 0u);
+  EXPECT_EQ(seq_stats->coalition_evals, stats->coalition_evals);
+}
+
+TEST(Pdsl, BatchedEvalBitIdenticalOnRobustVariant) {
+  // Loss-valued characteristic (pdsl_robust) exercises the batched losses()
+  // path; same bit-identity contract.
+  const auto fx = Fixture::make(4, "full", true);
+  Pdsl::Options popts;
+  popts.relu_normalization = true;
+  popts.loss_characteristic = true;
+  Env bat_env = fx.env(0.0);
+  bat_env.hp.shapley_eval = "batched";
+  Pdsl seq(fx.env(0.0), popts);
+  Pdsl bat(bat_env, popts);
+  for (std::size_t t = 1; t <= 2; ++t) {
+    seq.run_round(t);
+    bat.run_round(t);
+  }
+  EXPECT_EQ(seq.models(), bat.models());
+}
+
+TEST(Pdsl, LinearEvalTracksSequentialAndIsDeterministic) {
+  // --shapley-eval linear scores coalitions via first-layer linearity —
+  // mathematically the same characteristic with ulp-level float differences,
+  // so we demand (a) bit-determinism between two linear runs and (b) pi/model
+  // closeness to the sequential path, not bit-identity.
+  const auto fx = Fixture::make(4, "full", true);
+  Env lin_env = fx.env(0.1);
+  lin_env.hp.shapley_eval = "linear";
+  Pdsl seq(fx.env(0.1));
+  Pdsl lin(lin_env);
+  Pdsl lin2(lin_env);
+  for (std::size_t t = 1; t <= 3; ++t) {
+    seq.run_round(t);
+    lin.run_round(t);
+    lin2.run_round(t);
+  }
+  EXPECT_EQ(lin.models(), lin2.models());  // determinism
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t k = 0; k < seq.last_pi()[i].size(); ++k) {
+      EXPECT_EQ(lin.last_pi()[i][k], lin2.last_pi()[i][k]);
+      EXPECT_NEAR(lin.last_pi()[i][k], seq.last_pi()[i][k], 0.15)
+          << "agent " << i << " member " << k;
+    }
+    for (std::size_t j = 0; j < seq.models()[i].size(); ++j) {
+      EXPECT_NEAR(lin.models()[i][j], seq.models()[i][j], 1e-2) << "agent " << i;
+    }
+  }
+  const auto stats = lin.shapley_round_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->coalitions_batched, 0u);  // linear rides the batched path
+}
+
+TEST(Pdsl, LinearEvalRunsOnRobustVariant) {
+  // Loss-valued characteristic through coalition_losses(); finite weights,
+  // deterministic across two runs.
+  const auto fx = Fixture::make(4, "full", true);
+  Pdsl::Options popts;
+  popts.relu_normalization = true;
+  popts.loss_characteristic = true;
+  Env env = fx.env(0.0);
+  env.hp.shapley_eval = "linear";
+  Pdsl a(env, popts);
+  Pdsl b(env, popts);
+  for (std::size_t t = 1; t <= 2; ++t) {
+    a.run_round(t);
+    b.run_round(t);
+  }
+  EXPECT_EQ(a.models(), b.models());
+  for (double pi : a.last_pi()[0]) EXPECT_TRUE(std::isfinite(pi));
+}
+
+TEST(Pdsl, AdaptiveMethodRunsAndRecordsBudget) {
+  const auto fx = Fixture::make(4, "full", true);
+  Env env = fx.env(0.0);
+  env.hp.shapley_method = "adaptive";
+  env.hp.shapley_permutations = 16;
+  env.hp.shapley_min_permutations = 4;
+  Pdsl alg(env);
+  alg.run_round(1);
+  const auto stats = alg.shapley_round_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->permutations_used, 4u * 4u);   // >= min floor per agent
+  EXPECT_LE(stats->permutations_used, 4u * 16u);  // <= budget per agent
+  for (double pi : alg.last_pi()[0]) EXPECT_TRUE(std::isfinite(pi));
+}
+
+TEST(Pdsl, ValidatesShapleyConfig) {
+  const auto fx = Fixture::make(3, "ring", false);
+  {
+    Env env = fx.env();
+    env.hp.shapley_eval = "bogus";
+    EXPECT_THROW(Pdsl{env}, std::invalid_argument);
+  }
+  {
+    Env env = fx.env();
+    env.hp.shapley_method = "bogus";
+    EXPECT_THROW(Pdsl{env}, std::invalid_argument);
+  }
+}
+
+TEST(Pdsl, RefusesNeighborhoodsAbove63Players) {
+  // 64 agents on a full graph: every closed neighborhood is a 64-player
+  // Shapley game, over the uint64 coalition-mask cap. The constructor must
+  // refuse loudly instead of overflowing masks mid-run.
+  const auto fx = Fixture::make(64, "full", false);
+  Env env = fx.env();
+  EXPECT_THROW(Pdsl{env}, std::invalid_argument);
 }

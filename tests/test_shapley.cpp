@@ -1,15 +1,21 @@
 // Shapley values: the classical axioms on the exact solver, Monte Carlo
-// convergence (Algorithm 2), and the normalization/weighting pipeline
-// (Eqs. 19-20).
+// convergence (Algorithm 2), the normalization/weighting pipeline
+// (Eqs. 19-20), and the S-SHAP hot path (BatchedGame, the cross-round
+// ValueCache, adaptive antithetic Monte Carlo, CoalitionBatchEvaluator).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
+#include "data/synthetic.hpp"
+#include "nn/model_zoo.hpp"
 #include "shapley/game.hpp"
 #include "shapley/shapley.hpp"
+#include "shapley/value_cache.hpp"
 #include "shapley/weighting.hpp"
+#include "sim/evaluate.hpp"
 
 using namespace pdsl;
 using namespace pdsl::shapley;
@@ -300,4 +306,533 @@ TEST(Weighting, NormalizedShares) {
   EXPECT_NEAR(s[1], 0.75, 1e-12);
   const auto uniform = normalized_shares({0.0, 0.0, 0.0});
   for (double v : uniform) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// S-SHAP: BatchedGame
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Wrap a sequential characteristic as a batch fn (loop over masks), counting
+/// how many batch calls were made.
+BatchCharacteristicFn batch_of(CharacteristicFn fn, std::size_t* batch_calls = nullptr) {
+  return [fn = std::move(fn), batch_calls](const std::vector<std::uint64_t>& masks) {
+    if (batch_calls != nullptr) ++*batch_calls;
+    std::vector<double> out;
+    out.reserve(masks.size());
+    for (const auto m : masks) out.push_back(fn(Game::members(m)));
+    return out;
+  };
+}
+
+/// Quadratic game v(S) = (sum of member worths)^2. Player i's marginal to a
+/// prefix with mass W is w_i^2 + 2 w_i W; over an antithetic pair (a
+/// permutation and its reversal) the prefix masses sum to W_total - w_i, so
+/// the pair-averaged marginal is CONSTANT — antithetic sampling is exact here
+/// while independent sampling is not.
+CharacteristicFn quadratic_game(std::vector<double> worth) {
+  return [worth = std::move(worth)](const std::vector<std::size_t>& c) {
+    double v = 0.0;
+    for (std::size_t p : c) v += worth[p];
+    return v * v;
+  };
+}
+
+}  // namespace
+
+TEST(BatchedGame, MatchesCachedGameBitIdentical) {
+  // Same estimator + same RNG stream on CachedGame vs BatchedGame must give
+  // bit-identical phi: the game layer only changes WHEN values are computed,
+  // never what is computed or in which order it is accumulated.
+  auto fn = [](const std::vector<std::size_t>& c) {
+    double v = 0.0;
+    for (std::size_t p : c) v += static_cast<double>(p + 1);
+    return v * v / 50.0;
+  };
+  {
+    CachedGame seq(5, fn);
+    BatchedGame bat(5, batch_of(fn));
+    const auto a = exact_shapley(seq);
+    const auto b = exact_shapley(bat);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(seq.evaluations(), bat.evaluations());
+  }
+  {
+    CachedGame seq(6, fn);
+    BatchedGame bat(6, batch_of(fn));
+    Rng r1(42), r2(42);
+    const auto a = monte_carlo_shapley(seq, 12, r1);
+    const auto b = monte_carlo_shapley(bat, 12, r2);
+    for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  {
+    CachedGame seq(5, fn);
+    BatchedGame bat(5, batch_of(fn));
+    Rng r1(43), r2(43);
+    const auto a = stratified_shapley(seq, 10, r1);
+    const auto b = stratified_shapley(bat, 10, r2);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  {
+    CachedGame seq(6, fn);
+    BatchedGame bat(6, batch_of(fn));
+    Rng r1(44), r2(44);
+    AdaptiveMcOptions opts;
+    const auto a = adaptive_monte_carlo_shapley(seq, opts, r1);
+    const auto b = adaptive_monte_carlo_shapley(bat, opts, r2);
+    EXPECT_EQ(a.permutations_used, b.permutations_used);
+    EXPECT_EQ(a.early_stopped, b.early_stopped);
+    for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(a.phi[i], b.phi[i]);
+  }
+}
+
+TEST(BatchedGame, PrefetchBatchesAndDedupes) {
+  std::size_t batch_calls = 0;
+  BatchedGame game(4, batch_of(additive_game({1, 2, 3, 4}), &batch_calls));
+  game.prefetch({0b0011, 0b0101, 0b0011, 0});  // dup + empty are dropped
+  EXPECT_EQ(batch_calls, 1u);
+  EXPECT_EQ(game.evaluations(), 2u);
+  EXPECT_EQ(game.stats().coalitions_batched, 2u);
+  // Prefetched values come from the memo; no further batch calls.
+  EXPECT_DOUBLE_EQ(game.value(0b0011), 3.0);
+  EXPECT_DOUBLE_EQ(game.value(0b0101), 4.0);
+  EXPECT_EQ(batch_calls, 1u);
+  // A mask that was never announced falls back to a singleton batch.
+  EXPECT_DOUBLE_EQ(game.value(0b1000), 4.0);
+  EXPECT_EQ(batch_calls, 2u);
+  EXPECT_EQ(game.evaluations(), 3u);
+  EXPECT_EQ(game.stats().coalitions_batched, 2u);  // the fallback was not batched
+  // Re-announcing known masks is a no-op.
+  game.prefetch({0b0011, 0b1000});
+  EXPECT_EQ(batch_calls, 2u);
+}
+
+TEST(BatchedGame, Validation) {
+  BatchedGame game(3, batch_of(additive_game({1, 2, 3})));
+  EXPECT_DOUBLE_EQ(game.value(0), 0.0);
+  EXPECT_THROW(game.value(0b1000), std::out_of_range);
+  EXPECT_THROW(game.prefetch({0b1000}), std::out_of_range);
+  EXPECT_THROW(BatchedGame(3, nullptr), std::invalid_argument);
+  EXPECT_THROW(BatchedGame(64, batch_of(additive_game(std::vector<double>(64, 1.0)))),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// S-SHAP: cross-round ValueCache
+// ---------------------------------------------------------------------------
+
+TEST(ValueCache, HitsOnUnchangedContentAcrossRounds) {
+  ValueCache cache;
+  cache.begin_round(0, /*context=*/7, {11, 22, 33});
+  double v = 0.0;
+  EXPECT_FALSE(cache.lookup(0b011, v));
+  cache.store(0b011, 1.25);
+  EXPECT_TRUE(cache.lookup(0b011, v));
+  EXPECT_EQ(v, 1.25);
+  // Next round, same content hashes: still a hit (this is the cross-round
+  // case — e.g. both members' virtual models were frozen/stale).
+  cache.begin_round(1, 7, {11, 22, 33});
+  v = 0.0;
+  EXPECT_TRUE(cache.lookup(0b011, v));
+  EXPECT_EQ(v, 1.25);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ValueCache, MemberContentChangeInvalidates) {
+  ValueCache cache;
+  cache.begin_round(0, 7, {11, 22, 33});
+  cache.store(0b011, 1.25);
+  cache.store(0b100, 2.5);
+  // Player 0's virtual model changed: coalitions containing it miss, the
+  // coalition without it still hits.
+  cache.begin_round(1, 7, {99, 22, 33});
+  double v = 0.0;
+  EXPECT_FALSE(cache.lookup(0b011, v));
+  EXPECT_TRUE(cache.lookup(0b100, v));
+  EXPECT_EQ(v, 2.5);
+}
+
+TEST(ValueCache, ContextChangeInvalidates) {
+  ValueCache cache;
+  cache.begin_round(0, 7, {11, 22});
+  cache.store(0b01, 0.5);
+  // New validation batch (different context hash): everything misses.
+  cache.begin_round(1, 8, {11, 22});
+  double v = 0.0;
+  EXPECT_FALSE(cache.lookup(0b01, v));
+}
+
+TEST(ValueCache, AgeEviction) {
+  ValueCache cache(/*max_age_rounds=*/2);
+  cache.begin_round(0, 7, {11, 22});
+  cache.store(0b01, 0.5);
+  cache.begin_round(1, 7, {11, 22});
+  cache.begin_round(2, 7, {11, 22});
+  EXPECT_EQ(cache.size(), 1u);  // age 2 == max_age: still alive
+  cache.begin_round(3, 7, {11, 22});
+  EXPECT_EQ(cache.size(), 0u);  // age 3 > max_age: evicted
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  double v = 0.0;
+  EXPECT_FALSE(cache.lookup(0b01, v));
+}
+
+TEST(ValueCache, LookupRefreshesAge) {
+  ValueCache cache(/*max_age_rounds=*/2);
+  cache.begin_round(0, 7, {11, 22});
+  cache.store(0b01, 0.5);
+  double v = 0.0;
+  cache.begin_round(2, 7, {11, 22});
+  EXPECT_TRUE(cache.lookup(0b01, v));  // touched at round 2
+  cache.begin_round(4, 7, {11, 22});
+  EXPECT_TRUE(cache.lookup(0b01, v));  // age 2 from the touch, still alive
+}
+
+TEST(ValueCache, Validation) {
+  EXPECT_THROW(ValueCache(0), std::invalid_argument);
+  ValueCache cache;
+  cache.begin_round(0, 7, {11, 22});
+  double v = 0.0;
+  EXPECT_THROW(cache.lookup(0, v), std::out_of_range);
+  EXPECT_THROW(cache.lookup(0b100, v), std::out_of_range);
+  EXPECT_THROW(cache.store(0b100, 1.0), std::out_of_range);
+}
+
+TEST(ValueCache, ServesBatchedGameAcrossRounds) {
+  auto fn = additive_game({1.0, 2.0, 3.0});
+  ValueCache cache;
+  cache.begin_round(0, 7, {11, 22, 33});
+  double first_val = 0.0;
+  {
+    std::size_t calls = 0;
+    BatchedGame game(3, batch_of(fn, &calls), &cache);
+    game.prefetch({0b011, 0b111});
+    first_val = game.value(0b011);
+    EXPECT_EQ(calls, 1u);
+    EXPECT_EQ(game.stats().cache_misses, 2u);
+    EXPECT_EQ(game.stats().cache_hits, 0u);
+  }
+  // Next round, unchanged member contents: a fresh game resolves both
+  // coalitions from the cache and never calls the evaluator.
+  cache.begin_round(1, 7, {11, 22, 33});
+  {
+    std::size_t calls = 0;
+    BatchedGame game(3, batch_of(fn, &calls), &cache);
+    game.prefetch({0b011, 0b111});
+    EXPECT_EQ(calls, 0u);
+    EXPECT_EQ(game.evaluations(), 0u);
+    EXPECT_EQ(game.stats().cache_hits, 2u);
+    EXPECT_EQ(game.value(0b011), first_val);  // the stored double, verbatim
+  }
+}
+
+// ---------------------------------------------------------------------------
+// S-SHAP: variance-adaptive Monte Carlo
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveMc, EfficiencyHoldsPerEstimate) {
+  // Pair-averaged permutation walks still telescope to v(full) - v(empty).
+  CachedGame game(6, majority_game(4));
+  Rng rng(21);
+  AdaptiveMcOptions opts;
+  const auto res = adaptive_monte_carlo_shapley(game, opts, rng);
+  EXPECT_NEAR(std::accumulate(res.phi.begin(), res.phi.end(), 0.0), 1.0, 1e-9);
+  EXPECT_GE(res.permutations_used, opts.min_permutations);
+  EXPECT_LE(res.permutations_used, opts.max_permutations);
+}
+
+TEST(AdaptiveMc, AntitheticIsExactOnQuadraticGames) {
+  // See quadratic_game: the antithetic pair average has zero variance, so the
+  // adaptive estimator lands on the exact Shapley value; plain MC at the same
+  // budget does not. This is the variance-reduction property in its sharpest
+  // form.
+  const std::vector<double> worth = {0.4, 1.1, 0.25, 0.8, 0.6};
+  auto fn = quadratic_game(worth);
+  CachedGame exact_g(5, fn);
+  const auto exact = exact_shapley(exact_g);
+
+  CachedGame anti_g(5, fn);
+  Rng r1(77);
+  AdaptiveMcOptions opts;
+  opts.min_permutations = 4;
+  opts.max_permutations = 8;
+  const auto anti = adaptive_monte_carlo_shapley(anti_g, opts, r1);
+  double anti_err = 0.0, plain_err = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) anti_err += std::abs(anti.phi[i] - exact[i]);
+  EXPECT_LT(anti_err, 1e-9);
+
+  CachedGame plain_g(5, fn);
+  Rng r2(77);
+  const auto plain = monte_carlo_shapley(plain_g, 8, r2);
+  for (std::size_t i = 0; i < 5; ++i) plain_err += std::abs(plain[i] - exact[i]);
+  EXPECT_GT(plain_err, 1e-6);
+}
+
+TEST(AdaptiveMc, AntitheticReducesErrorAtFixedBudget) {
+  // Statistical version across seeds on an interaction game: mean absolute
+  // error with antithetic pairs <= without, at the same permutation budget.
+  auto fn = quadratic_game({0.3, 0.9, 0.5, 0.7, 0.2, 0.6});
+  CachedGame exact_g(6, fn);
+  const auto exact = exact_shapley(exact_g);
+  AdaptiveMcOptions anti_opts;
+  anti_opts.min_permutations = anti_opts.max_permutations = 16;  // no early stop
+  AdaptiveMcOptions plain_opts = anti_opts;
+  plain_opts.antithetic = false;
+  double anti_err = 0.0, plain_err = 0.0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    CachedGame ga(6, fn), gp(6, fn);
+    Rng ra(300 + s), rp(300 + s);
+    const auto a = adaptive_monte_carlo_shapley(ga, anti_opts, ra);
+    const auto p = adaptive_monte_carlo_shapley(gp, plain_opts, rp);
+    EXPECT_EQ(a.permutations_used, 16u);
+    EXPECT_EQ(p.permutations_used, 16u);
+    for (std::size_t i = 0; i < 6; ++i) {
+      anti_err += std::abs(a.phi[i] - exact[i]);
+      plain_err += std::abs(p.phi[i] - exact[i]);
+    }
+  }
+  EXPECT_LT(anti_err, plain_err);
+}
+
+TEST(AdaptiveMc, EarlyStopsAndPreservesTopPlayer) {
+  // One dominant player: the CI gap opens quickly, sampling stops early, and
+  // the argmax matches both the exact value and a full-budget run.
+  auto fn = quadratic_game({0.1, 0.15, 2.0, 0.12, 0.08});
+  CachedGame exact_g(5, fn);
+  const auto exact = exact_shapley(exact_g);
+  const auto top_exact = static_cast<std::size_t>(
+      std::max_element(exact.begin(), exact.end()) - exact.begin());
+
+  CachedGame g(5, fn);
+  Rng rng(55);
+  AdaptiveMcOptions opts;
+  opts.min_permutations = 4;
+  opts.max_permutations = 64;
+  const auto res = adaptive_monte_carlo_shapley(g, opts, rng);
+  EXPECT_TRUE(res.early_stopped);
+  EXPECT_LT(res.permutations_used, opts.max_permutations);
+  const auto top_adaptive = static_cast<std::size_t>(
+      std::max_element(res.phi.begin(), res.phi.end()) - res.phi.begin());
+  EXPECT_EQ(top_adaptive, top_exact);
+
+  CachedGame g_full(5, fn);
+  Rng rng_full(55);
+  AdaptiveMcOptions full_opts = opts;
+  full_opts.min_permutations = full_opts.max_permutations;  // disable the stop
+  const auto full = adaptive_monte_carlo_shapley(g_full, full_opts, rng_full);
+  EXPECT_FALSE(full.early_stopped);
+  const auto top_full = static_cast<std::size_t>(
+      std::max_element(full.phi.begin(), full.phi.end()) - full.phi.begin());
+  EXPECT_EQ(top_adaptive, top_full);
+}
+
+TEST(AdaptiveMc, Validation) {
+  CachedGame g(3, majority_game(2));
+  Rng rng(1);
+  AdaptiveMcOptions opts;
+  opts.max_permutations = 0;
+  EXPECT_THROW(adaptive_monte_carlo_shapley(g, opts, rng), std::invalid_argument);
+  opts.max_permutations = 4;
+  opts.ci_z = -1.0;
+  EXPECT_THROW(adaptive_monte_carlo_shapley(g, opts, rng), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// S-SHAP: CoalitionBatchEvaluator
+// ---------------------------------------------------------------------------
+
+TEST(CoalitionBatchEvaluator, BatchableRecognizesLayerChains) {
+  EXPECT_TRUE(sim::CoalitionBatchEvaluator::batchable(nn::make_mlp(16, 8, 4)));
+  EXPECT_TRUE(sim::CoalitionBatchEvaluator::batchable(nn::make_logistic(16, 4)));
+  EXPECT_FALSE(sim::CoalitionBatchEvaluator::batchable(nn::make_mnist_cnn(10, 1, 4)));
+}
+
+TEST(CoalitionBatchEvaluator, BitIdenticalToSequentialScoring) {
+  // The whole S-SHAP contract: stacked-GEMM scores must EQUAL the sequential
+  // accuracy_on/loss_on doubles, not approximate them.
+  const auto ds = data::make_gaussian_mixture(80, 4, 6, 2.5, 0.5, 9);
+  std::vector<std::size_t> idx(40);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const auto batch = sim::FixedBatch::from(ds, idx);
+
+  nn::Model model = nn::make_mlp(6, 12, 4);
+  Rng rng(17);
+  model.init(rng);
+  const auto base = model.flat_params();
+  std::vector<std::vector<float>> candidates;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    auto p = base;
+    Rng prng(100 + s);
+    for (auto& v : p) v += 0.2f * static_cast<float>(prng.normal());
+    candidates.push_back(std::move(p));
+  }
+
+  std::vector<const std::vector<float>*> ptrs;
+  for (const auto& c : candidates) ptrs.push_back(&c);
+  sim::CoalitionBatchEvaluator eval(model, batch);
+  const auto accs = eval.accuracies(ptrs);
+  const auto losses = eval.losses(ptrs);
+  ASSERT_EQ(accs.size(), candidates.size());
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    EXPECT_EQ(accs[k], sim::accuracy_on(model, candidates[k], batch)) << "model " << k;
+    EXPECT_EQ(losses[k], sim::loss_on(model, candidates[k], batch)) << "model " << k;
+  }
+}
+
+TEST(CoalitionBatchEvaluator, ChunkedStackBitIdenticalToUnchunked) {
+  // Oversized batches are split into cache-budgeted chunks along the model
+  // axis. A one-model-per-GEMM budget must give byte-for-byte the same scores
+  // as one giant stack (and as the sequential path) — chunking only splits
+  // the independent output columns, never a reduction.
+  const auto ds = data::make_gaussian_mixture(80, 4, 6, 2.5, 0.5, 9);
+  std::vector<std::size_t> idx(40);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const auto batch = sim::FixedBatch::from(ds, idx);
+
+  nn::Model model = nn::make_mlp(6, 12, 4);
+  Rng rng(17);
+  model.init(rng);
+  const auto base = model.flat_params();
+  std::vector<std::vector<float>> candidates;
+  for (std::uint64_t s = 0; s < 9; ++s) {
+    auto p = base;
+    Rng prng(200 + s);
+    for (auto& v : p) v += 0.2f * static_cast<float>(prng.normal());
+    candidates.push_back(std::move(p));
+  }
+  std::vector<const std::vector<float>*> ptrs;
+  for (const auto& c : candidates) ptrs.push_back(&c);
+
+  sim::CoalitionBatchEvaluator one_stack(model, batch);  // default budget: 1 chunk
+  sim::CoalitionBatchEvaluator tiny(model, batch, /*weight_budget_bytes=*/1);  // 1 model/chunk
+  EXPECT_EQ(one_stack.accuracies(ptrs), tiny.accuracies(ptrs));
+  EXPECT_EQ(one_stack.losses(ptrs), tiny.losses(ptrs));
+  const auto accs = tiny.accuracies(ptrs);
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    EXPECT_EQ(accs[k], sim::accuracy_on(model, candidates[k], batch)) << "model " << k;
+  }
+  EXPECT_THROW(sim::CoalitionBatchEvaluator(model, batch, 0), std::invalid_argument);
+}
+
+TEST(CoalitionBatchEvaluator, RejectsWrongParamCount) {
+  const auto ds = data::make_gaussian_mixture(40, 3, 6, 2.5, 0.5, 9);
+  std::vector<std::size_t> idx = {0, 1, 2, 3};
+  const auto batch = sim::FixedBatch::from(ds, idx);
+  nn::Model model = nn::make_mlp(6, 8, 3);
+  sim::CoalitionBatchEvaluator eval(model, batch);
+  std::vector<float> wrong(model.num_params() + 1, 0.0f);
+  std::vector<const std::vector<float>*> ptrs = {&wrong};
+  EXPECT_THROW(eval.accuracies(ptrs), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// S-SHAP: linear coalition mode (set_members / coalition_*)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Members + validation batch shared by the linear-mode tests.
+struct LinearBed {
+  nn::Model model = nn::make_mlp(6, 12, 4);
+  sim::FixedBatch batch;
+  std::vector<std::vector<float>> members;
+  std::vector<const std::vector<float>*> ptrs;
+
+  LinearBed() {
+    const auto ds = data::make_gaussian_mixture(80, 4, 6, 2.5, 0.5, 9);
+    std::vector<std::size_t> idx(40);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    batch = sim::FixedBatch::from(ds, idx);
+    Rng rng(11);
+    model.init(rng);
+    const auto base = model.flat_params();
+    for (std::size_t s = 0; s < 6; ++s) {
+      auto p = base;
+      Rng prng(200 + s);
+      for (auto& v : p) v += 0.2f * static_cast<float>(prng.normal());
+      members.push_back(std::move(p));
+    }
+    for (const auto& m : members) ptrs.push_back(&m);
+  }
+
+  /// Sequential reference: average member params (ascending order, like
+  /// common::mean_of) and score with accuracy_on/loss_on.
+  std::vector<float> coalition_mean(std::uint64_t mask) const {
+    std::vector<const std::vector<float>*> in;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      if (mask & (std::uint64_t{1} << k)) in.push_back(&members[k]);
+    }
+    std::vector<float> out(members[0].size(), 0.0f);
+    const float w = 1.0f / static_cast<float>(in.size());
+    for (const auto* m : in) {
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += w * (*m)[i];
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+TEST(CoalitionBatchEvaluator, LinearModeMatchesSequentialWithinTolerance) {
+  // Linear mode averages first-layer PRE-ACTIVATIONS instead of weights.
+  // Mathematically identical; float addition does not distribute, so we
+  // demand closeness, not bit-identity (that contract stays with batched).
+  LinearBed bed;
+  sim::CoalitionBatchEvaluator eval(bed.model, bed.batch);
+  eval.set_members(bed.ptrs);
+
+  std::vector<std::uint64_t> masks;
+  for (std::uint64_t m = 1; m < (std::uint64_t{1} << bed.members.size()); ++m) {
+    masks.push_back(m);
+  }
+  const auto accs = eval.coalition_accuracies(masks);
+  const auto losses = eval.coalition_losses(masks);
+  ASSERT_EQ(accs.size(), masks.size());
+  const double acc_slack = 2.0 / static_cast<double>(bed.batch.y.size());
+  for (std::size_t q = 0; q < masks.size(); ++q) {
+    const auto avg = bed.coalition_mean(masks[q]);
+    EXPECT_NEAR(losses[q], sim::loss_on(bed.model, avg, bed.batch), 1e-4)
+        << "mask " << masks[q];
+    // Accuracy is a step function of the logits; an ulp flip near an argmax
+    // tie can move it by one sample, so allow a couple of samples of slack.
+    EXPECT_NEAR(accs[q], sim::accuracy_on(bed.model, avg, bed.batch), acc_slack)
+        << "mask " << masks[q];
+  }
+  // Singleton coalitions involve no averaging at all and the same layer
+  // arithmetic as the stacked path, so they must match exactly.
+  for (std::size_t k = 0; k < bed.members.size(); ++k) {
+    const auto one = eval.coalition_accuracies({std::uint64_t{1} << k});
+    EXPECT_EQ(one[0], sim::accuracy_on(bed.model, bed.members[k], bed.batch)) << "member " << k;
+  }
+}
+
+TEST(CoalitionBatchEvaluator, LinearModeDeterministicAcrossInstances) {
+  LinearBed bed;
+  std::vector<std::uint64_t> masks = {0b1, 0b11, 0b10110, 0b111111, 0b101};
+  sim::CoalitionBatchEvaluator a(bed.model, bed.batch);
+  sim::CoalitionBatchEvaluator b(bed.model, bed.batch, /*weight_budget_bytes=*/1);
+  a.set_members(bed.ptrs);
+  b.set_members(bed.ptrs);
+  // Chunking the member-stage GEMM must not change anything downstream,
+  // and two evaluators must agree bit-for-bit (determinism contract).
+  EXPECT_EQ(a.coalition_accuracies(masks), b.coalition_accuracies(masks));
+  EXPECT_EQ(a.coalition_losses(masks), b.coalition_losses(masks));
+  EXPECT_EQ(a.coalition_losses(masks), a.coalition_losses(masks));
+}
+
+TEST(CoalitionBatchEvaluator, LinearModeValidatesInputs) {
+  LinearBed bed;
+  sim::CoalitionBatchEvaluator eval(bed.model, bed.batch);
+  // Scoring before set_members is a logic error.
+  EXPECT_THROW(eval.coalition_accuracies({1}), std::logic_error);
+  eval.set_members(bed.ptrs);
+  // Empty coalitions and bits beyond the member count are rejected.
+  EXPECT_THROW(eval.coalition_accuracies({0}), std::out_of_range);
+  EXPECT_THROW(eval.coalition_accuracies({std::uint64_t{1} << bed.members.size()}),
+               std::out_of_range);
+  // >63 members cannot be expressed as a mask.
+  std::vector<const std::vector<float>*> many(64, bed.ptrs[0]);
+  EXPECT_THROW(eval.set_members(many), std::invalid_argument);
+  EXPECT_THROW(eval.set_members({}), std::invalid_argument);
 }

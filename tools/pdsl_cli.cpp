@@ -74,6 +74,15 @@ int usage() {
       "                    --threads N (parallel agents; 1=sequential, 0=auto-detect)\n"
       "                    --backend blocked|naive (S-KER math kernels; default\n"
       "                      blocked, or the PDSL_KERNEL_BACKEND env var)\n"
+      "                    --shapley-eval sequential|batched|linear (S-SHAP:\n"
+      "                      batched = one stacked GEMM per layer, bit-identical;\n"
+      "                      linear = reuse per-member first-layer pre-activations\n"
+      "                      across coalitions, fastest, ulp-level differences)\n"
+      "                    --shapley-method mc|exact|tmc|stratified|adaptive\n"
+      "                      (adaptive = antithetic pairs + CI early stop;\n"
+      "                      see --shapley-min-perms / --shapley-ci-z)\n"
+      "                    --shapley-min-perms K --shapley-ci-z Z (adaptive MC\n"
+      "                      floor and confidence width; budget stays --mc_perms)\n"
       "                    --profile (per-phase timing table + key counters)\n"
       "                    --trace-out <t.json> (Chrome trace-event spans)\n"
       "                    --metrics-out <m.csv> (metrics registry dump)\n"
@@ -97,6 +106,9 @@ int cmd_run(int argc, const char* const* argv) {
                       "compression", "drop_prob", "drop-prob", "corrupt", "csv",
                       "save_model",
                       "mc_perms",  "valbatch", "hidden",  "config",      "json",
+                      "shapley-eval", "shapley_eval", "shapley-method", "shapley_method",
+                      "shapley-min-perms", "shapley_min_perms",
+                      "shapley-ci-z", "shapley_ci_z",
                       "threads",   "backend",  "profile",  "trace-out", "trace_out",
                       "metrics-out", "metrics_out", "ledger-out", "ledger_out",
                       "delay-rounds", "delay_rounds", "delay-prob", "delay_prob",
@@ -174,6 +186,36 @@ int cmd_run(int argc, const char* const* argv) {
       args.get_int("mc_perms", static_cast<std::int64_t>(cfg.hp.shapley_permutations)));
   cfg.hp.validation_batch = static_cast<std::size_t>(
       args.get_int("valbatch", static_cast<std::int64_t>(cfg.hp.validation_batch)));
+  // S-SHAP scoring knobs. Validated loudly here (naming the flag) in addition
+  // to the Pdsl constructor, so a typo fails before any dataset is generated.
+  cfg.hp.shapley_eval = args.get_string(
+      "shapley-eval", args.get_string("shapley_eval", cfg.hp.shapley_eval));
+  if (cfg.hp.shapley_eval != "sequential" && cfg.hp.shapley_eval != "batched" &&
+      cfg.hp.shapley_eval != "linear") {
+    throw std::invalid_argument(
+        "--shapley-eval must be 'sequential', 'batched' or 'linear', got '" +
+        cfg.hp.shapley_eval + "'");
+  }
+  cfg.hp.shapley_method = args.get_string(
+      "shapley-method", args.get_string("shapley_method", cfg.hp.shapley_method));
+  if (cfg.hp.shapley_method != "mc" && cfg.hp.shapley_method != "exact" &&
+      cfg.hp.shapley_method != "tmc" && cfg.hp.shapley_method != "stratified" &&
+      cfg.hp.shapley_method != "adaptive") {
+    throw std::invalid_argument(
+        "--shapley-method must be mc|exact|tmc|stratified|adaptive, got '" +
+        cfg.hp.shapley_method + "'");
+  }
+  cfg.hp.shapley_min_permutations = positive(
+      "shapley-min-perms",
+      args.get_int("shapley-min-perms",
+                   args.get_int("shapley_min_perms",
+                                static_cast<std::int64_t>(cfg.hp.shapley_min_permutations))));
+  cfg.hp.shapley_ci_z =
+      args.get_double("shapley-ci-z", args.get_double("shapley_ci_z", cfg.hp.shapley_ci_z));
+  if (cfg.hp.shapley_ci_z < 0.0) {
+    throw std::invalid_argument("--shapley-ci-z must be >= 0, got " +
+                                std::to_string(cfg.hp.shapley_ci_z));
+  }
   cfg.epsilon = args.get_double("eps", cfg.epsilon);
   cfg.delta = args.get_double("delta", cfg.delta);
   cfg.sigma_mode = args.get_string("sigma_mode", cfg.sigma_mode);
@@ -272,6 +314,18 @@ int cmd_run(int argc, const char* const* argv) {
   cfg.fleet.wire_roundtrip =
       args.get_bool("wire-roundtrip", args.get_bool("wire_roundtrip", cfg.fleet.wire_roundtrip));
   cfg.fleet.validate(cfg.agents);
+  // The Shapley characteristic function keys coalitions by a 64-bit mask, so a
+  // dense PDSL game is capped at 63 players (an agent plus its neighbors).
+  // Catch the 1024-agent-fleet-on-full-graph mistake here, before any data is
+  // generated; sparse graphs keep neighborhoods small and stay fine.
+  if (cfg.algorithm.rfind("pdsl", 0) == 0 && cfg.topology == "full" &&
+      !cfg.fleet.sparse && cfg.agents > 63) {
+    throw std::invalid_argument(
+        "--agents " + std::to_string(cfg.agents) +
+        " on a full graph gives every agent a " + std::to_string(cfg.agents) +
+        "-player Shapley game, above the 63-player uint64 coalition-mask cap; "
+        "use --sparse --degree <= 62 (or a ring/torus topology) at this scale");
+  }
   cfg.metrics.metric_agents = nonneg(
       "metric-agents",
       args.get_int("metric-agents",
@@ -349,6 +403,14 @@ int cmd_run(int argc, const char* const* argv) {
                                 : static_cast<double>(clipped) /
                                       static_cast<double>(clip_total),
                 reg.gauge("dp.sigma").value());
+    std::printf(
+        "shapley.coalitions_batched=%llu  cache_hits=%llu  cache_misses=%llu  "
+        "permutations_early_stopped=%llu\n",
+        static_cast<unsigned long long>(reg.counter("shapley.coalitions_batched").value()),
+        static_cast<unsigned long long>(reg.counter("shapley.cache_hits").value()),
+        static_cast<unsigned long long>(reg.counter("shapley.cache_misses").value()),
+        static_cast<unsigned long long>(
+            reg.counter("shapley.permutations_early_stopped").value()));
   }
   if (!cfg.trace_out.empty()) {
     std::printf("trace written to %s (%zu events; load in chrome://tracing)\n",

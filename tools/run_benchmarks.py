@@ -92,20 +92,19 @@ BENCHES = {
                "default": [], "headline": ["pdsl.final_accuracy"], "ab": False},
     "table2": {"binary": "bench_table2_cifar_accuracy", "quick": FIG_QUICK,
                "default": [], "headline": ["pdsl.final_accuracy"], "ab": False},
-    "ablation_shapley": {
-        "binary": "bench_ablation_shapley",
-        "quick": ["--rounds", "2", "--agents", "4"],
-        "default": [],
-        "headline": ["mu_sweep.pdsl.final_accuracy",
-                     "byzantine.pdsl_robust.final_accuracy"],
-        "ab": False,
-    },
-    "ablation_mc_shapley": {
-        "binary": "bench_ablation_mc_shapley",
+    "shapley": {
+        # S-SHAP: perf gate (sequential vs batched vs batched+adaptive) plus
+        # the estimator-quality and weighting-ablation sections that used to
+        # live in ablation_shapley / ablation_mc_shapley.
+        "binary": "bench_shapley",
         "quick": ["--rounds", "2", "--agents", "4", "--perms", "2,4"],
         "default": [],
-        "headline": ["exact.char_evals", "perm8.mean_abs_phi_error"],
-        "ab": False,
+        "headline": ["perf.adaptive.shapley_speedup_x",
+                     "perf.adaptive.round_speedup_x",
+                     "perm8.mean_abs_phi_error",
+                     "mu_sweep.pdsl.final_accuracy",
+                     "byzantine.pdsl_robust.final_accuracy"],
+        "ab": True,
     },
     "ablation_sigma": {
         "binary": "bench_ablation_sigma",
@@ -138,7 +137,7 @@ BENCHES = {
         "ab": False,
     },
 }
-DEFAULT_SUBSET = ["threads", "kernels", "byzantine", "scale"]
+DEFAULT_SUBSET = ["threads", "kernels", "byzantine", "scale", "shapley"]
 
 
 def log(msg):
