@@ -49,8 +49,13 @@ struct HyperParams {
   /// S-SHAP coalition scoring path: "sequential" (one forward pass per
   /// coalition — the bit-identical reference) | "batched" (stacked-GEMM
   /// evaluation + cross-round value cache; bit-identical on supported
-  /// models, verified by tests/test_shapley.cpp).
-  std::string shapley_eval = "sequential";
+  /// models, verified by tests/test_shapley.cpp) | "linear" (additionally
+  /// reuses per-member first-layer pre-activations across coalitions —
+  /// fastest, tolerance-banded against sequential, pinned by the banded
+  /// golden fixture tests/golden/pdsl_linear.csv). Default: linear; models
+  /// the batch evaluator cannot stack (CNNs) fall back to sequential
+  /// scoring automatically.
+  std::string shapley_eval = "linear";
   /// "adaptive" floor: permutations drawn before the CI stop may trigger.
   /// The budget ceiling is shapley_permutations.
   std::size_t shapley_min_permutations = 4;

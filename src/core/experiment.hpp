@@ -70,9 +70,12 @@ struct ExperimentConfig {
   std::size_t threads = 1;
 
   /// S-KER math backend: "" = keep the process default (PDSL_KERNEL_BACKEND
-  /// env var, else blocked), "blocked" | "naive" force one. The naive path is
-  /// the differential-testing reference; see DESIGN.md "S-KER" for the
-  /// cross-backend numerics contract.
+  /// env var, else blocked), "blocked" | "naive" | "vectorized" | "auto"
+  /// force one. The naive path is the differential-testing reference;
+  /// "vectorized" (and "auto", which may dispatch to it per shape) is the
+  /// S-VEC fast-math tier — deterministic but only tolerance-banded against
+  /// the reference. See DESIGN.md "S-KER" for the cross-backend numerics
+  /// contract and band policy.
   std::string backend;
 
   std::uint64_t seed = 1;

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "kernels/backend.hpp"
+#include "kernels/microkernel.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace pdsl::kernels {
@@ -233,10 +234,12 @@ void blocked_sgemm_tb_rows(std::size_t i_begin, std::size_t i_end, std::size_t n
 
 void sgemm(std::size_t m, std::size_t k, std::size_t n, const float* a, const float* b,
            float* c, bool accumulate) {
-  const Backend be = backend();
+  const Backend be = resolve_backend(backend(), m, k, n);
   for_row_range(m, [&](std::size_t lo, std::size_t hi) {
     if (!accumulate) std::fill(c + lo * n, c + hi * n, 0.0f);
-    if (be == Backend::kBlocked) {
+    if (be == Backend::kVectorized) {
+      vec_sgemm_rows(lo, hi, k, n, a, b, c);
+    } else if (be == Backend::kBlocked) {
       blocked_sgemm_rows(lo, hi, k, n, a, b, c);
     } else {
       naive_sgemm_rows(lo, hi, k, n, a, b, c);
@@ -246,10 +249,12 @@ void sgemm(std::size_t m, std::size_t k, std::size_t n, const float* a, const fl
 
 void sgemm_transpose_a(std::size_t m, std::size_t k, std::size_t n, const float* a,
                        const float* b, float* c, bool accumulate) {
-  const Backend be = backend();
+  const Backend be = resolve_backend(backend(), k, m, n);
   for_row_range(k, [&](std::size_t lo, std::size_t hi) {
     if (!accumulate) std::fill(c + lo * n, c + hi * n, 0.0f);
-    if (be == Backend::kBlocked) {
+    if (be == Backend::kVectorized) {
+      vec_sgemm_ta_rows(lo, hi, m, k, n, a, b, c);
+    } else if (be == Backend::kBlocked) {
       blocked_sgemm_ta_rows(lo, hi, m, k, n, a, b, c);
     } else {
       naive_sgemm_ta_rows(lo, hi, m, k, n, a, b, c);
@@ -259,9 +264,11 @@ void sgemm_transpose_a(std::size_t m, std::size_t k, std::size_t n, const float*
 
 void sgemm_transpose_b(std::size_t m, std::size_t n, std::size_t k, const float* a,
                        const float* b, float* c, bool accumulate) {
-  const Backend be = backend();
+  const Backend be = resolve_backend(backend(), m, n, k);
   for_row_range(m, [&](std::size_t lo, std::size_t hi) {
-    if (be == Backend::kBlocked) {
+    if (be == Backend::kVectorized) {
+      vec_sgemm_tb_rows(lo, hi, n, k, a, b, c, accumulate);
+    } else if (be == Backend::kBlocked) {
       blocked_sgemm_tb_rows(lo, hi, n, k, a, b, c, accumulate);
     } else {
       naive_sgemm_tb_rows(lo, hi, n, k, a, b, c, accumulate);

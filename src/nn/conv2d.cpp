@@ -39,7 +39,9 @@ Shape Conv2D::output_shape(const Shape& input) const {
 Tensor Conv2D::forward(const Tensor& input) {
   const Shape out_shape = output_shape(input.shape());
   cached_input_ = input;
-  if (kernels::backend() == kernels::Backend::kBlocked) {
+  // Every non-naive backend (blocked, vectorized, auto) lowers to im2col —
+  // the inner GEMMs then dispatch per shape as usual.
+  if (kernels::backend() != kernels::Backend::kNaive) {
     return forward_im2col(input, out_shape);
   }
   return forward_direct(input, out_shape);
@@ -50,7 +52,7 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   if (grad_output.shape() != out_shape) {
     throw std::invalid_argument("Conv2D::backward: bad grad shape");
   }
-  if (kernels::backend() == kernels::Backend::kBlocked) {
+  if (kernels::backend() != kernels::Backend::kNaive) {
     return backward_im2col(grad_output, out_shape);
   }
   return backward_direct(grad_output, out_shape);

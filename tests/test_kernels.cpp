@@ -5,6 +5,12 @@
 // shortcuts, and the intra-op determinism contract (bit-identical results at
 // any --threads width, including a full PDSL round loop on the blocked
 // backend with a CNN model).
+//
+// S-VEC additions: randomized-shape fuzz of the vectorized tier against naive
+// within the documented tolerance band (plus ragged tails, unit/empty dims,
+// NaN/Inf propagation), bit-stability of the vectorized tier across --threads
+// widths and across reruns, and table-driven unit tests pinning the
+// resolve_backend() auto-dispatch thresholds.
 
 #include <gtest/gtest.h>
 
@@ -81,11 +87,14 @@ TEST(Kernels, BackendRegistry) {
   KernelEnvGuard guard;
   EXPECT_EQ(kernels::backend_from_string("naive"), kernels::Backend::kNaive);
   EXPECT_EQ(kernels::backend_from_string("blocked"), kernels::Backend::kBlocked);
+  EXPECT_EQ(kernels::backend_from_string("vectorized"), kernels::Backend::kVectorized);
+  EXPECT_EQ(kernels::backend_from_string("auto"), kernels::Backend::kAuto);
   EXPECT_THROW(static_cast<void>(kernels::backend_from_string("fast")), std::invalid_argument);
-  kernels::set_backend(kernels::Backend::kNaive);
-  EXPECT_STREQ(kernels::backend_name(kernels::backend()), "naive");
-  kernels::set_backend(kernels::Backend::kBlocked);
-  EXPECT_STREQ(kernels::backend_name(kernels::backend()), "blocked");
+  for (const auto be : {kernels::Backend::kNaive, kernels::Backend::kBlocked,
+                        kernels::Backend::kVectorized, kernels::Backend::kAuto}) {
+    kernels::set_backend(be);
+    EXPECT_EQ(kernels::backend_from_string(kernels::backend_name(kernels::backend())), be);
+  }
 }
 
 TEST(Kernels, SgemmBlockedBitIdenticalToNaive) {
@@ -128,7 +137,8 @@ TEST(Kernels, MatmulPropagatesNanThroughZeroOperand) {
   Tensor a(Shape{2, 2});  // all zeros
   Tensor b(Shape{2, 2});
   b.at2(0, 0) = nan;
-  for (const auto be : {kernels::Backend::kNaive, kernels::Backend::kBlocked}) {
+  for (const auto be : {kernels::Backend::kNaive, kernels::Backend::kBlocked,
+                        kernels::Backend::kVectorized}) {
     kernels::set_backend(be);
     const Tensor c = matmul(a, b);
     EXPECT_TRUE(std::isnan(c.at2(0, 0))) << kernels::backend_name(be);
@@ -144,7 +154,8 @@ TEST(Kernels, MatmulPropagatesNanThroughZeroOperand) {
 
 TEST(Kernels, ConvBackwardPropagatesNanThroughZeroGrad) {
   KernelEnvGuard guard;
-  for (const auto be : {kernels::Backend::kNaive, kernels::Backend::kBlocked}) {
+  for (const auto be : {kernels::Backend::kNaive, kernels::Backend::kBlocked,
+                        kernels::Backend::kVectorized}) {
     kernels::set_backend(be);
     nn::Conv2D conv(1, 1, 1, 0);
     Rng rng(3);
@@ -342,5 +353,265 @@ TEST(Kernels, PdslRoundLoopBitIdenticalAcrossWidthsOnBlockedBackend) {
   ASSERT_EQ(seq.series.size(), par.series.size());
   for (std::size_t i = 0; i < seq.series.size(); ++i) {
     EXPECT_EQ(seq.series[i].avg_loss, par.series[i].avg_loss);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// S-VEC: the vectorized fast-math tier. Not bit-identical to naive/blocked —
+// it reassociates reductions (fixed lanes + fixed fold) and compiles with FMA
+// contraction — so the differential contract is a tolerance band:
+//   |got - want| <= abs + rel * |want|
+// with abs scaled by the reduction depth (absolute error of a reassociated
+// float sum grows with the number of terms, and cancellation makes a purely
+// relative band meaningless near zero).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void expect_within_band(const std::vector<float>& got, const std::vector<float>& want,
+                        std::size_t depth, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  const float abs_tol = 1e-5f + 1e-6f * static_cast<float>(depth);
+  const float rel_tol = 2e-4f;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float band = abs_tol + rel_tol * std::abs(want[i]);
+    ASSERT_NEAR(got[i], want[i], band) << what << " element " << i << " depth " << depth;
+  }
+}
+
+/// Run `fn` under `be` on fresh copies of the inputs and return C.
+std::vector<float> run_gemm(RawGemm fn, kernels::Backend be, std::size_t m, std::size_t k,
+                            std::size_t n, const std::vector<float>& a,
+                            const std::vector<float>& b, const std::vector<float>& c_seed,
+                            bool accumulate) {
+  std::vector<float> c = c_seed;
+  kernels::set_backend(be);
+  fn(m, k, n, a.data(), b.data(), c.data(), accumulate);
+  return c;
+}
+
+struct VecCase {
+  const char* name;
+  RawGemm fn;
+  // (a, b, c) element counts and the reduction depth as functions of (m,k,n).
+  std::size_t a_elems, b_elems, c_elems, depth;
+};
+
+std::vector<VecCase> vec_cases(std::size_t m, std::size_t k, std::size_t n) {
+  return {
+      {"sgemm", kernels::sgemm, m * k, k * n, m * n, k},
+      {"sgemm_transpose_a", kernels::sgemm_transpose_a, m * k, m * n, k * n, m},
+      // sgemm_transpose_b(m, n, k): A(m,n), B(k,n), C(m,k), reduces over n.
+      {"sgemm_transpose_b", kernels::sgemm_transpose_b, m * k, n * k, m * n, k},
+  };
+}
+
+}  // namespace
+
+// Deterministic pseudo-random shape fuzz: every GEMM layout, both accumulate
+// modes, shapes drawn to cover full tiles, ragged row/column tails, unit and
+// zero dims. The vectorized result must sit inside the band around naive.
+TEST(KernelsVec, FuzzRandomShapesWithinBandOfNaive) {
+  KernelEnvGuard guard;
+  Rng shape_rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Bias toward small shapes but include tile-straddling ones; every 8th
+    // trial pins a dimension to 0 or 1 to hit the degenerate paths.
+    auto dim = [&](int salt) {
+      const auto r = shape_rng.uniform_int(0, 96);
+      if (trial % 8 == salt) return static_cast<std::size_t>(trial % 16 == salt ? 0 : 1);
+      return static_cast<std::size_t>(r);
+    };
+    const std::size_t m = dim(0), k = dim(1), n = dim(2);
+    for (const auto& vc : vec_cases(m, k, n)) {
+      for (const bool acc : {false, true}) {
+        const auto a = random_vec(vc.a_elems, 101 + trial);
+        const auto b = random_vec(vc.b_elems, 203 + trial);
+        const auto c_seed = acc ? random_vec(vc.c_elems, 307 + trial)
+                                : std::vector<float>(vc.c_elems, -7.0f);
+        const auto want =
+            run_gemm(vc.fn, kernels::Backend::kNaive, m, k, n, a, b, c_seed, acc);
+        const auto got =
+            run_gemm(vc.fn, kernels::Backend::kVectorized, m, k, n, a, b, c_seed, acc);
+        expect_within_band(got, want, vc.depth, vc.name);
+      }
+    }
+  }
+}
+
+// The fixed shape table (unit dims, tile-straddling 17/13/19, zero dims)
+// through the vectorized tier: same band contract, plus the empty-range
+// behavior (k == 0 with accumulate=false must still zero C).
+TEST(KernelsVec, FixedShapeTableWithinBandOfNaive) {
+  KernelEnvGuard guard;
+  for (const auto& s : kShapes) {
+    for (const auto& vc : vec_cases(s.m, s.k, s.n)) {
+      for (const bool acc : {false, true}) {
+        const auto a = random_vec(vc.a_elems, 11);
+        const auto b = random_vec(vc.b_elems, 23);
+        const auto c_seed =
+            acc ? random_vec(vc.c_elems, 37) : std::vector<float>(vc.c_elems, -7.0f);
+        const auto want =
+            run_gemm(vc.fn, kernels::Backend::kNaive, s.m, s.k, s.n, a, b, c_seed, acc);
+        const auto got = run_gemm(vc.fn, kernels::Backend::kVectorized, s.m, s.k, s.n, a,
+                                  b, c_seed, acc);
+        expect_within_band(got, want, vc.depth, vc.name);
+      }
+    }
+  }
+}
+
+// Determinism contract of the fast-math tier: banded against the reference,
+// but bit-identical to ITSELF across reruns and across --threads widths (the
+// lane split and reduction tree depend only on the reduction length, and the
+// intra-op partition hands out complete output rows).
+TEST(KernelsVec, VectorizedBitIdenticalAcrossWidthsAndReruns) {
+  KernelEnvGuard guard;
+  kernels::set_backend(kernels::Backend::kVectorized);
+  const std::size_t m = 37, k = 53, n = 41;
+  const auto a = random_vec(m * k, 71);
+  const auto b = random_vec(k * n, 73);
+  std::vector<std::vector<float>> results;
+  for (const std::size_t width : {std::size_t{1}, std::size_t{1}, std::size_t{4}}) {
+    runtime::set_global_threads(width);
+    std::vector<float> c(m * n);
+    kernels::sgemm(m, k, n, a.data(), b.data(), c.data());
+    std::vector<float> ct(k * n);
+    kernels::sgemm_transpose_a(m, k, n, a.data(), b.data(), ct.data());
+    std::vector<float> cb(m * m);
+    kernels::sgemm_transpose_b(m, k, m, a.data(), a.data(), cb.data());
+    c.insert(c.end(), ct.begin(), ct.end());
+    c.insert(c.end(), cb.begin(), cb.end());
+    results.push_back(std::move(c));
+  }
+  EXPECT_EQ(results[0], results[1]) << "rerun at width 1";
+  EXPECT_EQ(results[0], results[2]) << "width 1 vs width 4";
+}
+
+// Inf * 0 and NaN must survive the lane fold and the register tiles: seed a
+// single pathological element at every alignment class within the first
+// kVecColTile columns and check it lands in (exactly) the affected outputs.
+TEST(KernelsVec, VectorizedPropagatesNanAndInfAtEveryLaneOffset) {
+  KernelEnvGuard guard;
+  kernels::set_backend(kernels::Backend::kVectorized);
+  const std::size_t m = 5, k = 9, n = 11;
+  for (std::size_t poison_col = 0; poison_col < n; ++poison_col) {
+    auto a = random_vec(m * k, 81);
+    auto b = random_vec(k * n, 83);
+    b[3 * n + poison_col] = std::nanf("");
+    std::vector<float> c(m * n);
+    kernels::sgemm(m, k, n, a.data(), b.data(), c.data());
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(std::isnan(c[i * n + j]), j == poison_col)
+            << "i=" << i << " j=" << j << " poison_col=" << poison_col;
+      }
+    }
+  }
+  // 0 * inf -> NaN through the dot-product kernel (no zero-skip shortcuts).
+  std::vector<float> az(4 * 8, 0.0f);
+  std::vector<float> binf(4 * 8, HUGE_VALF);
+  std::vector<float> cd(4 * 4);
+  kernels::sgemm_transpose_b(4, 8, 4, az.data(), binf.data(), cd.data(), false);
+  for (const float v : cd) EXPECT_TRUE(std::isnan(v));
+}
+
+// Conv2D on the vectorized backend follows the im2col path; agreement with
+// the naive direct convolution is banded like the underlying GEMMs.
+TEST(KernelsVec, ConvVectorizedAgreesWithDirectWithinBand) {
+  KernelEnvGuard guard;
+  for (const auto& cc : kConvCases) {
+    Tensor y_naive, gx_naive, y_vec, gx_vec;
+    std::vector<std::vector<float>> g_naive, g_vec;
+    run_conv_both_backends(cc, &y_naive, &gx_naive, &g_naive, kernels::Backend::kNaive);
+    run_conv_both_backends(cc, &y_vec, &gx_vec, &g_vec, kernels::Backend::kVectorized);
+    ASSERT_EQ(y_naive.shape(), y_vec.shape());
+    const std::size_t depth = cc.in_ch * cc.k * cc.k;
+    expect_within_band(y_vec.vec(), y_naive.vec(), depth, "conv forward");
+    expect_within_band(gx_vec.vec(), gx_naive.vec(), depth, "conv grad_input");
+    ASSERT_EQ(g_naive.size(), g_vec.size());
+    for (std::size_t p = 0; p < g_naive.size(); ++p) {
+      expect_within_band(g_vec[p], g_naive[p], cc.batch * cc.ih * cc.iw, "conv param grad");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// resolve_backend() auto-dispatch: table-driven boundary pins. The thresholds
+// are part of the public contract (backend.hpp documents them); moving one is
+// an intentional change that must edit this table.
+// ---------------------------------------------------------------------------
+
+TEST(KernelsVec, ResolveBackendPinnedBackendsPassThrough) {
+  for (const auto be : {kernels::Backend::kNaive, kernels::Backend::kBlocked,
+                        kernels::Backend::kVectorized}) {
+    // Pinning wins regardless of shape, including degenerate ones.
+    EXPECT_EQ(kernels::resolve_backend(be, 0, 0, 0), be);
+    EXPECT_EQ(kernels::resolve_backend(be, 1, 1, 1), be);
+    EXPECT_EQ(kernels::resolve_backend(be, 1000, 1000, 1000), be);
+  }
+}
+
+TEST(KernelsVec, ResolveBackendAutoThresholdTable) {
+  using kernels::Backend;
+  const auto resolve = [](std::size_t rows, std::size_t depth, std::size_t cols) {
+    return kernels::resolve_backend(Backend::kAuto, rows, depth, cols);
+  };
+  struct Row {
+    std::size_t rows, depth, cols;
+    Backend want;
+    const char* why;
+  };
+  static_assert(kernels::kAutoNaiveMaxFlops == 4096, "update the table below");
+  static_assert(kernels::kAutoVecMinDepth == 16, "update the table below");
+  static_assert(kernels::kAutoVecMinCols == 8, "update the table below");
+  const Row table[] = {
+      // Tiny-flops boundary: <= 4096 multiply-adds goes naive.
+      {16, 16, 16, Backend::kNaive, "16*16*16 == 4096: at the boundary, naive"},
+      {16, 16, 17, Backend::kVectorized, "4352 flops, deep+wide enough for vec"},
+      {1, 4096, 1, Backend::kNaive, "flops == threshold regardless of aspect"},
+      {0, 100, 100, Backend::kNaive, "zero rows: empty call, naive"},
+      {100, 0, 100, Backend::kNaive, "zero depth: zero-fill only, naive"},
+      {100, 100, 0, Backend::kNaive, "zero cols: empty call, naive"},
+      // Depth boundary at kAutoVecMinDepth = 16.
+      {100, 15, 100, Backend::kBlocked, "depth 15: one short of the vec floor"},
+      {100, 16, 100, Backend::kVectorized, "depth 16: at the vec floor"},
+      // Cols boundary at kAutoVecMinCols = 8.
+      {100, 100, 7, Backend::kBlocked, "cols 7: one short of the vec floor"},
+      {100, 100, 8, Backend::kVectorized, "cols 8: at the vec floor"},
+      // Big-but-shallow and big-but-narrow stay blocked (bit-identical tier).
+      {4096, 8, 512, Backend::kBlocked, "shallow reduction"},
+      {4096, 512, 4, Backend::kBlocked, "narrow output"},
+      // The canonical model shapes all go vectorized.
+      {32, 144, 10, Backend::kVectorized, "MNIST FC batch GEMM"},
+      {32, 256, 64, Backend::kVectorized, "CIFAR FC1 batch GEMM"},
+      {256, 256, 256, Backend::kVectorized, "square GEMM"},
+  };
+  for (const auto& row : table) {
+    EXPECT_EQ(resolve(row.rows, row.depth, row.cols), row.want)
+        << row.why << " (rows=" << row.rows << " depth=" << row.depth
+        << " cols=" << row.cols << ")";
+  }
+}
+
+// Auto must produce the same bits as whatever backend it resolves to — the
+// dispatcher adds no numeric behavior of its own.
+TEST(KernelsVec, AutoMatchesResolvedBackendBitwise) {
+  KernelEnvGuard guard;
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  for (const auto& s : {Shape{8, 8, 8}, Shape{40, 15, 40}, Shape{40, 32, 40}}) {
+    const auto a = random_vec(s.m * s.k, 91);
+    const auto b = random_vec(s.k * s.n, 93);
+    const std::vector<float> c_seed(s.m * s.n, 0.0f);
+    const auto resolved =
+        kernels::resolve_backend(kernels::Backend::kAuto, s.m, s.k, s.n);
+    const auto want =
+        run_gemm(kernels::sgemm, resolved, s.m, s.k, s.n, a, b, c_seed, false);
+    const auto got = run_gemm(kernels::sgemm, kernels::Backend::kAuto, s.m, s.k, s.n, a,
+                              b, c_seed, false);
+    EXPECT_EQ(got, want) << "m=" << s.m << " k=" << s.k << " n=" << s.n << " resolved to "
+                         << kernels::backend_name(resolved);
   }
 }

@@ -232,7 +232,9 @@ TEST(Pdsl, BatchedEvalBitIdenticalToSequential) {
   const auto fx = Fixture::make(4, "full", true);
   Env bat_env = fx.env(0.1);
   bat_env.hp.shapley_eval = "batched";
-  Pdsl seq(fx.env(0.1));
+  Env seq_env = fx.env(0.1);
+  seq_env.hp.shapley_eval = "sequential";  // the default is linear now
+  Pdsl seq(seq_env);
   Pdsl bat(bat_env);
   for (std::size_t t = 1; t <= 3; ++t) {
     seq.run_round(t);
@@ -266,7 +268,9 @@ TEST(Pdsl, BatchedEvalBitIdenticalOnRobustVariant) {
   popts.loss_characteristic = true;
   Env bat_env = fx.env(0.0);
   bat_env.hp.shapley_eval = "batched";
-  Pdsl seq(fx.env(0.0), popts);
+  Env seq_env = fx.env(0.0);
+  seq_env.hp.shapley_eval = "sequential";
+  Pdsl seq(seq_env, popts);
   Pdsl bat(bat_env, popts);
   for (std::size_t t = 1; t <= 2; ++t) {
     seq.run_round(t);
@@ -283,7 +287,9 @@ TEST(Pdsl, LinearEvalTracksSequentialAndIsDeterministic) {
   const auto fx = Fixture::make(4, "full", true);
   Env lin_env = fx.env(0.1);
   lin_env.hp.shapley_eval = "linear";
-  Pdsl seq(fx.env(0.1));
+  Env seq_env = fx.env(0.1);
+  seq_env.hp.shapley_eval = "sequential";
+  Pdsl seq(seq_env);
   Pdsl lin(lin_env);
   Pdsl lin2(lin_env);
   for (std::size_t t = 1; t <= 3; ++t) {

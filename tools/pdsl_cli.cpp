@@ -72,12 +72,15 @@ int usage() {
       "                    --metric-agents K (evaluate loss/acc on the first\n"
       "                      K agents only; 0 = all)\n"
       "                    --threads N (parallel agents; 1=sequential, 0=auto-detect)\n"
-      "                    --backend blocked|naive (S-KER math kernels; default\n"
-      "                      blocked, or the PDSL_KERNEL_BACKEND env var)\n"
+      "                    --backend blocked|naive|vectorized|auto (S-KER math\n"
+      "                      kernels; default blocked, or the PDSL_KERNEL_BACKEND\n"
+      "                      env var; vectorized/auto = S-VEC fast-math tier,\n"
+      "                      deterministic but tolerance-banded, not bit-identical)\n"
       "                    --shapley-eval sequential|batched|linear (S-SHAP:\n"
       "                      batched = one stacked GEMM per layer, bit-identical;\n"
       "                      linear = reuse per-member first-layer pre-activations\n"
-      "                      across coalitions, fastest, ulp-level differences)\n"
+      "                      across coalitions, fastest, tolerance-banded; the\n"
+      "                      default)\n"
       "                    --shapley-method mc|exact|tmc|stratified|adaptive\n"
       "                      (adaptive = antithetic pairs + CI early stop;\n"
       "                      see --shapley-min-perms / --shapley-ci-z)\n"

@@ -53,8 +53,9 @@ BENCHES = {
         "binary": "bench_micro_kernels",
         "quick": ["--reps", "5"],
         "default": [],
-        "headline": ["cifar_conv_min_speedup", "conv_cifar_l1.speedup",
-                     "conv_cifar_l2.speedup", "gemm_square_256.speedup"],
+        "headline": ["cifar_conv_min_speedup", "square_gemm_vec_min_speedup",
+                     "conv_cifar_l2.speedup", "gemm_square_256.speedup",
+                     "gemm_square_256.vec_speedup", "conv_cifar_l2.vec_speedup"],
         "ab": True,
     },
     "scale": {
@@ -467,7 +468,10 @@ def legacy_metrics(doc):
                 put(f"{name}.naive_ms", row.get("naive_ms"))
                 put(f"{name}.blocked_ms", row.get("blocked_ms"))
                 put(f"{name}.speedup", row.get("speedup"))
+                put(f"{name}.vec_ms", row.get("vec_ms"))
+                put(f"{name}.vec_speedup", row.get("vec_speedup"))
         put("cifar_conv_min_speedup", doc.get("cifar_conv_min_speedup"))
+        put("square_gemm_vec_min_speedup", doc.get("square_gemm_vec_min_speedup"))
     elif bench == "bench_byzantine":
         for row in runs:
             algo = row.get("algorithm")
