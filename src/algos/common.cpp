@@ -90,7 +90,7 @@ Algorithm::Algorithm(const Env& env)
     : env_(env),
       net_(*env.topo, sim::Network::Options{env.drop_prob, splitmix64(env.seed ^ 0xAEAE),
                                             true, env.compressor, env.faults, env.adversary,
-                                            env.fleet.wire_roundtrip}) {
+                                            env.fleet.wire_roundtrip, env.channel}) {
   validate_env(env);
   // Sanitization defaults to "exactly when it could matter": an adversary in
   // play or robust aggregation requested. Clean kAuto runs take the untouched
@@ -139,8 +139,15 @@ void Algorithm::run_round(std::size_t t) {
   reclipped_.store(0, std::memory_order_relaxed);
   refresh_active(t);
   workers_.prepare(active_, t);
+  // S-RECOV: crash injection + restore happens before any round-t work — a
+  // crashed agent rejoins from snapshot + resync, then participates normally
+  // (late messages addressed to it still arrive below, as they would to a
+  // restarted process).
+  if (recovery_ != nullptr) recovery_->on_round_begin(*this, t);
   if (!late.empty()) absorb_late(std::move(late));
   round_impl(t);
+  // S-RECOV: snapshots capture the post-round state the next round builds on.
+  if (recovery_ != nullptr) recovery_->on_round_end(*this, t);
   // Fold the atomic sanitization tallies into the plain per-round snapshot
   // (absorb_late runs after the reset, so late-payload screening is counted).
   fault_stats_.msgs_rejected = rejected_.load(std::memory_order_relaxed);
@@ -188,6 +195,91 @@ void Algorithm::set_models(std::vector<std::vector<float>> models) {
     }
   }
   models_.assign(std::move(models));
+}
+
+void Algorithm::restore_agent_model(std::size_t i, std::vector<float> row) {
+  if (i >= models_.size()) {
+    throw std::out_of_range("restore_agent_model: agent id out of range");
+  }
+  if (row.size() != models_.dim()) {
+    throw std::invalid_argument("restore_agent_model: model dimension mismatch");
+  }
+  models_.set(i, std::move(row));
+}
+
+void Algorithm::note_crash_recovery(bool resynced, std::size_t lag) {
+  ++fault_stats_.crashed_agents;
+  if (resynced) ++fault_stats_.resynced_agents;
+  fault_stats_.recovery_lag += lag;
+  static obs::Counter& crashes = obs::MetricsRegistry::global().counter("recov.crashes");
+  crashes.add(1);
+  if (resynced) {
+    static obs::Counter& resyncs = obs::MetricsRegistry::global().counter("recov.resyncs");
+    resyncs.add(1);
+  }
+}
+
+void Algorithm::save_state(io::ByteBuffer& buf) const {
+  (void)buf;
+  throw std::runtime_error("checkpointing not supported for algorithm '" + name() + "'");
+}
+
+void Algorithm::load_state(io::ByteReader& r) {
+  (void)r;
+  throw std::runtime_error("checkpointing not supported for algorithm '" + name() + "'");
+}
+
+void Algorithm::save_base_state(io::ByteBuffer& buf) const {
+  const std::size_t m = num_agents();
+  io::append_u64(buf, m);
+  io::append_u64(buf, models_.dim());
+  for (std::size_t i = 0; i < m; ++i) io::append_floats(buf, models_[i]);
+  for (std::size_t i = 0; i < m; ++i) io::append_string(buf, agent_rngs_[i].serialize());
+  io::append_u64(buf, draw_epoch_);
+  // Stateful (non-fleet) runs advance each worker's sampler stream once per
+  // draw; the cursor must resume exactly. stateless_batches() guarantees the
+  // pool is eager whenever draws are stateful, so touching every worker here
+  // cannot materialize anything new.
+  io::append_u8(buf, stateless_draws_ ? 1 : 0);
+  if (!stateless_draws_) {
+    auto& self = const_cast<Algorithm&>(*this);
+    for (std::size_t i = 0; i < m; ++i) {
+      io::append_string(buf, self.workers_.get(i).sampler().rng().serialize());
+    }
+  }
+  io::append_u64(buf, unread_cleared_);
+  net_.save_state(buf);
+}
+
+void Algorithm::load_base_state(io::ByteReader& r) {
+  const auto m = static_cast<std::size_t>(r.read_u64("state agent count"));
+  const auto dim = static_cast<std::size_t>(r.read_u64("state model dim"));
+  if (m != num_agents() || dim != models_.dim()) {
+    throw std::runtime_error("load_base_state: fleet shape mismatch (file " +
+                             std::to_string(m) + "x" + std::to_string(dim) + ", run " +
+                             std::to_string(num_agents()) + "x" +
+                             std::to_string(models_.dim()) + ")");
+  }
+  std::vector<std::vector<float>> rows;
+  rows.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) rows.push_back(r.read_floats("state model row"));
+  models_.assign(std::move(rows));
+  for (std::size_t i = 0; i < m; ++i) {
+    agent_rngs_[i] = Rng::deserialize(r.read_string("state agent rng"));
+  }
+  draw_epoch_ = r.read_u64("state draw epoch");
+  const bool file_stateless = r.read_u8("state draw mode") != 0;
+  if (file_stateless != stateless_draws_) {
+    throw std::runtime_error("load_base_state: batch-draw mode mismatch between the "
+                             "checkpoint and this run's fleet options");
+  }
+  if (!stateless_draws_) {
+    for (std::size_t i = 0; i < m; ++i) {
+      workers_.get(i).sampler().rng() = Rng::deserialize(r.read_string("state sampler rng"));
+    }
+  }
+  unread_cleared_ = static_cast<std::size_t>(r.read_u64("state unread_cleared"));
+  net_.restore_state(r);
 }
 
 namespace {
@@ -422,12 +514,29 @@ void observe_phase_histograms(const obs::PhaseTimings& p) {
 std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t rounds,
                                                 const data::Dataset& test,
                                                 const MetricsOptions& opts,
-                                                obs::RunLedger* ledger) {
+                                                obs::RunLedger* ledger,
+                                                const ResumeState* resume,
+                                                const CheckpointHook& checkpoint,
+                                                std::size_t checkpoint_every) {
   std::vector<sim::RoundMetrics> series;
   series.reserve(rounds);
   Stopwatch watch;
   nn::Model eval_ws = *alg.env().model_template;
   double last_acc = 0.0;
+  // S-RECOV resume: continue past the checkpointed cursor with the held
+  // accuracy, the prior series and the accountant's raw accumulators restored
+  // verbatim, so the continued run's CSV is bit-identical (modulo wall-clock
+  // columns) to an uninterrupted one.
+  std::size_t start = 1;
+  if (resume != nullptr) {
+    if (resume->completed_rounds >= rounds) {
+      throw std::invalid_argument("run_with_metrics: resume cursor is at or past the "
+                                  "requested round count");
+    }
+    start = resume->completed_rounds + 1;
+    last_acc = resume->last_acc;
+    series = resume->prior_series;
+  }
 
   // S-BENCH360 privacy trajectory: the paper's analysis treats one round as
   // one Gaussian-mechanism release per agent (sensitivity 2C/B on the
@@ -440,7 +549,10 @@ std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t roun
   const double noise_multiplier =
       (hp.sigma > 0.0 && sensitivity > 0.0) ? hp.sigma / sensitivity : 0.0;
   dp::RdpAccountant accountant;
-  for (std::size_t t = 1; t <= rounds; ++t) {
+  if (resume != nullptr && !resume->accountant_rdp.empty()) {
+    accountant.restore(resume->accountant_rdp, resume->accountant_invocations);
+  }
+  for (std::size_t t = start; t <= rounds; ++t) {
     alg.reset_phase_timings();
     Stopwatch round_watch;
     {
@@ -495,6 +607,12 @@ std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t roun
       m.shapley_cache_misses = sstats->cache_misses;
       m.shapley_early_stops = sstats->early_stopped;
     }
+    m.retransmits = alg.network().retransmits();
+    m.corrupt_detected = alg.network().corruptions_detected();
+    m.dup_dropped = alg.network().duplicates_dropped();
+    m.reordered = alg.network().reorders();
+    m.crashes = alg.fault_stats().crashed_agents;
+    m.resyncs = alg.fault_stats().resynced_agents;
     if (noise_multiplier > 0.0) {
       accountant.add_gaussian(noise_multiplier, 1);
       m.epsilon_spent = accountant.epsilon(alg.env().dp_delta);
@@ -521,6 +639,12 @@ std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t roun
       ev["pi_attacker"] = m.pi_attacker;
       ev["pi_honest"] = m.pi_honest;
       ev["epsilon_spent"] = m.epsilon_spent;
+      ev["retransmits"] = m.retransmits;
+      ev["corrupt_detected"] = m.corrupt_detected;
+      ev["dup_dropped"] = m.dup_dropped;
+      ev["reordered"] = m.reordered;
+      ev["crashes"] = m.crashes;
+      ev["resyncs"] = m.resyncs;
       ledger->event("round", std::move(ev));
       alg.ledger_round(*ledger, t);
       json::Object timing;
@@ -534,6 +658,12 @@ std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t roun
       ledger->event(obs::RunLedger::kTimingEvent, std::move(timing));
     }
     series.push_back(m);
+    // Never checkpoint after the final round: the run is complete, not
+    // resumable, and the final state already lives in the metrics/model
+    // outputs.
+    if (checkpoint && checkpoint_every > 0 && t % checkpoint_every == 0 && t < rounds) {
+      checkpoint(t, last_acc, accountant, series);
+    }
   }
   return series;
 }

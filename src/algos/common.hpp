@@ -14,8 +14,10 @@
 
 #include "common/rng.hpp"
 #include "compress/compressor.hpp"
+#include "dp/rdp.hpp"
 #include "fleet/lazy_matrix.hpp"
 #include "fleet/options.hpp"
+#include "io/codec.hpp"
 #include "obs/ledger.hpp"
 #include "obs/phase.hpp"
 #include "data/dataset.hpp"
@@ -115,6 +117,8 @@ struct Env {
   const compress::Compressor* compressor = nullptr;  ///< optional lossy channel
   sim::FaultPlan faults;  ///< S-FAULT: drop/delay/churn/staleness injection
   sim::AdversaryPlan adversary;  ///< S-BYZ: Byzantine roles (empty = honest fleet)
+  sim::ChannelPlan channel;      ///< S-RECOV: corruption/dup/reorder + retry budget
+  sim::CrashPlan crash;          ///< S-RECOV: fail-stop crash schedule
   DefenseOptions defense;        ///< S-BYZ: consumer-side screening
   /// S-SCALE: sampled/walk participation, lazy agent state, wire round-trip.
   /// All-defaults = historical behavior, bit-identical.
@@ -142,6 +146,25 @@ struct FaultRoundStats {
   std::size_t self_fallbacks = 0;   ///< agents that fell back to self-gradient
   std::size_t msgs_rejected = 0;    ///< non-finite payloads refused (S-BYZ)
   std::size_t msgs_reclipped = 0;   ///< received gradients re-clipped to C (S-BYZ)
+  std::size_t crashed_agents = 0;   ///< agents that crashed this round (S-RECOV)
+  std::size_t resynced_agents = 0;  ///< crashed agents restored via snapshot+resync
+  std::size_t recovery_lag = 0;     ///< summed rounds-since-snapshot over recoveries
+};
+
+class Algorithm;
+
+/// S-RECOV driver-side hook on the run_round template method. The concrete
+/// implementation (recovery::RecoveryManager) lives above the algos layer;
+/// this interface breaks the dependency cycle. on_round_begin fires after the
+/// churn/participation mask refresh and worker preparation but before late
+/// messages are absorbed (a crashed agent loses state *before* it does any
+/// round-t work); on_round_end fires after round_impl (snapshots capture the
+/// post-round state the next round builds on).
+class RecoveryHook {
+ public:
+  virtual ~RecoveryHook() = default;
+  virtual void on_round_begin(Algorithm& alg, std::size_t t) = 0;
+  virtual void on_round_end(Algorithm& alg, std::size_t t) = 0;
 };
 
 class Algorithm {
@@ -220,6 +243,44 @@ class Algorithm {
   /// Is incoming-payload sanitization in effect for this run?
   [[nodiscard]] bool sanitizing() const { return sanitize_; }
 
+  // --- S-RECOV surface -----------------------------------------------------
+
+  /// Install (or clear, with nullptr) the recovery hook run_round calls. The
+  /// hook is borrowed and must outlive the algorithm's rounds.
+  void set_recovery(RecoveryHook* hook) { recovery_ = hook; }
+
+  /// Per-agent auxiliary state a crash wipes and a snapshot must carry beyond
+  /// the model row (Pdsl: the momentum column u_i). Empty by default.
+  [[nodiscard]] virtual std::vector<float> crash_snapshot_extra(std::size_t i) const {
+    (void)i;
+    return {};
+  }
+
+  /// Restore the auxiliary state captured by crash_snapshot_extra.
+  virtual void crash_restore_extra(std::size_t i, const std::vector<float>& extra) {
+    (void)i;
+    (void)extra;
+  }
+
+  /// A crash loses everything in agent i's process memory that is NOT part of
+  /// a snapshot: cross-gradient staleness cache, Shapley value cache, ...
+  /// Called by the RecoveryManager on every crash (base: nothing to wipe).
+  virtual void crash_wipe_caches(std::size_t i) { (void)i; }
+
+  /// Overwrite one agent's model row (RecoveryManager snapshot restore).
+  void restore_agent_model(std::size_t i, std::vector<float> row);
+
+  /// Fold one crash recovery into the round's fault accounting.
+  /// `lag` = rounds between the snapshot restored from and the crash round.
+  void note_crash_recovery(bool resynced, std::size_t lag);
+
+  /// Serialize the algorithm's full dynamic state for kill-and-resume
+  /// (models, per-agent RNG cursors, network counters/in-flight messages,
+  /// algorithm-specific members). The base implementation refuses loudly;
+  /// algorithms opt in by overriding both (Pdsl does).
+  virtual void save_state(io::ByteBuffer& buf) const;
+  virtual void load_state(io::ByteReader& r);
+
   /// S-BENCH360: algorithm-specific run-ledger events for the round most
   /// recently run, emitted from the driver thread after round_impl. The base
   /// emits nothing; Pdsl overrides to record its Shapley phi/pi vectors.
@@ -296,6 +357,13 @@ class Algorithm {
   /// span when tracing is on): `auto t = phase(obs::Phase::kLocalGrad);`.
   [[nodiscard]] obs::PhaseScope phase(obs::Phase p) { return {phases_, p}; }
 
+  /// The shared slice of save_state/load_state: model rows, per-agent RNG
+  /// cursors, stateful batch-sampler cursors (or the stateless draw epoch),
+  /// the unread-mailbox tally and the network's dynamic state. Subclasses
+  /// call these from their overrides, then append their own members.
+  void save_base_state(io::ByteBuffer& buf) const;
+  void load_base_state(io::ByteReader& r);
+
   Env env_;
   sim::Network net_;
   sim::WorkerPool workers_;                 ///< per-agent workers (lazy in fleet mode)
@@ -321,6 +389,7 @@ class Algorithm {
   std::uint64_t draw_epoch_ = 0;            ///< stateless-draw salt counter
   bool stateless_draws_ = false;            ///< round-keyed batch draws (fleet)
   std::size_t unread_cleared_ = 0;
+  RecoveryHook* recovery_ = nullptr;        ///< S-RECOV hook (borrowed; may be null)
   bool sanitize_ = false;  ///< resolved DefenseOptions::sanitize for this run
   /// Per-round sanitization counters; atomics because receive_checked runs
   /// inside parallel per-agent bodies. Reset with fault_stats_, folded into
@@ -339,14 +408,40 @@ struct MetricsOptions {
   std::size_t metric_agents = 0;
 };
 
+/// S-RECOV: everything run_with_metrics needs to continue a checkpointed run
+/// bit-identically — the completed-round cursor, the held test accuracy, the
+/// raw RDP accumulators (persisted verbatim: re-deriving them changes the FP
+/// accumulation order and breaks the epsilon_spent contract) and the already
+/// recorded per-round series. The caller restores the *algorithm's* state
+/// separately via Algorithm::load_state before driving.
+struct ResumeState {
+  std::size_t completed_rounds = 0;
+  double last_acc = 0.0;
+  std::vector<double> accountant_rdp;
+  std::size_t accountant_invocations = 0;
+  std::vector<sim::RoundMetrics> prior_series;
+};
+
+/// Called after round `t`'s metrics are recorded, with the accountant and the
+/// full series so far; the CLI persists a resumable run-state file from it.
+using CheckpointHook = std::function<void(std::size_t t, double last_acc,
+                                          const dp::RdpAccountant& accountant,
+                                          const std::vector<sim::RoundMetrics>& series)>;
+
 /// Drive `alg` for `rounds` rounds, recording the per-round series the
 /// paper's figures plot and the final accuracy its tables report. Each round
 /// also feeds the per-phase obs::MetricsRegistry histograms ("phase.<name>_ms")
 /// and, when `ledger` is non-null and open, appends "round", algorithm-specific
-/// and "phase_timing" events to the run ledger (S-BENCH360).
+/// and "phase_timing" events to the run ledger (S-BENCH360). With `resume` the
+/// loop continues from resume->completed_rounds + 1; with `checkpoint_every`
+/// > 0 and a hook, the hook fires every that-many rounds (and never after the
+/// final round — the run is complete then, not resumable).
 std::vector<sim::RoundMetrics> run_with_metrics(Algorithm& alg, std::size_t rounds,
                                                 const data::Dataset& test,
                                                 const MetricsOptions& opts = {},
-                                                obs::RunLedger* ledger = nullptr);
+                                                obs::RunLedger* ledger = nullptr,
+                                                const ResumeState* resume = nullptr,
+                                                const CheckpointHook& checkpoint = nullptr,
+                                                std::size_t checkpoint_every = 0);
 
 }  // namespace pdsl::algos

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
 namespace pdsl {
@@ -79,6 +80,23 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   shuffle(idx);
   return idx;
+}
+
+std::string Rng::serialize() const {
+  std::ostringstream out;
+  out << seed_ << ' ' << engine_;
+  if (!out) throw std::runtime_error("Rng::serialize: stream failure");
+  return out.str();
+}
+
+Rng Rng::deserialize(const std::string& state) {
+  std::istringstream in(state);
+  std::uint64_t seed = 0;
+  in >> seed;
+  Rng rng(seed);
+  in >> rng.engine_;
+  if (!in) throw std::runtime_error("Rng::deserialize: malformed state blob");
+  return rng;
 }
 
 void Rng::fill_normal(std::vector<float>& buf, double mean, double stddev) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace pdsl {
@@ -60,6 +61,14 @@ class Rng {
 
   std::mt19937_64& engine() { return engine_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Textual engine state + seed, for bit-exact checkpoint/resume (S-RECOV).
+  /// mt19937_64's operator<< emits its full 312-word state, so a restored
+  /// stream continues exactly where the saved one stopped.
+  [[nodiscard]] std::string serialize() const;
+  /// Rebuild a stream captured by serialize(); throws std::runtime_error on
+  /// a malformed blob.
+  static Rng deserialize(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

@@ -79,6 +79,12 @@ json::Value config_to_json(const ExperimentConfig& cfg) {
   o["seed"] = cfg.seed;
   o["drop_prob"] = cfg.drop_prob;
   o["faults"] = sim::fault_plan_to_json(cfg.faults);
+  o["channel"] = sim::channel_plan_to_json(cfg.channel);
+  o["crash"] = sim::crash_plan_to_json(cfg.crash);
+  o["recovery_dir"] = cfg.recovery_dir;
+  o["checkpoint_every"] = cfg.checkpoint_every;
+  o["checkpoint_path"] = cfg.checkpoint_path;
+  o["resume_from"] = cfg.resume_from;
   o["adversary"] = sim::adversary_plan_to_json(cfg.adversary);
   o["defense"] = defense_to_json(cfg.defense);
   o["compression"] = cfg.compression;
@@ -104,6 +110,8 @@ ExperimentConfig config_from_json(const json::Value& v) {
       "validation_batch", "gossip_steps", "local_steps", "sigma_mode",
       "noise_scale", "epsilon",  "delta",     "phi_hat_min",   "threads",
       "backend",    "seed",      "drop_prob",  "faults", "adversary", "defense",
+      "channel",    "crash",     "recovery_dir", "checkpoint_every",
+      "checkpoint_path", "resume_from",
       "compression", "fleet", "test_subsample", "eval_every", "metric_agents",
       "profile",     "trace_out", "ledger_out"};
   for (const auto& [key, value] : obj) {
@@ -162,6 +170,12 @@ ExperimentConfig config_from_json(const json::Value& v) {
   if (v.contains("seed")) cfg.seed = static_cast<std::uint64_t>(v.at("seed").as_int());
   num("drop_prob", cfg.drop_prob);
   if (v.contains("faults")) cfg.faults = sim::fault_plan_from_json(v.at("faults"));
+  if (v.contains("channel")) cfg.channel = sim::channel_plan_from_json(v.at("channel"));
+  if (v.contains("crash")) cfg.crash = sim::crash_plan_from_json(v.at("crash"));
+  str("recovery_dir", cfg.recovery_dir);
+  idx("checkpoint_every", cfg.checkpoint_every);
+  str("checkpoint_path", cfg.checkpoint_path);
+  str("resume_from", cfg.resume_from);
   if (v.contains("adversary")) {
     cfg.adversary = sim::adversary_plan_from_json(v.at("adversary"));
   }
@@ -204,6 +218,14 @@ json::Value result_to_json(const ExperimentResult& res) {
   o["workers_peak"] = res.workers_peak;
   o["models_materialized"] = res.models_materialized;
   o["participants"] = res.participants;
+  o["retransmits"] = res.retransmits;
+  o["corruptions_detected"] = res.corruptions_detected;
+  o["retry_exhausted"] = res.retry_exhausted;
+  o["duplicates_dropped"] = res.duplicates_dropped;
+  o["reordered"] = res.reordered;
+  o["crashes"] = res.crashes;
+  o["resyncs"] = res.resyncs;
+  o["resumed_from_round"] = res.resumed_from_round;
   json::Object phases;
   phases["local_grad_s"] = res.phase_totals.local_grad_s;
   phases["crossgrad_s"] = res.phase_totals.crossgrad_s;

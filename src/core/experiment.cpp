@@ -12,6 +12,7 @@
 #include "algos/muffliato.hpp"
 #include "algos/qgm.hpp"
 #include "compress/compressor.hpp"
+#include "core/config_io.hpp"
 #include "core/pdsl.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
@@ -22,6 +23,8 @@
 #include "nn/model_zoo.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "recovery/recovery.hpp"
+#include "recovery/run_state.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace pdsl::core {
@@ -107,6 +110,24 @@ std::unique_ptr<algos::Algorithm> make_algorithm(const std::string& name,
   if (name == "dpsgd") return std::make_unique<algos::DPSGD>(env);
   if (name == "dmsgd") return std::make_unique<algos::DMSGD>(env);
   throw std::invalid_argument("make_algorithm: unknown algorithm '" + name + "'");
+}
+
+std::uint64_t config_identity_hash(const ExperimentConfig& cfg) {
+  ExperimentConfig scrub = cfg;
+  // Wall-clock-only and output-routing knobs do not change the trajectory;
+  // the checkpoint/resume knobs must not change the hash or a checkpointed
+  // run could never be resumed by a config that (correctly) differs in them.
+  scrub.threads = 1;
+  // cfg.backend stays in the hash: the S-VEC tier is only tolerance-banded
+  // against the reference, so switching backends switches trajectories.
+  scrub.profile = false;
+  scrub.trace_out.clear();
+  scrub.ledger_out.clear();
+  scrub.recovery_dir.clear();
+  scrub.checkpoint_every = 0;
+  scrub.checkpoint_path.clear();
+  scrub.resume_from.clear();
+  return recovery::fnv1a_str(config_to_json(scrub).dump());
 }
 
 const std::vector<std::string>& paper_algorithms() {
@@ -251,6 +272,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     }
   }
   env.adversary.validate();
+  env.channel = cfg.channel;
+  env.channel.validate();
+  env.crash = cfg.crash;
+  env.crash.validate();
   env.defense = cfg.defense;
   env.fleet = cfg.fleet;
   const auto compressor = compress::make_compressor(cfg.compression);
@@ -263,6 +288,52 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   obs::MetricsRegistry::global().gauge("dp.sigma").set(hp.sigma);
 
   auto alg = make_algorithm(cfg.algorithm, env);
+
+  // S-RECOV: crash injection + snapshot/resync recovery rides on run_round
+  // via the RecoveryHook seam. The crash seed falls back to the run seed so
+  // configs stay terse; decisions remain a pure (seed, agent, round) hash.
+  std::optional<recovery::RecoveryManager> recov;
+  if (cfg.crash.any()) {
+    sim::CrashPlan plan = cfg.crash;
+    if (plan.seed == 0) plan.seed = cfg.seed;
+    recovery::RecoveryOptions ropts;
+    ropts.snapshot_dir = cfg.recovery_dir;
+    recov.emplace(plan, ropts);
+    alg->set_recovery(&*recov);
+  }
+
+  // S-RECOV kill-and-resume: restore the algorithm + driver state saved by a
+  // previous run's checkpoint hook, refusing a config-identity mismatch.
+  const std::uint64_t cfg_hash = config_identity_hash(cfg);
+  algos::ResumeState resume_state;
+  const algos::ResumeState* resume_ptr = nullptr;
+  if (!cfg.resume_from.empty()) {
+    recovery::RunState st = recovery::load_run_state(cfg.resume_from, cfg_hash);
+    io::ByteReader reader(st.algo_state, "run-state algorithm blob");
+    alg->load_state(reader);
+    resume_state = std::move(st.resume);
+    resume_ptr = &resume_state;
+  }
+  algos::CheckpointHook checkpoint_hook;
+  if (cfg.checkpoint_every > 0) {
+    if (cfg.checkpoint_path.empty()) {
+      throw std::invalid_argument(
+          "run_experiment: checkpoint_every > 0 requires checkpoint_path");
+    }
+    checkpoint_hook = [&cfg, cfg_hash, &alg](std::size_t t, double last_acc,
+                                             const dp::RdpAccountant& accountant,
+                                             const std::vector<sim::RoundMetrics>& so_far) {
+      recovery::RunState st;
+      st.config_hash = cfg_hash;
+      st.resume.completed_rounds = t;
+      st.resume.last_acc = last_acc;
+      st.resume.accountant_rdp = accountant.accumulated_rdp();
+      st.resume.accountant_invocations = accountant.num_invocations();
+      st.resume.prior_series = so_far;
+      alg->save_state(st.algo_state);
+      recovery::save_run_state(cfg.checkpoint_path, st);
+    };
+  }
 
   // S-BENCH360 run ledger: header event with the run's identity, the
   // per-round events from run_with_metrics, then a summary footer.
@@ -289,7 +360,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   auto series = algos::run_with_metrics(*alg, cfg.rounds, test, cfg.metrics,
-                                        ledger.enabled() ? &ledger : nullptr);
+                                        ledger.enabled() ? &ledger : nullptr, resume_ptr,
+                                        checkpoint_hook, cfg.checkpoint_every);
 
   ExperimentResult res;
   res.algorithm = alg->name();
@@ -313,6 +385,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.average_model = alg->average_model();
   res.wire_messages = alg->network().wire_messages();
   res.wire_bytes = alg->network().wire_bytes();
+  res.retransmits = alg->network().retransmits();
+  res.corruptions_detected = alg->network().corruptions_detected();
+  res.retry_exhausted = alg->network().retry_exhausted();
+  res.duplicates_dropped = alg->network().duplicates_dropped();
+  res.reordered = alg->network().reorders();
+  for (const auto& rm : series) {
+    res.crashes += rm.crashes;
+    res.resyncs += rm.resyncs;
+  }
+  res.resumed_from_round = resume_ptr != nullptr ? resume_state.completed_rounds : 0;
   res.workers_peak = alg->workers_peak();
   res.models_materialized = alg->models_materialized();
   res.participants = alg->participants();
@@ -329,6 +411,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     end["dropped"] = res.dropped;
     end["corrupted"] = res.corrupted;
     end["epsilon_spent"] = res.epsilon_spent;
+    end["retransmits"] = res.retransmits;
+    end["corruptions_detected"] = res.corruptions_detected;
+    end["retry_exhausted"] = res.retry_exhausted;
+    end["crashes"] = res.crashes;
+    end["resyncs"] = res.resyncs;
     ledger.event("run_end", std::move(end));
     ledger.close();
   }

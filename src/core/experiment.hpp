@@ -83,6 +83,23 @@ struct ExperimentConfig {
   /// S-FAULT: deterministic drop/delay/churn injection plus the staleness
   /// bound. drop_prob above is folded in when faults.drop_prob is 0.
   sim::FaultPlan faults;
+  /// S-RECOV: unreliable-channel transport — deterministic bit-flip
+  /// corruption, duplication and reordering, recovered by the checksum-NACK/
+  /// retransmit loop with bounded retries and round-granular backoff.
+  sim::ChannelPlan channel;
+  /// S-RECOV: fail-stop crash schedule + periodic snapshot cadence.
+  sim::CrashPlan crash;
+  /// S-RECOV: directory for per-agent recovery snapshot files ("" = snapshots
+  /// stay in memory only).
+  std::string recovery_dir;
+  /// S-RECOV kill-and-resume: persist a resumable run-state file every N
+  /// rounds (0 = off; requires checkpoint_path). Never fires after the final
+  /// round.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Resume a previous run from this run-state file ("" = fresh run). The
+  /// file's config-identity hash must match this config.
+  std::string resume_from;
   /// S-BYZ: Byzantine roles (who attacks, how, when) + defense screening.
   sim::AdversaryPlan adversary;
   algos::DefenseOptions defense;
@@ -138,6 +155,15 @@ struct ExperimentResult {
   std::size_t workers_peak = 0;        ///< high-water mark of resident LocalWorkers
   std::size_t models_materialized = 0; ///< model rows diverged from the shared x0
   std::size_t participants = 0;        ///< sampled participants in the final round
+  // S-RECOV transport + recovery accounting (0 unless channel/crash are on).
+  std::size_t retransmits = 0;           ///< frames resent after a NACK
+  std::size_t corruptions_detected = 0;  ///< checksum-caught bit flips
+  std::size_t retry_exhausted = 0;       ///< messages lost after all retries
+  std::size_t duplicates_dropped = 0;    ///< duplicate copies deduped
+  std::size_t reordered = 0;             ///< deliveries that jumped the queue
+  std::size_t crashes = 0;               ///< agent crash/restart events (total)
+  std::size_t resyncs = 0;               ///< crashes recovered with a neighbor resync
+  std::size_t resumed_from_round = 0;    ///< 0 = fresh run; else the resume cursor
 };
 
 /// Resolve the noise level for a config (exposed for the sigma ablation).
@@ -149,6 +175,13 @@ double calibrate_sigma(const ExperimentConfig& cfg, const graph::MixingMatrix& w
 /// come from pdsl_algos). Adversary/defense wiring rides in env.
 std::unique_ptr<algos::Algorithm> make_algorithm(const std::string& name,
                                                  const algos::Env& env);
+
+/// S-RECOV: FNV-1a over the canonical JSON of `cfg` with the volatile,
+/// resume-irrelevant knobs scrubbed (threads, profiling/output paths, the
+/// checkpoint/resume knobs themselves). Two configs that must produce the
+/// same learning trajectory hash equal; a checkpoint resumes only against a
+/// matching hash.
+std::uint64_t config_identity_hash(const ExperimentConfig& cfg);
 
 /// End-to-end: build everything from the config, run, summarize.
 ExperimentResult run_experiment(const ExperimentConfig& cfg);

@@ -90,6 +90,79 @@ void Pdsl::absorb_late(std::vector<sim::LateMessage> late) {
   }
 }
 
+void Pdsl::save_state(io::ByteBuffer& buf) const {
+  save_base_state(buf);
+  const std::size_t m = num_agents();
+  for (std::size_t i = 0; i < m; ++i) io::append_floats(buf, momentum_[i]);
+  io::append_string(buf, val_rng_.serialize());
+  for (std::size_t i = 0; i < m; ++i) io::append_string(buf, shapley_rngs_[i].serialize());
+  io::append_f64(buf, observed_phi_hat_min_);
+  for (std::size_t i = 0; i < m; ++i) {
+    io::append_u64(buf, xgrad_cache_[i].size());
+    for (const auto& [j, cached] : xgrad_cache_[i]) {  // std::map: key-sorted, deterministic
+      io::append_u64(buf, j);
+      io::append_u64(buf, cached.round);
+      io::append_floats(buf, cached.grad);
+    }
+  }
+  io::append_u8(buf, use_batched_ ? 1 : 0);
+  if (use_batched_) {
+    for (std::size_t i = 0; i < m; ++i) value_caches_[i].serialize(buf);
+  }
+}
+
+void Pdsl::load_state(io::ByteReader& r) {
+  load_base_state(r);
+  const std::size_t m = num_agents();
+  for (std::size_t i = 0; i < m; ++i) {
+    auto row = r.read_floats("pdsl momentum row");
+    if (row.size() != models_.dim()) {
+      throw std::runtime_error("Pdsl::load_state: momentum dimension mismatch");
+    }
+    momentum_.set(i, std::move(row));
+  }
+  val_rng_ = Rng::deserialize(r.read_string("pdsl val rng"));
+  for (std::size_t i = 0; i < m; ++i) {
+    shapley_rngs_[i] = Rng::deserialize(r.read_string("pdsl shapley rng"));
+  }
+  observed_phi_hat_min_ = r.read_f64("pdsl phi_hat_min");
+  for (std::size_t i = 0; i < m; ++i) {
+    xgrad_cache_[i].clear();
+    const auto count = static_cast<std::size_t>(r.read_u64("pdsl xgrad count"));
+    for (std::size_t k = 0; k < count; ++k) {
+      const auto j = static_cast<std::size_t>(r.read_u64("pdsl xgrad neighbor"));
+      CachedXGrad cached;
+      cached.round = static_cast<std::size_t>(r.read_u64("pdsl xgrad round"));
+      cached.grad = r.read_floats("pdsl xgrad payload");
+      xgrad_cache_[i].emplace(j, std::move(cached));
+    }
+  }
+  const bool file_batched = r.read_u8("pdsl batched flag") != 0;
+  if (file_batched != use_batched_) {
+    throw std::runtime_error("Pdsl::load_state: shapley_eval mode mismatch between the "
+                             "checkpoint and this run");
+  }
+  if (use_batched_) {
+    for (std::size_t i = 0; i < m; ++i) value_caches_[i].deserialize(r);
+  }
+}
+
+std::vector<float> Pdsl::crash_snapshot_extra(std::size_t i) const {
+  return momentum_[i];
+}
+
+void Pdsl::crash_restore_extra(std::size_t i, const std::vector<float>& extra) {
+  if (extra.size() != models_.dim()) {
+    throw std::invalid_argument("Pdsl::crash_restore_extra: momentum dimension mismatch");
+  }
+  momentum_.set(i, extra);
+}
+
+void Pdsl::crash_wipe_caches(std::size_t i) {
+  xgrad_cache_[i].clear();
+  if (use_batched_) value_caches_[i] = shapley::ValueCache();
+}
+
 sim::FixedBatch Pdsl::draw_validation_batch() {
   const auto& q = *env_.validation;
   const std::size_t want = std::min(env_.hp.validation_batch, q.size());

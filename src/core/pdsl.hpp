@@ -87,6 +87,22 @@ class Pdsl final : public algos::Algorithm {
   /// finding, replayable without rerunning.
   void ledger_round(obs::RunLedger& ledger, std::size_t t) const override;
 
+  /// ---- S-RECOV checkpoint/restore + crash-recovery hooks ----
+
+  /// Full algorithm state for kill-and-resume: base state (models, RNG
+  /// streams, network) plus momentum, the validation/Shapley RNG cursors, the
+  /// staleness cache, the coalition score caches and the phi_hat_min floor.
+  void save_state(io::ByteBuffer& buf) const override;
+  void load_state(io::ByteReader& r) override;
+
+  /// Per-agent crash snapshot payload: the momentum row u_i (the model row is
+  /// snapshotted by the RecoveryManager itself).
+  [[nodiscard]] std::vector<float> crash_snapshot_extra(std::size_t i) const override;
+  void crash_restore_extra(std::size_t i, const std::vector<float>& extra) override;
+  /// A crashed agent loses its warm state: staleness-cached cross-gradients
+  /// and coalition score cache (they lived in the dead process's memory).
+  void crash_wipe_caches(std::size_t i) override;
+
  protected:
   void round_impl(std::size_t t) override;
 

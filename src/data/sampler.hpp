@@ -31,6 +31,11 @@ class BatchSampler {
   [[nodiscard]] std::size_t local_size() const { return indices_.size(); }
   [[nodiscard]] std::size_t batch_size() const { return batch_; }
 
+  /// The member draw stream, exposed for S-RECOV checkpoint/resume: stateful
+  /// (non-fleet) runs advance rng_ once per sample(), so resuming a run
+  /// bit-identically requires saving and restoring its cursor.
+  [[nodiscard]] Rng& rng() { return rng_; }
+
  private:
   const Dataset* ds_;
   std::vector<std::size_t> indices_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace pdsl::dp {
 
@@ -31,6 +32,16 @@ void RdpAccountant::add_gaussian(double noise_multiplier, std::size_t count) {
     rdp_[i] += static_cast<double>(count) * orders_[i] / (2.0 * z2);
   }
   invocations_ += count;
+}
+
+void RdpAccountant::restore(std::vector<double> rdp, std::size_t invocations) {
+  if (rdp.size() != orders_.size()) {
+    throw std::runtime_error("RdpAccountant::restore: order-count mismatch (got " +
+                             std::to_string(rdp.size()) + ", tracking " +
+                             std::to_string(orders_.size()) + ")");
+  }
+  rdp_ = std::move(rdp);
+  invocations_ = invocations;
 }
 
 double RdpAccountant::epsilon(double delta) const {

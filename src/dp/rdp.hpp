@@ -29,6 +29,17 @@ class RdpAccountant {
 
   [[nodiscard]] std::size_t num_invocations() const { return invocations_; }
 
+  /// Raw accumulator state, for S-RECOV checkpointing. The per-order eps_RDP
+  /// sums must be persisted verbatim (re-deriving them from one bulk
+  /// add_gaussian call accumulates in a different order and breaks the
+  /// epsilon_spent bit-identity contract on resume).
+  [[nodiscard]] const std::vector<double>& orders() const { return orders_; }
+  [[nodiscard]] const std::vector<double>& accumulated_rdp() const { return rdp_; }
+
+  /// Restore accumulator state captured from accumulated_rdp(); throws
+  /// std::runtime_error if `rdp` does not match the tracked orders.
+  void restore(std::vector<double> rdp, std::size_t invocations);
+
   static std::vector<double> default_orders();
 
  private:

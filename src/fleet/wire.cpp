@@ -45,6 +45,14 @@ WireMessage wire_decode(const io::ByteBuffer& buf) {
   return msg;
 }
 
+std::optional<WireMessage> wire_try_decode(const io::ByteBuffer& buf) {
+  try {
+    return wire_decode(buf);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 bool wire_equal(const WireMessage& a, const WireMessage& b) {
   if (a.src != b.src || a.dst != b.dst || a.round != b.round || a.channel != b.channel ||
       a.tag != b.tag || a.payload.size() != b.payload.size()) {

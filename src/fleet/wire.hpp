@@ -16,6 +16,7 @@
 // message at the send boundary, proving bit-identical serialization.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,11 @@ struct WireMessage {
 
 /// Throws std::runtime_error on bad magic / version / truncation / checksum.
 [[nodiscard]] WireMessage wire_decode(const io::ByteBuffer& buf);
+
+/// S-RECOV detect-don't-assert decode: nullopt on any malformed frame (bad
+/// magic / version / truncation / checksum / trailing bytes) instead of a
+/// throw. The transport's NACK/retransmit loop keys off this.
+[[nodiscard]] std::optional<WireMessage> wire_try_decode(const io::ByteBuffer& buf);
 
 /// Exact equality including payload bit patterns (NaN-safe).
 [[nodiscard]] bool wire_equal(const WireMessage& a, const WireMessage& b);

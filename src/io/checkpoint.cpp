@@ -1,55 +1,10 @@
 #include "io/checkpoint.hpp"
 
-#include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <stdexcept>
-
-#include "io/codec.hpp"
 
 namespace pdsl::io {
 
 namespace {
-
-/// Crash-safe writer: stream into a `.tmp` sibling, then std::rename over the
-/// destination once the bytes are durably written. A crash mid-save leaves the
-/// previous checkpoint intact (plus at worst a stale .tmp the next successful
-/// save overwrites); a reader can never observe a half-written file.
-class AtomicFile {
- public:
-  AtomicFile(const std::string& path, const char* who)
-      : path_(path), tmp_(path + ".tmp"), who_(who), out_(tmp_, std::ios::binary) {
-    if (!out_) throw std::runtime_error(std::string(who_) + ": cannot open " + tmp_);
-  }
-
-  ~AtomicFile() {
-    if (!committed_) {
-      out_.close();
-      std::remove(tmp_.c_str());  // failed save: don't leave the partial file
-    }
-  }
-
-  std::ofstream& stream() { return out_; }
-
-  /// Flush, verify the stream, and rename into place. Throws on any failure
-  /// (the destructor then cleans up the tmp and the old checkpoint survives).
-  void commit() {
-    out_.flush();
-    if (!out_) throw std::runtime_error(std::string(who_) + ": write failed for " + path_);
-    out_.close();
-    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
-      throw std::runtime_error(std::string(who_) + ": cannot rename " + tmp_ + " to " + path_);
-    }
-    committed_ = true;
-  }
-
- private:
-  std::string path_;
-  std::string tmp_;
-  const char* who_;
-  std::ofstream out_;
-  bool committed_ = false;
-};
 
 constexpr std::uint64_t kMagicSingle = 0x5044534C'4D4F4431ULL;  // "PDSLMOD1"
 constexpr std::uint64_t kMagicFleet = 0x5044534C'464C5431ULL;   // "PDSLFLT1"
@@ -77,6 +32,15 @@ std::vector<float> read_floats(std::ifstream& in, std::size_t n) {
   return v;
 }
 
+void check_version(std::ifstream& in, const char* who, const std::string& path) {
+  const auto version = read_u64(in, "version");
+  if (version != kCheckpointVersion) {
+    throw std::runtime_error(std::string(who) + ": unsupported checkpoint version " +
+                             std::to_string(version) + " in " + path + " (expected " +
+                             std::to_string(kCheckpointVersion) + ")");
+  }
+}
+
 }  // namespace
 
 std::uint64_t fnv1a(const std::vector<float>& data) {
@@ -87,6 +51,7 @@ void save_params(const std::string& path, const std::vector<float>& params) {
   AtomicFile file(path, "save_params");
   std::ofstream& out = file.stream();
   write_u64(out, kMagicSingle);
+  write_u64(out, kCheckpointVersion);
   write_u64(out, params.size());
   write_u64(out, fnv1a(params));
   write_floats(out, params);
@@ -99,6 +64,7 @@ std::vector<float> load_params(const std::string& path) {
   if (read_u64(in, "magic") != kMagicSingle) {
     throw std::runtime_error("load_params: bad magic in " + path);
   }
+  check_version(in, "load_params", path);
   const auto dim = read_u64(in, "dimension");
   const auto checksum = read_u64(in, "checksum");
   auto params = read_floats(in, dim);
@@ -117,6 +83,7 @@ void save_fleet(const std::string& path, const std::vector<std::vector<float>>& 
   AtomicFile file(path, "save_fleet");
   std::ofstream& out = file.stream();
   write_u64(out, kMagicFleet);
+  write_u64(out, kCheckpointVersion);
   write_u64(out, models.size());
   write_u64(out, dim);
   for (const auto& m : models) {
@@ -132,6 +99,7 @@ std::vector<std::vector<float>> load_fleet(const std::string& path) {
   if (read_u64(in, "magic") != kMagicFleet) {
     throw std::runtime_error("load_fleet: bad magic in " + path);
   }
+  check_version(in, "load_fleet", path);
   const auto count = read_u64(in, "count");
   const auto dim = read_u64(in, "dimension");
   std::vector<std::vector<float>> models;
@@ -145,6 +113,39 @@ std::vector<std::vector<float>> load_fleet(const std::string& path) {
     models.push_back(std::move(m));
   }
   return models;
+}
+
+void save_blob(const std::string& path, std::uint64_t magic, const ByteBuffer& body,
+               const char* who) {
+  AtomicFile file(path, who);
+  std::ofstream& out = file.stream();
+  write_u64(out, magic);
+  write_u64(out, kCheckpointVersion);
+  write_u64(out, body.size());
+  write_u64(out, fnv1a_bytes(body.data(), body.size()));
+  out.write(reinterpret_cast<const char*>(body.data()),
+            static_cast<std::streamsize>(body.size()));
+  file.commit();
+}
+
+ByteBuffer load_blob(const std::string& path, std::uint64_t magic, const char* who) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(std::string(who) + ": cannot open " + path);
+  if (read_u64(in, "magic") != magic) {
+    throw std::runtime_error(std::string(who) + ": bad magic in " + path);
+  }
+  check_version(in, who, path);
+  const auto size = read_u64(in, "size");
+  const auto checksum = read_u64(in, "checksum");
+  ByteBuffer body(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(body.data()), static_cast<std::streamsize>(body.size()));
+  if (!in) {
+    throw std::runtime_error(std::string(who) + ": truncated reading body of " + path);
+  }
+  if (fnv1a_bytes(body.data(), body.size()) != checksum) {
+    throw std::runtime_error(std::string(who) + ": checksum mismatch in " + path);
+  }
+  return body;
 }
 
 }  // namespace pdsl::io

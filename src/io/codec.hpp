@@ -37,6 +37,14 @@ inline void append_u32(ByteBuffer& buf, std::uint32_t v) { append_raw(buf, &v, s
 
 inline void append_u64(ByteBuffer& buf, std::uint64_t v) { append_raw(buf, &v, sizeof(v)); }
 
+/// Doubles travel as their raw IEEE-754 bit pattern (bit-exact round-trip;
+/// the recovery layer persists RDP accumulators and metric doubles this way).
+inline void append_f64(ByteBuffer& buf, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  append_u64(buf, bits);
+}
+
 inline void append_string(ByteBuffer& buf, const std::string& s) {
   append_u32(buf, static_cast<std::uint32_t>(s.size()));
   append_raw(buf, s.data(), s.size());
@@ -76,6 +84,13 @@ class ByteReader {
   [[nodiscard]] std::uint64_t read_u64(const char* what) {
     std::uint64_t v = 0;
     read_raw(&v, sizeof(v), what);
+    return v;
+  }
+
+  [[nodiscard]] double read_f64(const char* what) {
+    const std::uint64_t bits = read_u64(what);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
     return v;
   }
 

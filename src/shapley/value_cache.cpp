@@ -1,5 +1,6 @@
 #include "shapley/value_cache.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -70,6 +71,49 @@ bool ValueCache::lookup(std::uint64_t mask, double& out) {
 
 void ValueCache::store(std::uint64_t mask, double value) {
   map_[key_for(mask)] = Entry{value, round_};
+}
+
+void ValueCache::serialize(io::ByteBuffer& buf) const {
+  io::append_u64(buf, max_age_);
+  io::append_u64(buf, round_);
+  io::append_u64(buf, context_);
+  io::append_u64(buf, member_hashes_.size());
+  for (const auto h : member_hashes_) io::append_u64(buf, h);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(map_.size());
+  for (const auto& [key, entry] : map_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  io::append_u64(buf, keys.size());
+  for (const auto key : keys) {
+    const auto& entry = map_.at(key);
+    io::append_u64(buf, key);
+    io::append_f64(buf, entry.value);
+    io::append_u64(buf, entry.last_used);
+  }
+  io::append_u64(buf, stats_.hits);
+  io::append_u64(buf, stats_.misses);
+  io::append_u64(buf, stats_.evictions);
+}
+
+void ValueCache::deserialize(io::ByteReader& r) {
+  max_age_ = static_cast<std::size_t>(r.read_u64("value_cache max_age"));
+  round_ = static_cast<std::size_t>(r.read_u64("value_cache round"));
+  context_ = r.read_u64("value_cache context");
+  const auto n_members = r.read_u64("value_cache member count");
+  member_hashes_.assign(static_cast<std::size_t>(n_members), 0);
+  for (auto& h : member_hashes_) h = r.read_u64("value_cache member hash");
+  map_.clear();
+  const auto n_entries = r.read_u64("value_cache entry count");
+  for (std::uint64_t i = 0; i < n_entries; ++i) {
+    const auto key = r.read_u64("value_cache entry key");
+    Entry entry;
+    entry.value = r.read_f64("value_cache entry value");
+    entry.last_used = static_cast<std::size_t>(r.read_u64("value_cache entry last_used"));
+    map_.emplace(key, entry);
+  }
+  stats_.hits = static_cast<std::size_t>(r.read_u64("value_cache hits"));
+  stats_.misses = static_cast<std::size_t>(r.read_u64("value_cache misses"));
+  stats_.evictions = static_cast<std::size_t>(r.read_u64("value_cache evictions"));
 }
 
 }  // namespace pdsl::shapley

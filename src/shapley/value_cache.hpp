@@ -28,6 +28,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/codec.hpp"
+
 namespace pdsl::shapley {
 
 /// FNV-1a over raw bytes, word-stepped (8 bytes per round + byte tail) so
@@ -69,6 +71,17 @@ class ValueCache {
 
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// S-RECOV checkpoint: append the full cache state (round cursor, context,
+  /// member hashes, entries in sorted-key order, lifetime stats) to `buf`.
+  /// Sorted emission makes the blob independent of unordered_map iteration
+  /// order, so identical caches serialize to identical bytes.
+  void serialize(io::ByteBuffer& buf) const;
+
+  /// Restore state captured by serialize(); throws std::runtime_error on a
+  /// malformed blob. Hit/miss telemetry is restored too, so the CSV cache
+  /// columns continue bit-identically after a resume.
+  void deserialize(io::ByteReader& r);
 
  private:
   [[nodiscard]] std::uint64_t key_for(std::uint64_t mask) const;

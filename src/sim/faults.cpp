@@ -31,6 +31,10 @@ std::uint64_t edge_message_hash(std::uint64_t seed, std::size_t src, std::size_t
 constexpr std::uint64_t kDelaySalt = 0xDE1A7ED0C0FFEEULL;
 constexpr std::uint64_t kChurnSalt = 0xC4012ACE5ULL;
 constexpr std::uint64_t kByzSalt = 0xB12A47EF00DULL;
+constexpr std::uint64_t kCorruptSalt = 0xC022BADB17ULL;
+constexpr std::uint64_t kDupSalt = 0xD0B1E7F2A3ULL;
+constexpr std::uint64_t kReorderSalt = 0x2E02DE2EDULL;
+constexpr std::uint64_t kCrashSalt = 0xC2A54FA11ULL;
 
 void check_prob(double p, const char* name) {
   if (p < 0.0 || p >= 1.0) {
@@ -168,6 +172,137 @@ FaultPlan fault_plan_from_json(const json::Value& v) {
       plan.edge_rules.push_back(r);
     }
   }
+  plan.validate();
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// S-RECOV: ChannelPlan + CrashPlan
+// ---------------------------------------------------------------------------
+
+std::size_t ChannelPlan::backoff_for(std::size_t attempt) {
+  if (attempt <= 1) return 0;
+  const std::size_t shift = std::min<std::size_t>(attempt - 2, 3);
+  return static_cast<std::size_t>(1) << shift;
+}
+
+bool ChannelPlan::any() const {
+  return corrupt_prob > 0.0 || duplicate_prob > 0.0 || reorder_prob > 0.0;
+}
+
+void ChannelPlan::validate() const {
+  check_prob(corrupt_prob, "corrupt_prob");
+  check_prob(duplicate_prob, "duplicate_prob");
+  check_prob(reorder_prob, "reorder_prob");
+  if (max_retries > 16) {
+    throw std::invalid_argument("ChannelPlan: max_retries must be <= 16");
+  }
+}
+
+bool ChannelPlan::corrupt(std::size_t src, std::size_t dst, std::uint64_t edge_index,
+                          std::size_t attempt) const {
+  if (corrupt_prob <= 0.0) return false;
+  // The attempt number is mixed into the message word so each retransmission
+  // re-rolls independently — exactly how a real channel treats a resend.
+  const std::uint64_t h = edge_message_hash(
+      seed ^ kCorruptSalt, src, dst,
+      splitmix64(edge_index ^ (static_cast<std::uint64_t>(attempt) + 1) * 0x9E3779B97F4A7C15ULL));
+  return hash_uniform(h) < corrupt_prob;
+}
+
+std::size_t ChannelPlan::corrupt_bit(std::size_t src, std::size_t dst,
+                                     std::uint64_t edge_index, std::size_t attempt,
+                                     std::size_t n_bytes) const {
+  const std::uint64_t h = edge_message_hash(
+      seed ^ kCorruptSalt, src, dst,
+      splitmix64(edge_index ^ (static_cast<std::uint64_t>(attempt) + 1) * 0x9E3779B97F4A7C15ULL));
+  // Second mix so "is corrupted" and "which bit" decorrelate (delay() idiom).
+  return static_cast<std::size_t>(splitmix64(h ^ kCorruptSalt) %
+                                  (std::max<std::size_t>(1, n_bytes) * 8));
+}
+
+bool ChannelPlan::duplicate(std::size_t src, std::size_t dst,
+                            std::uint64_t edge_index) const {
+  if (duplicate_prob <= 0.0) return false;
+  return hash_uniform(edge_message_hash(seed ^ kDupSalt, src, dst, edge_index)) <
+         duplicate_prob;
+}
+
+bool ChannelPlan::reorder(std::size_t src, std::size_t dst,
+                          std::uint64_t edge_index) const {
+  if (reorder_prob <= 0.0) return false;
+  return hash_uniform(edge_message_hash(seed ^ kReorderSalt, src, dst, edge_index)) <
+         reorder_prob;
+}
+
+json::Value channel_plan_to_json(const ChannelPlan& plan) {
+  json::Object o;
+  o["corrupt_prob"] = plan.corrupt_prob;
+  o["duplicate_prob"] = plan.duplicate_prob;
+  o["reorder_prob"] = plan.reorder_prob;
+  o["max_retries"] = plan.max_retries;
+  o["seed"] = static_cast<std::int64_t>(plan.seed);
+  return json::Value(std::move(o));
+}
+
+ChannelPlan channel_plan_from_json(const json::Value& v) {
+  static const std::set<std::string> known = {"corrupt_prob", "duplicate_prob",
+                                              "reorder_prob", "max_retries", "seed"};
+  for (const auto& [key, value] : v.as_object()) {
+    if (known.find(key) == known.end()) {
+      throw std::invalid_argument("channel_plan_from_json: unknown key '" + key + "'");
+    }
+  }
+  ChannelPlan plan;
+  if (v.contains("corrupt_prob")) plan.corrupt_prob = v.at("corrupt_prob").as_number();
+  if (v.contains("duplicate_prob")) plan.duplicate_prob = v.at("duplicate_prob").as_number();
+  if (v.contains("reorder_prob")) plan.reorder_prob = v.at("reorder_prob").as_number();
+  if (v.contains("max_retries")) {
+    plan.max_retries = static_cast<std::size_t>(v.at("max_retries").as_int());
+  }
+  if (v.contains("seed")) plan.seed = static_cast<std::uint64_t>(v.at("seed").as_int());
+  plan.validate();
+  return plan;
+}
+
+bool CrashPlan::any() const { return crash_prob > 0.0; }
+
+void CrashPlan::validate() const {
+  check_prob(crash_prob, "crash_prob");
+  if (crash_prob > 0.0 && snapshot_every == 0) {
+    throw std::invalid_argument("CrashPlan: snapshot_every must be >= 1");
+  }
+}
+
+bool CrashPlan::crashes(std::size_t agent, std::size_t round) const {
+  if (crash_prob <= 0.0 || round == 0) return false;
+  const std::uint64_t h =
+      splitmix64(splitmix64(seed ^ kCrashSalt ^ (agent + 1)) ^
+                 (static_cast<std::uint64_t>(round) + 1) * 0x9E3779B97F4A7C15ULL);
+  return hash_uniform(h) < crash_prob;
+}
+
+json::Value crash_plan_to_json(const CrashPlan& plan) {
+  json::Object o;
+  o["crash_prob"] = plan.crash_prob;
+  o["snapshot_every"] = plan.snapshot_every;
+  o["seed"] = static_cast<std::int64_t>(plan.seed);
+  return json::Value(std::move(o));
+}
+
+CrashPlan crash_plan_from_json(const json::Value& v) {
+  static const std::set<std::string> known = {"crash_prob", "snapshot_every", "seed"};
+  for (const auto& [key, value] : v.as_object()) {
+    if (known.find(key) == known.end()) {
+      throw std::invalid_argument("crash_plan_from_json: unknown key '" + key + "'");
+    }
+  }
+  CrashPlan plan;
+  if (v.contains("crash_prob")) plan.crash_prob = v.at("crash_prob").as_number();
+  if (v.contains("snapshot_every")) {
+    plan.snapshot_every = static_cast<std::size_t>(v.at("snapshot_every").as_int());
+  }
+  if (v.contains("seed")) plan.seed = static_cast<std::uint64_t>(v.at("seed").as_int());
   plan.validate();
   return plan;
 }

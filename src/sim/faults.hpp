@@ -167,6 +167,99 @@ struct AdversaryPlan {
   [[nodiscard]] std::size_t active_count(std::size_t m, std::size_t round) const;
 };
 
+// ---------------------------------------------------------------------------
+// S-RECOV: unreliable-channel + crash axes. ChannelPlan models a *benign*
+// lossy medium underneath the wire codec: bit-flip corruption (caught by the
+// "PDSLWIR1" checksum, answered with bounded retransmission), frame
+// duplication (deduplicated at the transport), and mailbox reordering.
+// CrashPlan models fail-stop agents: a crashed agent loses its in-memory
+// round state and is restored by recovery::RecoveryManager from periodic
+// snapshots plus a neighbor resync. Both follow the S-FAULT determinism
+// contract — every decision is a pure hash of (seed, identity, index).
+// ---------------------------------------------------------------------------
+
+/// Unreliable-channel model for inter-agent sends. Corruption applies per
+/// *attempt* (so a retransmission re-rolls the dice with the attempt number
+/// mixed into the hash); duplication/reorder apply per delivered message.
+struct ChannelPlan {
+  /// Probability a transmitted frame arrives with a flipped bit. The wire
+  /// checksum detects the flip and the transport retransmits (NACK model).
+  double corrupt_prob = 0.0;
+  /// Probability a successfully delivered frame is also duplicated; the
+  /// transport drops the duplicate copy (exactly-once mailbox delivery) but
+  /// charges its bytes.
+  double duplicate_prob = 0.0;
+  /// Probability a delivered payload is enqueued at the *front* of the
+  /// destination mailbox instead of the back.
+  double reorder_prob = 0.0;
+  /// Retransmission budget per message beyond the first attempt. When all
+  /// 1 + max_retries attempts are corrupted the message is dropped and the
+  /// receiver degrades through the PR-4 renormalization path.
+  std::size_t max_retries = 3;
+  /// Round-granular exponential backoff: attempt a (0-indexed) is delivered
+  /// backoff_for(a) rounds late (0, 0, 1, 2, 4, ... capped at 8).
+  [[nodiscard]] static std::size_t backoff_for(std::size_t attempt);
+  /// Seed for every hash decision; 0 = derive from the merged FaultPlan seed
+  /// (Network fills it in).
+  std::uint64_t seed = 0;
+
+  /// True if any channel impairment can fire.
+  [[nodiscard]] bool any() const;
+
+  /// Throws std::invalid_argument on out-of-range knobs.
+  void validate() const;
+
+  /// Is attempt `attempt` of the edge_index-th message on src->dst corrupted?
+  [[nodiscard]] bool corrupt(std::size_t src, std::size_t dst, std::uint64_t edge_index,
+                             std::size_t attempt) const;
+
+  /// Which bit of an n_bytes-long frame does that corruption flip?
+  [[nodiscard]] std::size_t corrupt_bit(std::size_t src, std::size_t dst,
+                                        std::uint64_t edge_index, std::size_t attempt,
+                                        std::size_t n_bytes) const;
+
+  /// Is the edge_index-th delivered message on src->dst duplicated in flight?
+  [[nodiscard]] bool duplicate(std::size_t src, std::size_t dst,
+                               std::uint64_t edge_index) const;
+
+  /// Does the edge_index-th delivered message on src->dst jump the queue?
+  [[nodiscard]] bool reorder(std::size_t src, std::size_t dst,
+                             std::uint64_t edge_index) const;
+};
+
+/// Serialize every field (including defaults).
+json::Value channel_plan_to_json(const ChannelPlan& plan);
+
+/// Strict parse: unknown keys throw std::invalid_argument, as config_io does.
+ChannelPlan channel_plan_from_json(const json::Value& v);
+
+/// Fail-stop crash schedule. A crashed agent loses model / momentum /
+/// cross-gradient cache / Shapley cache state at the top of the round and is
+/// restored from its latest snapshot plus a neighbor resync.
+struct CrashPlan {
+  /// Per (agent, round) probability the agent's process dies and restarts.
+  double crash_prob = 0.0;
+  /// RecoveryManager snapshots every agent every this many rounds.
+  std::size_t snapshot_every = 5;
+  /// Seed for the crash hash; 0 = derive from the merged FaultPlan seed.
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool any() const;
+
+  /// Throws std::invalid_argument on out-of-range knobs.
+  void validate() const;
+
+  /// Does `agent` crash at the top of `round`? Pure hash of
+  /// (seed, agent, round), independent of query order and --threads.
+  [[nodiscard]] bool crashes(std::size_t agent, std::size_t round) const;
+};
+
+/// Serialize every field (including defaults).
+json::Value crash_plan_to_json(const CrashPlan& plan);
+
+/// Strict parse: unknown keys throw std::invalid_argument, as config_io does.
+CrashPlan crash_plan_from_json(const json::Value& v);
+
 /// FNV-1a over the tag bytes: the per-message identity word for corruption
 /// decisions. Tags embed the round (and sweep/event indices where a protocol
 /// sends repeatedly), so (src, dst, tag) names each message uniquely without

@@ -51,6 +51,15 @@ struct RoundMetrics {
   std::size_t shapley_cache_hits = 0;   ///< coalitions served by the cross-round cache
   std::size_t shapley_cache_misses = 0; ///< cache lookups that had to evaluate
   std::size_t shapley_early_stops = 0;  ///< agents whose MC sampler CI-stopped early
+  // S-RECOV: unreliable-channel transport + crash/recovery activity.
+  // Transport counters are cumulative network totals (like messages/bytes);
+  // crashes/resyncs are this round's events.
+  std::size_t retransmits = 0;      ///< cumulative frames resent after a NACK
+  std::size_t corrupt_detected = 0; ///< cumulative checksum-caught bit flips
+  std::size_t dup_dropped = 0;      ///< cumulative duplicate copies deduped
+  std::size_t reordered = 0;        ///< cumulative front-of-queue deliveries
+  std::size_t crashes = 0;          ///< agents crashed and restarted this round
+  std::size_t resyncs = 0;          ///< crashed agents that got a neighbor resync
 };
 
 /// Mean over agents of ||x_i - mean_j x_j||.
@@ -65,7 +74,8 @@ std::vector<float> average_model(const fleet::LazyMatrix& models);
 /// consensus, grad_norm, messages, bytes, dropped, delayed, offline,
 /// stale_reused, fallbacks, byz_active, corrupted, rejected, reclipped,
 /// pi_attacker, pi_honest, epsilon_spent, shapley_evals, shapley_batched,
-/// shapley_cache_hits, shapley_cache_misses, shapley_early_stops, elapsed_s,
+/// shapley_cache_hits, shapley_cache_misses, shapley_early_stops, retransmits,
+/// corrupt_detected, dup_dropped, reordered, crashes, resyncs, elapsed_s,
 /// round_s, then one <phase>_s column per obs::Phase).
 void write_metrics_csv(const std::string& path, const std::string& run_label,
                        const std::vector<RoundMetrics>& series);

@@ -23,6 +23,10 @@ Network::Network(const graph::TopologyView& topo, Options opts)
   // the benign faults (corrupt_payload salts internally to decorrelate).
   if (opts_.adversary.seed == 0) opts_.adversary.seed = opts_.faults.seed;
   opts_.adversary.validate();
+  // S-RECOV: the channel impairment hashes likewise derive from the merged
+  // fault seed (each decision family salts internally).
+  if (opts_.channel.seed == 0) opts_.channel.seed = opts_.faults.seed;
+  opts_.channel.validate();
 }
 
 std::vector<LateMessage> Network::begin_round(std::size_t t) {
@@ -66,8 +70,14 @@ bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
                                                : payload.size() * sizeof(float);
   if (lossy_channel) payload = opts_.compressor->apply(payload);
 
+  // S-RECOV: the unreliable-channel transport supersedes the strict
+  // round-trip assert on inter-agent traffic — the same encode/decode runs,
+  // but a checksum failure is *detected* and answered with a retransmission
+  // instead of tearing the process down.
+  const bool transport = opts_.channel.any() && src != dst;
+
   std::unique_lock<std::mutex> lock(mu_);
-  if (opts_.wire_roundtrip) {
+  if (opts_.wire_roundtrip && !transport) {
     // S-SCALE: prove the message survives serialization bit-identically and
     // deliver the decoded copy — exactly what a multi-process shard would see.
     fleet::WireMessage msg{static_cast<std::uint32_t>(src), static_cast<std::uint32_t>(dst),
@@ -151,7 +161,81 @@ bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
         byz.add(1);
       }
     }
-    if (const std::size_t d = plan.delay(src, dst, edge_index); d > 0) {
+    // S-RECOV ReliableChannel: wire-encode every attempt; a hash-driven bit
+    // flip is caught by the frame checksum (wire_try_decode -> nullopt), the
+    // receiver NACKs and the sender retransmits, up to channel.max_retries
+    // extra attempts with round-granular exponential backoff. Exhausting the
+    // budget loses the message like a drop — the receiver degrades through
+    // the PR-4 renormalization path. Every decision hashes (seed, edge,
+    // per-edge index, attempt), so retransmission traces are bit-identical
+    // at any --threads width.
+    std::size_t backoff = 0;
+    std::size_t frame_bytes = 0;
+    if (transport) {
+      const ChannelPlan& ch = opts_.channel;
+      fleet::WireMessage msg{static_cast<std::uint32_t>(src), static_cast<std::uint32_t>(dst),
+                            static_cast<std::uint32_t>(clock_),
+                            static_cast<std::uint8_t>(channel == Channel::kContribution ? 1 : 0),
+                            tag, std::move(payload)};
+      bool delivered = false;
+      for (std::size_t attempt = 0; attempt <= ch.max_retries; ++attempt) {
+        io::ByteBuffer frame = fleet::wire_encode(msg);
+        frame_bytes = frame.size();
+        ++wire_messages_;
+        wire_bytes_ += frame.size();
+        if (attempt > 0) {
+          ++retransmits_;
+          static obs::Counter& rtx = obs::MetricsRegistry::global().counter("net.retransmits");
+          rtx.add(1);
+        }
+        if (ch.corrupt(src, dst, edge_index, attempt)) {
+          const std::size_t bit = ch.corrupt_bit(src, dst, edge_index, attempt, frame.size());
+          frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+          auto decoded = fleet::wire_try_decode(frame);
+          if (!decoded) {
+            ++corruptions_detected_;
+            static obs::Counter& cd =
+                obs::MetricsRegistry::global().counter("net.corruptions_detected");
+            cd.add(1);
+            continue;  // NACK: the corrupted frame never reaches a mailbox
+          }
+          // The flip survived the checksum (a 2^-64-grade collision, but
+          // deterministic if it ever fires): a real receiver would accept the
+          // frame, so deliver the decoded payload as-is.
+          msg.payload = std::move(decoded->payload);
+          delivered = true;
+          backoff = ChannelPlan::backoff_for(attempt);
+          break;
+        }
+        fleet::WireMessage decoded = fleet::wire_decode(frame);  // clean frame
+        msg.payload = std::move(decoded.payload);
+        delivered = true;
+        backoff = ChannelPlan::backoff_for(attempt);
+        break;
+      }
+      if (!delivered) {
+        ++retry_exhausted_;
+        ++dropped_;
+        static obs::Counter& ex =
+            obs::MetricsRegistry::global().counter("net.retry_exhausted");
+        ex.add(1);
+        return false;
+      }
+      payload = std::move(msg.payload);
+      // In-flight duplication: the second copy arrives too, but the
+      // transport's per-edge sequence numbers dedup it — exactly-once
+      // mailbox delivery, while the wire still paid for the extra frame.
+      if (ch.duplicate(src, dst, edge_index)) {
+        ++wire_messages_;
+        wire_bytes_ += frame_bytes;
+        ++duplicates_dropped_;
+        static obs::Counter& dup =
+            obs::MetricsRegistry::global().counter("net.dup_dropped");
+        dup.add(1);
+      }
+    }
+    const std::size_t d = plan.delay(src, dst, edge_index) + backoff;
+    if (d > 0) {
       ++delayed_;
       static obs::Counter& late = obs::MetricsRegistry::global().counter("net.delayed");
       late.add(1);
@@ -159,8 +243,17 @@ bool Network::send(std::size_t src, std::size_t dst, const std::string& tag,
                                  clock_ + d, edge_index});
       return true;  // sent, just slow — it surfaces via a later begin_round()
     }
+    // Reordering: the impairment hash promotes this delivery to the front of
+    // the destination mailbox (older mail is read after it).
+    if (transport && opts_.channel.reorder(src, dst, edge_index)) {
+      ++reorders_;
+      static obs::Counter& ro = obs::MetricsRegistry::global().counter("net.reordered");
+      ro.add(1);
+      boxes_[Key{src, dst, tag}].push_front(std::move(payload));
+      return true;
+    }
   }
-  boxes_[Key{src, dst, tag}].push(std::move(payload));
+  boxes_[Key{src, dst, tag}].push_back(std::move(payload));
   return true;
 }
 
@@ -170,7 +263,7 @@ std::optional<std::vector<float>> Network::receive(std::size_t dst, std::size_t 
   const auto it = boxes_.find(Key{src, dst, tag});
   if (it == boxes_.end() || it->second.empty()) return std::nullopt;
   std::vector<float> payload = std::move(it->second.front());
-  it->second.pop();
+  it->second.pop_front();
   if (it->second.empty()) boxes_.erase(it);
   return payload;
 }
@@ -221,6 +314,31 @@ std::size_t Network::wire_bytes() const {
   return wire_bytes_;
 }
 
+std::size_t Network::retransmits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retransmits_;
+}
+
+std::size_t Network::corruptions_detected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corruptions_detected_;
+}
+
+std::size_t Network::retry_exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retry_exhausted_;
+}
+
+std::size_t Network::duplicates_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicates_dropped_;
+}
+
+std::size_t Network::reorders() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reorders_;
+}
+
 std::size_t Network::round() const {
   std::lock_guard<std::mutex> lock(mu_);
   return clock_;
@@ -259,6 +377,121 @@ std::size_t Network::clear() {
   for (auto& [key, q] : boxes_) n += q.size();
   boxes_.clear();
   return n;
+}
+
+void Network::save_state(io::ByteBuffer& buf) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, q] : boxes_) {
+    if (!q.empty()) {
+      throw std::runtime_error("Network::save_state: mailboxes not empty (checkpoint "
+                               "between rounds, after clear())");
+    }
+  }
+  io::append_u64(buf, clock_);
+  io::append_u64(buf, sent_);
+  io::append_u64(buf, dropped_);
+  io::append_u64(buf, delayed_);
+  io::append_u64(buf, corrupted_);
+  io::append_u64(buf, bytes_);
+  io::append_u64(buf, wire_messages_);
+  io::append_u64(buf, wire_bytes_);
+  io::append_u64(buf, retransmits_);
+  io::append_u64(buf, corruptions_detected_);
+  io::append_u64(buf, retry_exhausted_);
+  io::append_u64(buf, duplicates_dropped_);
+  io::append_u64(buf, reorders_);
+  // Per-edge message indices: they key every drop/delay/corrupt decision, so
+  // a resumed run must continue the sequence exactly. std::map iterates in
+  // sorted order — the blob is deterministic.
+  io::append_u64(buf, edge_counts_.size());
+  for (const auto& [edge, count] : edge_counts_) {
+    io::append_u64(buf, edge.first);
+    io::append_u64(buf, edge.second);
+    io::append_u64(buf, count.messages);
+    io::append_u64(buf, count.bytes);
+  }
+  // In-flight delayed messages (sorted for determinism; begin_round sorts the
+  // matured batch anyway, but identical state must serialize identically).
+  std::vector<const Pending*> pending;
+  pending.reserve(pending_.size());
+  for (const auto& p : pending_) pending.push_back(&p);
+  std::sort(pending.begin(), pending.end(), [](const Pending* a, const Pending* b) {
+    if (a->msg.src != b->msg.src) return a->msg.src < b->msg.src;
+    if (a->msg.dst != b->msg.dst) return a->msg.dst < b->msg.dst;
+    if (a->msg.tag != b->msg.tag) return a->msg.tag < b->msg.tag;
+    return a->edge_index < b->edge_index;
+  });
+  io::append_u64(buf, pending.size());
+  for (const Pending* p : pending) {
+    io::append_u64(buf, p->msg.src);
+    io::append_u64(buf, p->msg.dst);
+    io::append_string(buf, p->msg.tag);
+    io::append_floats(buf, p->msg.payload);
+    io::append_u64(buf, p->msg.sent_round);
+    io::append_u64(buf, p->mature_round);
+    io::append_u64(buf, p->edge_index);
+  }
+  io::append_u64(buf, replay_.size());
+  for (const auto& [key, entry] : replay_) {
+    io::append_u64(buf, key.src);
+    io::append_u64(buf, key.dst);
+    io::append_string(buf, key.kind);
+    io::append_floats(buf, entry.payload);
+    io::append_u64(buf, entry.round);
+  }
+}
+
+void Network::restore_state(io::ByteReader& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  boxes_.clear();
+  clock_ = static_cast<std::size_t>(r.read_u64("net clock"));
+  sent_ = static_cast<std::size_t>(r.read_u64("net sent"));
+  dropped_ = static_cast<std::size_t>(r.read_u64("net dropped"));
+  delayed_ = static_cast<std::size_t>(r.read_u64("net delayed"));
+  corrupted_ = static_cast<std::size_t>(r.read_u64("net corrupted"));
+  bytes_ = static_cast<std::size_t>(r.read_u64("net bytes"));
+  wire_messages_ = static_cast<std::size_t>(r.read_u64("net wire_messages"));
+  wire_bytes_ = static_cast<std::size_t>(r.read_u64("net wire_bytes"));
+  retransmits_ = static_cast<std::size_t>(r.read_u64("net retransmits"));
+  corruptions_detected_ = static_cast<std::size_t>(r.read_u64("net corruptions_detected"));
+  retry_exhausted_ = static_cast<std::size_t>(r.read_u64("net retry_exhausted"));
+  duplicates_dropped_ = static_cast<std::size_t>(r.read_u64("net duplicates_dropped"));
+  reorders_ = static_cast<std::size_t>(r.read_u64("net reorders"));
+  edge_counts_.clear();
+  const auto n_edges = r.read_u64("net edge count");
+  for (std::uint64_t i = 0; i < n_edges; ++i) {
+    const auto src = static_cast<std::size_t>(r.read_u64("net edge src"));
+    const auto dst = static_cast<std::size_t>(r.read_u64("net edge dst"));
+    EdgeCount count;
+    count.messages = static_cast<std::size_t>(r.read_u64("net edge messages"));
+    count.bytes = static_cast<std::size_t>(r.read_u64("net edge bytes"));
+    edge_counts_[{src, dst}] = count;
+  }
+  pending_.clear();
+  const auto n_pending = r.read_u64("net pending count");
+  for (std::uint64_t i = 0; i < n_pending; ++i) {
+    Pending p;
+    p.msg.src = static_cast<std::size_t>(r.read_u64("net pending src"));
+    p.msg.dst = static_cast<std::size_t>(r.read_u64("net pending dst"));
+    p.msg.tag = r.read_string("net pending tag");
+    p.msg.payload = r.read_floats("net pending payload");
+    p.msg.sent_round = static_cast<std::size_t>(r.read_u64("net pending sent_round"));
+    p.mature_round = static_cast<std::size_t>(r.read_u64("net pending mature_round"));
+    p.edge_index = r.read_u64("net pending edge_index");
+    pending_.push_back(std::move(p));
+  }
+  replay_.clear();
+  const auto n_replay = r.read_u64("net replay count");
+  for (std::uint64_t i = 0; i < n_replay; ++i) {
+    ReplayKey key;
+    key.src = static_cast<std::size_t>(r.read_u64("net replay src"));
+    key.dst = static_cast<std::size_t>(r.read_u64("net replay dst"));
+    key.kind = r.read_string("net replay kind");
+    ReplayEntry entry;
+    entry.payload = r.read_floats("net replay payload");
+    entry.round = static_cast<std::size_t>(r.read_u64("net replay round"));
+    replay_.emplace(std::move(key), std::move(entry));
+  }
 }
 
 }  // namespace pdsl::sim

@@ -19,11 +19,11 @@
 // index), erasing any trace of concurrent insertion order.
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +32,7 @@
 #include "compress/compressor.hpp"
 #include "graph/topology.hpp"
 #include "graph/view.hpp"
+#include "io/codec.hpp"
 #include "sim/faults.hpp"
 
 namespace pdsl::sim {
@@ -68,6 +69,13 @@ struct NetworkOptions {
   /// format (fleet/wire.hpp); the delivered payload is the decoded copy, so
   /// any serialization defect fails the run loudly instead of silently.
   bool wire_roundtrip = false;
+  /// S-RECOV: unreliable-channel model. When any() the inter-agent transport
+  /// always wire-encodes, the checksum *detects* hash-driven bit flips
+  /// instead of asserting, and a NACK/retransmit loop with bounded retries
+  /// plus round-granular exponential backoff recovers; duplication and
+  /// reorder impairments ride on top. channel.seed = 0 uses the merged
+  /// faults.seed.
+  ChannelPlan channel;
 };
 
 /// A delayed payload that matured: begin_round() hands these back to the
@@ -129,16 +137,36 @@ class Network {
   /// Delayed messages not yet matured by the last begin_round().
   [[nodiscard]] std::size_t in_flight() const;
   [[nodiscard]] std::size_t bytes_sent() const;
-  /// S-SCALE wire-roundtrip counters (0 unless opts.wire_roundtrip).
+  /// S-SCALE wire-roundtrip counters (0 unless opts.wire_roundtrip or the
+  /// channel transport is active).
   [[nodiscard]] std::size_t wire_messages() const;
   [[nodiscard]] std::size_t wire_bytes() const;
+  /// S-RECOV transport counters (0 unless opts.channel.any()).
+  [[nodiscard]] std::size_t retransmits() const;          ///< frames resent after a NACK
+  [[nodiscard]] std::size_t corruptions_detected() const; ///< checksum-caught bit flips
+  [[nodiscard]] std::size_t retry_exhausted() const;      ///< messages lost after all retries
+  [[nodiscard]] std::size_t duplicates_dropped() const;   ///< in-flight dup copies deduped
+  [[nodiscard]] std::size_t reorders() const;             ///< deliveries that jumped the queue
   [[nodiscard]] const graph::TopologyView& topology() const { return *topo_; }
   /// The merged fault plan actually in effect (legacy drop_prob folded in).
   [[nodiscard]] const FaultPlan& faults() const { return opts_.faults; }
   /// The adversary plan actually in effect (seed fallback folded in).
   [[nodiscard]] const AdversaryPlan& adversary() const { return opts_.adversary; }
+  /// The channel plan actually in effect (seed fallback folded in).
+  [[nodiscard]] const ChannelPlan& channel() const { return opts_.channel; }
   /// Round clock as of the last begin_round() (0 before the first round).
   [[nodiscard]] std::size_t round() const;
+
+  /// S-RECOV checkpoint: append the network's dynamic state — round clock,
+  /// every counter, per-edge message indices (they key drop/delay/corrupt
+  /// decisions), in-flight delayed messages and the stale-replay history —
+  /// to `buf`. Mailboxes must be empty (call between rounds); throws
+  /// std::runtime_error otherwise.
+  void save_state(io::ByteBuffer& buf) const;
+
+  /// Restore state captured by save_state(); throws std::runtime_error on a
+  /// malformed blob.
+  void restore_state(io::ByteReader& r);
 
   /// Per-edge traffic totals (S-OBS): every (src,dst) pair that ever sent,
   /// including dropped messages (they consumed the wire).
@@ -199,7 +227,9 @@ class Network {
   std::unique_ptr<const graph::TopologyView> topo_;  ///< owned clone
   Options opts_;
   mutable std::mutex mu_;  ///< guards boxes_, pending_ and every counter below
-  std::map<Key, std::queue<std::vector<float>>> boxes_;
+  // Mailboxes are deques (not queues) so the S-RECOV reorder impairment can
+  // push a delivery at the *front*; normal deliveries stay strictly FIFO.
+  std::map<Key, std::deque<std::vector<float>>> boxes_;
   std::vector<Pending> pending_;  ///< delayed, not yet matured
   std::map<ReplayKey, ReplayEntry> replay_;  ///< stale-replay payload history
   std::size_t clock_ = 0;         ///< current round (set by begin_round)
@@ -210,6 +240,11 @@ class Network {
   std::size_t bytes_ = 0;
   std::size_t wire_messages_ = 0;  ///< sends round-tripped through the wire format
   std::size_t wire_bytes_ = 0;     ///< encoded frame bytes (header + payload + checksum)
+  std::size_t retransmits_ = 0;          ///< S-RECOV: frames resent after a NACK
+  std::size_t corruptions_detected_ = 0; ///< S-RECOV: checksum-caught bit flips
+  std::size_t retry_exhausted_ = 0;      ///< S-RECOV: messages lost after all retries
+  std::size_t duplicates_dropped_ = 0;   ///< S-RECOV: duplicate copies deduped
+  std::size_t reorders_ = 0;             ///< S-RECOV: front-of-queue deliveries
   struct EdgeCount {
     std::size_t messages = 0;
     std::size_t bytes = 0;

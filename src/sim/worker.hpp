@@ -45,6 +45,8 @@ class LocalWorker {
   [[nodiscard]] std::size_t dim() const { return dim_; }
   [[nodiscard]] std::size_t local_size() const { return sampler_.local_size(); }
   [[nodiscard]] nn::Model& workspace() { return model_; }
+  /// Sampler access for S-RECOV checkpoint/resume of the stateful draw stream.
+  [[nodiscard]] data::BatchSampler& sampler() { return sampler_; }
 
  private:
   void ensure_batch() const;

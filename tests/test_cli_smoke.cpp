@@ -134,3 +134,62 @@ TEST(CliSmoke, ByzantineRunReportsDefenseCounters) {
   EXPECT_NE(output.find("byzantine:"), std::string::npos) << output;
   EXPECT_NE(output.find("corrupted="), std::string::npos) << output;
 }
+
+TEST(CliSmoke, RecoveryFlagsAreValidatedWithTheFlagName) {
+  const struct {
+    const char* flags;
+    const char* needle;
+  } cases[] = {
+      {"--corrupt-prob 1.0", "--corrupt-prob"},
+      {"--corrupt-prob -0.2", "--corrupt-prob"},
+      {"--dup-prob 1.0", "--dup-prob"},
+      {"--reorder-prob 2.5", "--reorder-prob"},
+      {"--crash-prob 1.0", "--crash-prob"},
+      {"--max-retries -1", "--max-retries"},
+      {"--crash-prob 0.1 --snapshot-every 0", "snapshot_every"},
+      {"--checkpoint-every 2", "--checkpoint-path"},
+      {"--resume-from /tmp/definitely_missing_pdsl_runstate.bin", "cannot open"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.flags);
+    std::string output;
+    EXPECT_NE(run_cli(c.flags, &output), 0);
+    EXPECT_NE(output.find(c.needle), std::string::npos)
+        << "error does not mention '" << c.needle << "':\n" << output;
+  }
+}
+
+TEST(CliSmoke, ChaosRunReportsTransportAndRecoveryCounters) {
+  std::string output;
+  ASSERT_EQ(run_cli("--rounds 3 --corrupt-prob 0.2 --dup-prob 0.1 --reorder-prob 0.1"
+                    " --crash-prob 0.2 --snapshot-every 2",
+                    &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("transport:"), std::string::npos) << output;
+  EXPECT_NE(output.find("retransmits="), std::string::npos) << output;
+  EXPECT_NE(output.find("recovery:"), std::string::npos) << output;
+  EXPECT_NE(output.find("crashes="), std::string::npos) << output;
+}
+
+TEST(CliSmoke, CheckpointThenResumeContinuesTheRun) {
+  const std::string ck = temp_path("pdsl_smoke_resume.bin");
+  std::remove(ck.c_str());
+  std::string output;
+  ASSERT_EQ(run_cli("--rounds 4 --checkpoint-every 2 --checkpoint-path \"" + ck + "\"",
+                    &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("run state checkpointed"), std::string::npos) << output;
+
+  std::string resumed;
+  ASSERT_EQ(run_cli("--rounds 4 --resume-from \"" + ck + "\"", &resumed), 0) << resumed;
+  EXPECT_NE(resumed.find("resumed from round 2"), std::string::npos) << resumed;
+
+  // A config drift (different gamma) must be refused, naming the cause.
+  std::string refused;
+  EXPECT_NE(run_cli("--rounds 4 --gamma 0.3 --resume-from \"" + ck + "\"", &refused), 0);
+  EXPECT_NE(refused.find("different experiment configuration"), std::string::npos)
+      << refused;
+  std::remove(ck.c_str());
+}

@@ -539,3 +539,46 @@ TEST(ProtocolBugDetector, CleanProtocolReportsZero) {
   for (std::size_t t = 1; t <= 3; ++t) alg.run_round(t);
   EXPECT_EQ(alg.unread_cleared(), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// S-RECOV: channel impairments compose with benign faults
+// ---------------------------------------------------------------------------
+
+TEST(NetworkFaults, ChannelCorruptionCountsExactlyOnceAndNeverLeaks) {
+  // Drops (S-FAULT) and checksum-caught corruption (S-RECOV) are different
+  // failures with different counters: every send is classified exactly once
+  // as delivered, in flight, faulted away, or lost to retry exhaustion, and
+  // a detected corruption is answered by exactly one retransmission or one
+  // exhaustion — a corrupted frame never reaches a mailbox.
+  Rng rng(4);
+  const auto topo = graph::Topology::make(graph::TopologyKind::kFullyConnected, 2, &rng);
+  NetworkOptions opts;
+  opts.seed = 13;
+  opts.faults.drop_prob = 0.2;
+  opts.channel.corrupt_prob = 0.4;
+  opts.channel.max_retries = 1;  // tight budget: exhaustion is reachable
+  Network net(topo, opts);
+  net.begin_round(1);
+  const std::vector<float> payload{5.0f, 6.0f, 7.0f};
+  const std::size_t kMsgs = 120;
+  for (std::size_t k = 0; k < kMsgs; ++k) {
+    net.send(0, 1, "c@" + std::to_string(k), payload);
+  }
+  std::size_t delivered = 0;
+  for (std::size_t k = 0; k < kMsgs; ++k) {
+    const std::string tag = "c@" + std::to_string(k);
+    if (const auto got = net.receive(1, 0, tag)) {
+      EXPECT_EQ(*got, payload) << tag;  // survivors are bit-intact
+      ++delivered;
+    }
+  }
+  EXPECT_GT(net.corruptions_detected(), 0u);
+  EXPECT_GT(net.retransmits(), 0u);
+  EXPECT_GT(net.retry_exhausted(), 0u);
+  // Exactly-one-counter: each detection is either retransmitted or terminal.
+  EXPECT_EQ(net.corruptions_detected(), net.retransmits() + net.retry_exhausted());
+  // Exactly-one-outcome: dropped counts both fault drops and exhausted
+  // messages; everything else was delivered now or is maturing via backoff.
+  EXPECT_EQ(delivered + net.in_flight() + net.messages_dropped(), kMsgs);
+  EXPECT_GE(net.messages_dropped(), net.retry_exhausted());
+}

@@ -464,3 +464,24 @@ TEST(FleetContract, Theorem1SigmaRejectedOnSparseRuns) {
 }
 
 }  // namespace
+
+TEST(FleetContract, WireCorruptionIsDetectedRetransmittedAndDeterministic) {
+  // The S-SCALE wire format carries the S-RECOV checksum: with an unreliable
+  // channel underneath, every hash-driven bit flip is detected (exactly one
+  // counter each), repaired by a retransmission, and the run stays
+  // bit-identical across reruns — corruption never silently changes math.
+  ExperimentConfig cfg = tiny_config();
+  cfg.fleet.wire_roundtrip = true;
+  cfg.channel.corrupt_prob = 0.15;
+  cfg.channel.max_retries = 16;
+  const ExperimentResult a = pdsl::core::run_experiment(cfg);
+  EXPECT_GT(a.corruptions_detected, 0u);
+  EXPECT_EQ(a.corruptions_detected, a.retransmits + a.retry_exhausted);
+  EXPECT_EQ(a.retry_exhausted, 0u);  // the budget covers 0.15^17 comfortably
+  EXPECT_GT(a.wire_messages, 0u);
+  EXPECT_TRUE(std::isfinite(a.final_loss));
+  const ExperimentResult b = pdsl::core::run_experiment(cfg);
+  EXPECT_EQ(a.average_model, b.average_model);
+  EXPECT_EQ(a.corruptions_detected, b.corruptions_detected);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+}

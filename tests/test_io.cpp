@@ -2,14 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/pdsl.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
 #include "io/checkpoint.hpp"
+#include "io/codec.hpp"
 #include "nn/model_zoo.hpp"
 
 using namespace pdsl;
@@ -196,4 +201,86 @@ TEST(Checkpoint, Fnv1aIsStableAndSensitive) {
   auto w = v;
   w[10] += 1.0f;
   EXPECT_NE(fnv1a(v), fnv1a(w));
+}
+
+// ---------------------------------------------------------------------------
+// S-RECOV opaque-blob framing (run-state + per-agent snapshot files).
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint64_t kTestMagic = 0x5044534C54455354ULL;  // "PDSLTEST"
+
+io::ByteBuffer sample_body() {
+  io::ByteBuffer body;
+  io::append_u64(body, 42);
+  io::append_f64(body, 3.25);
+  io::append_floats(body, {1.0f, -2.0f, 0.5f});
+  return body;
+}
+}  // namespace
+
+TEST(Blob, RoundTripsAnOpaqueBody) {
+  const std::string path = "/tmp/pdsl_blob_roundtrip.bin";
+  const auto body = sample_body();
+  save_blob(path, kTestMagic, body, "blob-test");
+  EXPECT_EQ(load_blob(path, kTestMagic, "blob-test"), body);
+  // Empty bodies frame fine too.
+  save_blob(path, kTestMagic, {}, "blob-test");
+  EXPECT_TRUE(load_blob(path, kTestMagic, "blob-test").empty());
+}
+
+TEST(Blob, WrongMagicIsRefused) {
+  const std::string path = "/tmp/pdsl_blob_magic.bin";
+  save_blob(path, kTestMagic, sample_body(), "blob-test");
+  EXPECT_THROW(load_blob(path, kTestMagic + 1, "blob-test"), std::runtime_error);
+}
+
+TEST(Blob, UnsupportedFormatVersionIsRefused) {
+  const std::string path = "/tmp/pdsl_blob_version.bin";
+  save_blob(path, kTestMagic, sample_body(), "blob-test");
+  // Patch the version word (bytes 8..16) to a future version.
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(8);
+  const std::uint64_t bogus = kCheckpointVersion + 7;
+  f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  f.close();
+  try {
+    (void)load_blob(path, kTestMagic, "blob-test");
+    FAIL() << "expected unsupported-version throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported checkpoint version"),
+              std::string::npos);
+  }
+}
+
+TEST(Blob, TruncationIsDetected) {
+  const std::string path = "/tmp/pdsl_blob_trunc.bin";
+  save_blob(path, kTestMagic, sample_body(), "blob-test");
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+  EXPECT_THROW(load_blob(path, kTestMagic, "blob-test"), std::runtime_error);
+}
+
+TEST(Blob, BodyCorruptionIsCaughtByTheChecksum) {
+  const std::string path = "/tmp/pdsl_blob_corrupt.bin";
+  save_blob(path, kTestMagic, sample_body(), "blob-test");
+  // Flip one bit in the body (past the 32-byte magic/version/size/checksum
+  // header) — exactly the failure the unreliable-channel model injects.
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(33);
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x10);
+  f.seekp(33);
+  f.write(&c, 1);
+  f.close();
+  try {
+    (void)load_blob(path, kTestMagic, "blob-test");
+    FAIL() << "expected checksum throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"), std::string::npos);
+  }
 }

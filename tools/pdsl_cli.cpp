@@ -86,6 +86,19 @@ int usage() {
       "                      see --shapley-min-perms / --shapley-ci-z)\n"
       "                    --shapley-min-perms K --shapley-ci-z Z (adaptive MC\n"
       "                      floor and confidence width; budget stays --mc_perms)\n"
+      "                    --corrupt-prob P --dup-prob P --reorder-prob P\n"
+      "                      --max-retries R (S-RECOV unreliable channel:\n"
+      "                      deterministic bit flips caught by the wire checksum\n"
+      "                      and NACK/retransmitted with exponential backoff,\n"
+      "                      plus duplicate and out-of-order delivery)\n"
+      "                    --crash-prob P --snapshot-every K --recovery-dir <dir>\n"
+      "                      (S-RECOV fail-stop crashes: a crashed agent loses\n"
+      "                      model/momentum/caches and restarts from its latest\n"
+      "                      K-round snapshot plus a neighbor state-resync)\n"
+      "                    --checkpoint-every N --checkpoint-path <f> (persist a\n"
+      "                      resumable run-state file every N rounds)\n"
+      "                    --resume-from <f> (continue a checkpointed run\n"
+      "                      bit-identically; config must match the checkpoint)\n"
       "                    --profile (per-phase timing table + key counters)\n"
       "                    --trace-out <t.json> (Chrome trace-event spans)\n"
       "                    --metrics-out <m.csv> (metrics registry dump)\n"
@@ -123,7 +136,14 @@ int cmd_run(int argc, const char* const* argv) {
                       "participation", "active", "participation-rate", "participation_rate",
                       "sparse", "degree", "radius", "lazy-state", "lazy_state",
                       "worker-cache", "worker_cache", "wire-roundtrip", "wire_roundtrip",
-                      "metric-agents", "metric_agents"});
+                      "metric-agents", "metric_agents",
+                      "corrupt-prob", "corrupt_prob", "dup-prob", "dup_prob",
+                      "reorder-prob", "reorder_prob", "max-retries", "max_retries",
+                      "crash-prob", "crash_prob", "snapshot-every", "snapshot_every",
+                      "recovery-dir", "recovery_dir",
+                      "checkpoint-every", "checkpoint_every",
+                      "checkpoint-path", "checkpoint_path",
+                      "resume-from", "resume_from"});
   core::ExperimentConfig cfg;
   if (args.has("config")) {
     cfg = core::load_config(args.get_string("config", ""));
@@ -249,6 +269,44 @@ int cmd_run(int argc, const char* const* argv) {
       "staleness",
       args.get_int("staleness", static_cast<std::int64_t>(cfg.faults.staleness_rounds)));
   cfg.faults.validate();
+  // S-RECOV unreliable-channel transport + crash/recovery flags.
+  cfg.channel.corrupt_prob = prob(
+      "corrupt-prob",
+      args.get_double("corrupt-prob", args.get_double("corrupt_prob", cfg.channel.corrupt_prob)),
+      /*hi_excl=*/1.0);
+  cfg.channel.duplicate_prob = prob(
+      "dup-prob", args.get_double("dup-prob", args.get_double("dup_prob", cfg.channel.duplicate_prob)),
+      /*hi_excl=*/1.0);
+  cfg.channel.reorder_prob = prob(
+      "reorder-prob",
+      args.get_double("reorder-prob", args.get_double("reorder_prob", cfg.channel.reorder_prob)),
+      /*hi_excl=*/1.0);
+  cfg.channel.max_retries = nonneg(
+      "max-retries",
+      args.get_int("max-retries",
+                   args.get_int("max_retries", static_cast<std::int64_t>(cfg.channel.max_retries))));
+  cfg.channel.validate();
+  cfg.crash.crash_prob = prob(
+      "crash-prob", args.get_double("crash-prob", args.get_double("crash_prob", cfg.crash.crash_prob)),
+      /*hi_excl=*/1.0);
+  cfg.crash.snapshot_every = nonneg(
+      "snapshot-every",
+      args.get_int("snapshot-every",
+                   args.get_int("snapshot_every", static_cast<std::int64_t>(cfg.crash.snapshot_every))));
+  cfg.crash.validate();
+  cfg.recovery_dir =
+      args.get_string("recovery-dir", args.get_string("recovery_dir", cfg.recovery_dir));
+  cfg.checkpoint_every = nonneg(
+      "checkpoint-every",
+      args.get_int("checkpoint-every",
+                   args.get_int("checkpoint_every", static_cast<std::int64_t>(cfg.checkpoint_every))));
+  cfg.checkpoint_path =
+      args.get_string("checkpoint-path", args.get_string("checkpoint_path", cfg.checkpoint_path));
+  cfg.resume_from =
+      args.get_string("resume-from", args.get_string("resume_from", cfg.resume_from));
+  if (cfg.checkpoint_every > 0 && cfg.checkpoint_path.empty()) {
+    throw std::invalid_argument("--checkpoint-every needs --checkpoint-path <file>");
+  }
   // S-BYZ adversary + defense flags.
   cfg.adversary.frac =
       prob("byz-frac", args.get_double("byz-frac", args.get_double("byz_frac", cfg.adversary.frac)));
@@ -382,6 +440,25 @@ int cmd_run(int argc, const char* const* argv) {
   if (res.corrupted != 0 || res.rejected != 0 || res.reclipped != 0) {
     std::printf("byzantine: corrupted=%zu rejected=%zu reclipped=%zu\n", res.corrupted,
                 res.rejected, res.reclipped);
+  }
+  if (res.retransmits != 0 || res.corruptions_detected != 0 || res.duplicates_dropped != 0 ||
+      res.reordered != 0) {
+    std::printf(
+        "transport: retransmits=%zu corrupt_detected=%zu retry_exhausted=%zu "
+        "dup_dropped=%zu reordered=%zu\n",
+        res.retransmits, res.corruptions_detected, res.retry_exhausted,
+        res.duplicates_dropped, res.reordered);
+  }
+  if (res.crashes != 0) {
+    std::printf("recovery: crashes=%zu resyncs=%zu\n", res.crashes, res.resyncs);
+  }
+  if (res.resumed_from_round != 0) {
+    std::printf("resumed from round %zu (%s)\n", res.resumed_from_round,
+                cfg.resume_from.c_str());
+  }
+  if (cfg.checkpoint_every > 0 && cfg.rounds > cfg.checkpoint_every) {
+    std::printf("resumable run state checkpointed to %s (every %zu rounds)\n",
+                cfg.checkpoint_path.c_str(), cfg.checkpoint_every);
   }
   if (cfg.fleet.enabled()) {
     std::printf("fleet: participants=%zu/%zu workers_peak=%zu models_materialized=%zu",

@@ -67,6 +67,17 @@ BENCHES = {
                      "n1024.ms_per_round", "n1024.peak_rss_mb"],
         "ab": True,
     },
+    "recovery": {
+        # S-RECOV: retransmit-overhead sweep under channel corruption plus the
+        # crash/resync recovery sweep; doubles as the <25% overhead contract.
+        "binary": "bench_recovery",
+        "quick": ["--rounds", "6", "--train", "600", "--reps", "2",
+                  "--mc_perms", "2"],
+        "default": [],
+        "headline": ["corrupt_off.round_ms", "corrupt_wire.round_ms",
+                     "corrupt_10pct.round_ms", "crash_10pct.final_accuracy"],
+        "ab": True,
+    },
     "byzantine": {
         "binary": "bench_byzantine",
         "quick": ["--rounds", "8", "--train", "600", "--mc_perms", "4",
@@ -138,7 +149,7 @@ BENCHES = {
         "ab": False,
     },
 }
-DEFAULT_SUBSET = ["threads", "kernels", "byzantine", "scale", "shapley"]
+DEFAULT_SUBSET = ["threads", "kernels", "byzantine", "scale", "shapley", "recovery"]
 
 
 def log(msg):
